@@ -1,0 +1,58 @@
+"""Benchmark-suite fixtures.
+
+All figure benches share one CI-scale workbench (summaries are cached in
+it, so Figs 2-8 cost one summary pass total). Each bench prints the
+series it regenerates and mirrors them into ``benchmarks/results/`` so
+the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workbench import Workbench
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ci_config() -> ExperimentConfig:
+    return ExperimentConfig.ci_scale()
+
+@pytest.fixture(scope="session")
+def ci_bench(ci_config) -> Workbench:
+    """The shared ML1M-like CI-scale workbench."""
+    return Workbench.get(ci_config)
+
+
+@pytest.fixture(scope="session")
+def lfm_bench(ci_config) -> Workbench:
+    """LFM1M-like workbench for Figs 14-15."""
+    return Workbench.get(ci_config.with_dataset("lfm1m"))
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a report and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def render_panels(title: str, panels) -> str:
+    """Join per-panel series tables into one report."""
+    from repro.experiments.report import format_series_table
+
+    blocks = [
+        format_series_table(f"{title} [{panel}]", series)
+        for panel, series in panels.items()
+    ]
+    return "\n\n".join(blocks)

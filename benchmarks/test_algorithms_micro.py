@@ -1,0 +1,52 @@
+"""Micro-benchmarks of the two summarization kernels (honest multi-round
+pytest-benchmark timing, unlike the one-shot figure reproductions)."""
+
+import pytest
+
+from repro.core.scenarios import Scenario
+from repro.graph.pcst import paper_pcst
+from repro.graph.steiner import steiner_tree
+
+
+@pytest.fixture(scope="module")
+def kernel_inputs(ci_bench):
+    task = next(
+        iter(ci_bench.tasks(Scenario.USER_CENTRIC, "PGPR", 10).values())
+    )
+    group_task = next(
+        iter(ci_bench.tasks(Scenario.USER_GROUP, "PGPR", 10).values())
+    )
+    return ci_bench.graph, task, group_task
+
+
+def test_steiner_kernel_user_centric(benchmark, kernel_inputs):
+    graph, task, _ = kernel_inputs
+    tree = benchmark(
+        steiner_tree, graph, list(task.terminals), lambda u, v, w: 1.0
+    )
+    assert tree.num_nodes >= len(task.terminals)
+
+
+def test_pcst_kernel_user_centric(benchmark, kernel_inputs):
+    graph, task, _ = kernel_inputs
+    prizes = {t: 1.0 for t in task.terminals}
+    forest = benchmark(paper_pcst, graph, prizes)
+    assert forest.num_nodes >= 1
+
+
+def test_steiner_kernel_group(benchmark, kernel_inputs):
+    graph, _, group_task = kernel_inputs
+    tree = benchmark.pedantic(
+        steiner_tree,
+        args=(graph, list(group_task.terminals), lambda u, v, w: 1.0),
+        rounds=2,
+        iterations=1,
+    )
+    assert tree.num_nodes >= 2
+
+
+def test_pcst_kernel_group(benchmark, kernel_inputs):
+    graph, _, group_task = kernel_inputs
+    prizes = {t: 1.0 for t in group_task.terminals}
+    forest = benchmark(paper_pcst, graph, prizes)
+    assert forest.num_nodes >= 2

@@ -1,0 +1,37 @@
+"""Fig 10: execution time vs group size (ST vs PCST).
+
+Paper shape: ST time climbs rapidly with group size (|T| Dijkstras);
+PCST grows gently (terminal-count independent)."""
+
+from conftest import render_panels
+
+from repro.experiments import figures
+
+GROUP_SIZES = (2, 4, 8, 16)
+
+
+def test_fig10_group_scaling(benchmark, ci_bench, emit):
+    panels = benchmark.pedantic(
+        figures.figure10,
+        args=(ci_bench,),
+        kwargs={"group_sizes": GROUP_SIZES},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "fig10_group_scaling",
+        render_panels("Fig 10 (seconds)", panels),
+    )
+
+    for panel, series in panels.items():
+        st, pcst = series["ST"], series["PCST"]
+        sizes = sorted(set(st) & set(pcst))
+        if len(sizes) < 2:
+            continue
+        largest = sizes[-1]
+        # At the largest group size PCST is faster than ST.
+        assert pcst[largest] < st[largest], panel
+        # And ST's growth from smallest to largest exceeds PCST's.
+        st_growth = st[largest] / max(st[sizes[0]], 1e-9)
+        pcst_growth = pcst[largest] / max(pcst[sizes[0]], 1e-9)
+        assert st_growth > pcst_growth * 0.5, panel

@@ -1,0 +1,30 @@
+"""Fig 11: time and memory vs synthetic graph size (G1..G5).
+
+Paper shape: both methods slow down as the graph grows; PCST's rate of
+increase is lower, especially for groups on the larger graphs."""
+
+from conftest import render_panels
+
+from repro.experiments import figures
+
+SCALE = 0.02  # G1..G5 at 200..600 nodes
+GROUP = 12
+K = 10
+
+
+def test_fig11_graph_scaling(benchmark, emit):
+    panels = benchmark.pedantic(
+        figures.figure11,
+        kwargs={"scale": SCALE, "k": K, "group_size": GROUP},
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig11_graph_scaling", render_panels("Fig 11", panels))
+
+    group_time = panels["user-group time"]
+    st, pcst = group_time["ST"], group_time["PCST"]
+    graphs = sorted(set(st) & set(pcst))
+    assert len(graphs) >= 3
+    largest = graphs[-1]
+    # PCST faster than ST on the largest synthetic graph (group panel).
+    assert pcst[largest] < st[largest]

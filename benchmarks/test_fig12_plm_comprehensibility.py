@@ -1,0 +1,22 @@
+"""Fig 12: comprehensibility with PLM / PEARLM baselines.
+
+Paper shape: consistent with Fig 2 — ST improves on both language-model
+baselines; PCST competitive at high k in user-group."""
+
+from conftest import render_panels
+
+from repro.experiments import figures
+from repro.experiments.workbench import BASELINE
+
+
+def test_fig12_plm_comprehensibility(benchmark, ci_bench, emit):
+    panels = benchmark.pedantic(
+        figures.figure12, args=(ci_bench,), rounds=1, iterations=1
+    )
+    emit("fig12_plm_comprehensibility", render_panels("Fig 12", panels))
+
+    k = ci_bench.config.k_max
+    st = f"ST λ={ci_bench.config.lambdas[-1]:g}"
+    for name, series in panels.items():
+        if k in series[st] and k in series[BASELINE]:
+            assert series[st][k] > series[BASELINE][k], name

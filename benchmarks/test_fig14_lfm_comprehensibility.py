@@ -1,0 +1,21 @@
+"""Fig 14: comprehensibility on the LFM1M-shaped dataset.
+
+Paper shape: the ML1M conclusions (Fig 2) carry over unchanged."""
+
+from conftest import render_panels
+
+from repro.experiments import figures
+from repro.experiments.workbench import BASELINE
+
+
+def test_fig14_lfm_comprehensibility(benchmark, lfm_bench, emit):
+    panels = benchmark.pedantic(
+        figures.figure14, args=(lfm_bench,), rounds=1, iterations=1
+    )
+    emit("fig14_lfm_comprehensibility", render_panels("Fig 14", panels))
+
+    k = lfm_bench.config.k_max
+    st = f"ST λ={lfm_bench.config.lambdas[-1]:g}"
+    for name, series in panels.items():
+        if k in series[st] and k in series[BASELINE]:
+            assert series[st][k] > series[BASELINE][k], name

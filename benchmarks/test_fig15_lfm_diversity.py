@@ -1,0 +1,25 @@
+"""Fig 15: diversity on the LFM1M-shaped dataset.
+
+Paper shape: same ordering as Fig 4 (summaries above raw paths)."""
+
+from conftest import render_panels
+
+from repro.experiments import figures
+from repro.experiments.workbench import BASELINE
+
+
+def test_fig15_lfm_diversity(benchmark, lfm_bench, emit):
+    panels = benchmark.pedantic(
+        figures.figure15, args=(lfm_bench,), rounds=1, iterations=1
+    )
+    emit("fig15_lfm_diversity", render_panels("Fig 15", panels))
+
+    k = lfm_bench.config.k_max
+    wins = 0
+    total = 0
+    for series in panels.values():
+        if k in series["PCST"] and k in series[BASELINE]:
+            total += 1
+            if series["PCST"][k] >= series[BASELINE][k] - 0.02:
+                wins += 1
+    assert wins >= total * 0.5

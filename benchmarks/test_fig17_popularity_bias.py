@@ -1,0 +1,38 @@
+"""Fig 17: comprehensibility for popular vs unpopular items (CAFE).
+
+Paper shape: the baseline's comprehensibility is significantly worse for
+unpopular items; the summaries do not exhibit that bias."""
+
+from statistics import mean
+
+from conftest import render_panels
+
+from repro.experiments import figures
+from repro.experiments.workbench import BASELINE
+
+
+def test_fig17_popularity_bias(benchmark, ci_bench, emit):
+    panels = benchmark.pedantic(
+        figures.figure17, args=(ci_bench,), rounds=1, iterations=1
+    )
+    emit("fig17_popularity_bias", render_panels("Fig 17", panels))
+
+    if set(panels) >= {"popular", "unpopular"}:
+        def mean_of(bucket, label):
+            points = panels[bucket].get(label, {})
+            return mean(points.values()) if points else None
+
+        st = f"ST λ={ci_bench.config.lambdas[1]:g}"
+        base_gap = _gap(mean_of("popular", BASELINE),
+                        mean_of("unpopular", BASELINE))
+        st_gap = _gap(mean_of("popular", st), mean_of("unpopular", st))
+        if base_gap is not None and st_gap is not None:
+            # Summarization narrows (or at least does not widen much)
+            # the popular/unpopular comprehensibility gap.
+            assert st_gap <= base_gap * 2.0 + 0.05
+
+
+def _gap(a, b):
+    if a is None or b is None:
+        return None
+    return abs(a - b)

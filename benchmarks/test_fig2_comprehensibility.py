@@ -1,0 +1,32 @@
+"""Fig 2: comprehensibility vs k, 8 panels (scenario x PGPR/CAFE).
+
+Paper shape: ST beats everything; PCST beats baselines only in
+user-group scenarios; baselines decay ~1/(3k)."""
+
+from conftest import render_panels
+
+from repro.experiments import figures
+from repro.experiments.workbench import BASELINE
+
+
+def test_fig2_comprehensibility(benchmark, ci_bench, emit):
+    panels = benchmark.pedantic(
+        figures.figure2, args=(ci_bench,), rounds=1, iterations=1
+    )
+    emit("fig2_comprehensibility", render_panels("Fig 2", panels))
+
+    k = ci_bench.config.k_max
+    st = f"ST λ={ci_bench.config.lambdas[-1]:g}"
+    # ST > baseline at k_max; strict in the user panels, tie-tolerant in
+    # the item panels where CI-scale audiences can be single paths (a
+    # one-path "set" and its summary are identical by construction).
+    for name, series in panels.items():
+        if k in series[st] and k in series[BASELINE]:
+            if name.startswith("user"):
+                assert series[st][k] > series[BASELINE][k], name
+            else:
+                assert series[st][k] >= series[BASELINE][k], name
+    # PCST beats the baseline in the user-group panels.
+    for name in ("user-group PGPR", "user-group CAFE"):
+        series = panels[name]
+        assert series["PCST"][k] > series[BASELINE][k], name

@@ -1,0 +1,25 @@
+"""Fig 4: diversity vs k.
+
+Paper shape: baselines lowest (fixed 3-hop repetition), PCST highest."""
+
+from conftest import render_panels
+
+from repro.experiments import figures
+from repro.experiments.workbench import BASELINE
+
+
+def test_fig4_diversity(benchmark, ci_bench, emit):
+    panels = benchmark.pedantic(
+        figures.figure4, args=(ci_bench,), rounds=1, iterations=1
+    )
+    emit("fig4_diversity", render_panels("Fig 4", panels))
+
+    k = ci_bench.config.k_max
+    wins = 0
+    total = 0
+    for series in panels.values():
+        if k in series["PCST"] and k in series[BASELINE]:
+            total += 1
+            if series["PCST"][k] >= series[BASELINE][k]:
+                wins += 1
+    assert wins >= total * 0.6

@@ -1,0 +1,21 @@
+"""Fig 5: redundancy vs k (lower is better).
+
+Paper shape: PGPR/CAFE most redundant; ST least; PCST in between."""
+
+from conftest import render_panels
+
+from repro.experiments import figures
+from repro.experiments.workbench import BASELINE
+
+
+def test_fig5_redundancy(benchmark, ci_bench, emit):
+    panels = benchmark.pedantic(
+        figures.figure5, args=(ci_bench,), rounds=1, iterations=1
+    )
+    emit("fig5_redundancy", render_panels("Fig 5", panels))
+
+    k = ci_bench.config.k_max
+    st = f"ST λ={ci_bench.config.lambdas[1]:g}"
+    for name, series in panels.items():
+        if k in series[st] and k in series[BASELINE]:
+            assert series[st][k] <= series[BASELINE][k] + 0.05, name

@@ -1,0 +1,27 @@
+"""Fig 6: consistency (J(S_k, S_{k+1})) vs k.
+
+Paper shape: baselines most consistent in user-centric (incremental path
+sets barely change); ST/PCST high and stable across scenarios."""
+
+from conftest import render_panels
+
+from repro.experiments import figures
+from repro.experiments.workbench import BASELINE
+
+
+def test_fig6_consistency(benchmark, ci_bench, emit):
+    panels = benchmark.pedantic(
+        figures.figure6, args=(ci_bench,), rounds=1, iterations=1
+    )
+    emit("fig6_consistency", render_panels("Fig 6", panels))
+
+    series = panels["user-centric PGPR"]
+    last_k = max(series[BASELINE])
+    # Baselines dominate consistency in user-centric panels.
+    st = f"ST λ={ci_bench.config.lambdas[1]:g}"
+    assert series[BASELINE][last_k] >= series[st][last_k] - 0.1
+    # All values are Jaccard similarities.
+    for panel in panels.values():
+        for points in panel.values():
+            for value in points.values():
+                assert 0.0 <= value <= 1.0

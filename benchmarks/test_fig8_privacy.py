@@ -1,0 +1,27 @@
+"""Fig 8: privacy vs k.
+
+Paper shape: PCST best (terminal-prize growth leans on items/entities);
+ST below the baselines (weighted user-item edges pull user nodes in)."""
+
+from conftest import render_panels
+
+from repro.experiments import figures
+from repro.experiments.workbench import BASELINE
+
+
+def test_fig8_privacy(benchmark, ci_bench, emit):
+    panels = benchmark.pedantic(
+        figures.figure8, args=(ci_bench,), rounds=1, iterations=1
+    )
+    emit("fig8_privacy", render_panels("Fig 8", panels))
+
+    k = ci_bench.config.k_max
+    wins = 0
+    total = 0
+    for series in panels.values():
+        if k in series["PCST"] and k in series[BASELINE]:
+            total += 1
+            if series["PCST"][k] >= series[BASELINE][k]:
+                wins += 1
+    # PCST achieves the highest privacy in (nearly) every panel.
+    assert wins >= total * 0.75

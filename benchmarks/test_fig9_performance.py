@@ -1,0 +1,37 @@
+"""Fig 9: execution time and peak memory vs k per scenario.
+
+Paper shape: PCST significantly faster, the gap widening with k
+(especially in group scenarios where |T| grows with k)."""
+
+from statistics import mean
+
+from repro.experiments import figures
+from repro.experiments.report import format_series_table
+
+
+def test_fig9_performance(benchmark, ci_bench, emit):
+    results = benchmark.pedantic(
+        figures.figure9, args=(ci_bench,), rounds=1, iterations=1
+    )
+    blocks = []
+    for scenario, sides in results.items():
+        blocks.append(
+            format_series_table(
+                f"Fig 9 [{scenario} time (s)]", sides["time"]
+            )
+        )
+        blocks.append(
+            format_series_table(
+                f"Fig 9 [{scenario} memory (MiB)]", sides["memory"]
+            )
+        )
+    emit("fig9_performance", "\n\n".join(blocks))
+
+    # PCST mean time below ST mean time in the group scenarios.
+    st_label = f"ST λ={ci_bench.config.lambdas[1]:g}"
+    for scenario in ("user-group", "item-group"):
+        times = results[scenario]["time"]
+        if times[st_label] and times["PCST"]:
+            assert mean(times["PCST"].values()) < mean(
+                times[st_label].values()
+            ), scenario

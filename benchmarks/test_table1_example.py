@@ -1,0 +1,20 @@
+"""Table I: the worked summarization example (13 edges -> 6)."""
+
+from repro.experiments.report import format_table
+from repro.experiments.tables import table1_example
+
+
+def test_table1_example(benchmark, emit):
+    result = benchmark(table1_example)
+    rows = [
+        ["total path edges", result.total_path_edges],
+        ["summary edges", result.summary_edges],
+    ]
+    report = format_table("Table I: worked example", ["quantity", "value"], rows)
+    lines = [report, ""]
+    for index, sentence in enumerate(result.path_sentences, start=1):
+        lines.append(f"P1,{chr(ord('A') + index - 1)}: {sentence}")
+    lines.append(f"Summary: {result.summary_sentence}")
+    emit("table1", "\n".join(lines))
+    assert result.total_path_edges == 13
+    assert result.summary_edges == 6

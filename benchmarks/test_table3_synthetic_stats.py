@@ -1,0 +1,32 @@
+"""Table III: synthetic random graph statistics (G1..G5, scaled)."""
+
+from repro.experiments.report import format_table
+from repro.experiments.tables import table3
+
+SCALE = 0.02
+
+
+def test_table3_synthetic_stats(benchmark, emit):
+    rows_data = benchmark.pedantic(
+        table3, args=(SCALE,), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            f"G{i}",
+            spec.num_users,
+            spec.num_items,
+            spec.num_external,
+            stats.num_nodes,
+            stats.num_edges,
+        ]
+        for i, (spec, stats) in enumerate(rows_data, start=1)
+    ]
+    report = format_table(
+        f"Table III: synthetic graph statistics (scale={SCALE})",
+        ["graph", "users", "items", "external", "nodes", "edges"],
+        rows,
+    )
+    emit("table3", report)
+    nodes = [stats.num_nodes for _spec, stats in rows_data]
+    assert nodes == sorted(nodes)
+    assert len(rows_data) == 5

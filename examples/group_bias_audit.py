@@ -1,0 +1,57 @@
+"""Model-developer view: auditing explanation quality across groups.
+
+Combines the paper's user-group summaries with the fairness slicing
+(§VII / Fig 17): do male and female users, or popular and unpopular
+items, receive explanations of different quality?
+
+    python examples/group_bias_audit.py
+"""
+
+from repro.core import Summarizer, user_group_task, verbalize_summary
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fairness import item_fairness, user_fairness
+from repro.experiments.workbench import Workbench
+
+
+def main() -> None:
+    bench = Workbench.get(ExperimentConfig.test_scale())
+    per_user = bench.recommendations("PGPR")
+
+    # 1. One summary per demographic group.
+    print("user-group summaries by gender")
+    print("-" * 60)
+    for label, members in bench.user_groups.items():
+        task = user_group_task(members, per_user, k=4)
+        summary = Summarizer(bench.graph, method="ST", lam=1.0).summarize(
+            task
+        )
+        print(
+            f"[{label}] {len(members)} users, "
+            f"{len(task.paths)} paths -> "
+            f"{summary.subgraph.num_edges} summary edges"
+        )
+        print(f"  {verbalize_summary(summary, bench.graph)[:140]}...")
+
+    # 2. Metric gaps between groups, per method.
+    print("\nexplanation-fairness gaps (comprehensibility)")
+    print("-" * 60)
+    for method_label in ("baseline", "ST λ=1", "PCST"):
+        user_report = user_fairness(
+            bench, "PGPR", "comprehensibility", method_label, k=4
+        )
+        item_report = item_fairness(
+            bench, "PGPR", "comprehensibility", method_label, k=4
+        )
+        print(
+            f"{method_label:10s} gender gap={user_report.max_gap:.4f} "
+            f"{user_report.group_means} | popularity "
+            f"gap={item_report.max_gap:.4f}"
+        )
+    print(
+        "\n(The paper's Fig 17 finding: baselines explain unpopular items "
+        "much worse; the summarizers do not inherit that bias.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Operations view: choosing ST vs PCST by deployment scale.
+
+Times both summarizers on growing user groups and growing synthetic
+graphs (Figs 10-11 in miniature) to show the crossover the paper reports:
+ST gives the tightest summaries, PCST is the one that scales.
+
+    python examples/scalability_comparison.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import Summarizer, user_group_task
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workbench import Workbench
+from repro.graph.generators import (
+    SyntheticSpec,
+    generate_random_kg,
+    random_three_hop_paths,
+)
+
+
+def timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
+def main() -> None:
+    bench = Workbench.get(ExperimentConfig.test_scale(users_per_gender=8))
+    per_user = bench.recommendations("PGPR")
+    users = bench.sampled_users
+
+    print("group-size sweep (ML1M-like graph)")
+    print(f"{'group':>6} {'|T|':>5} {'ST (s)':>9} {'PCST (s)':>9} "
+          f"{'ST edges':>9} {'PCST edges':>11}")
+    st = Summarizer(bench.graph, method="ST", lam=1.0)
+    pcst = Summarizer(bench.graph, method="PCST")
+    for size in (2, 4, 8, len(users)):
+        group = users[:size]
+        task = user_group_task(group, per_user, bench.config.k_max)
+        st_summary, st_time = timed(st.summarize, task)
+        pcst_summary, pcst_time = timed(pcst.summarize, task)
+        print(
+            f"{size:>6} {len(task.terminals):>5} {st_time:>9.3f} "
+            f"{pcst_time:>9.3f} {st_summary.subgraph.num_edges:>9} "
+            f"{pcst_summary.subgraph.num_edges:>11}"
+        )
+
+    print("\ngraph-size sweep (synthetic Table III shapes)")
+    print(f"{'nodes':>7} {'edges':>8} {'ST (s)':>9} {'PCST (s)':>9}")
+    rng = np.random.default_rng(3)
+    for total_nodes in (200, 400, 800):
+        spec = SyntheticSpec(total_nodes, edges_per_node=20.0)
+        graph = generate_random_kg(spec, rng)
+        group = [f"u:{i}" for i in range(8)]
+        paths = random_three_hop_paths(graph, group, paths_per_user=6, rng=rng)
+        if not paths:
+            continue
+        from repro.core.scenarios import Scenario, SummaryTask
+
+        items = tuple(dict.fromkeys(p.item for p in paths))
+        present = tuple(
+            u for u in group if any(p.user == u for p in paths)
+        )
+        task = SummaryTask(
+            scenario=Scenario.USER_GROUP,
+            terminals=(*present, *items),
+            paths=tuple(paths),
+            anchors=items,
+            focus=present,
+        )
+        _, st_time = timed(
+            Summarizer(graph, method="ST", lam=1.0).summarize, task
+        )
+        _, pcst_time = timed(
+            Summarizer(graph, method="PCST").summarize, task
+        )
+        print(
+            f"{graph.num_nodes:>7} {graph.num_edges:>8} "
+            f"{st_time:>9.3f} {pcst_time:>9.3f}"
+        )
+    print(
+        "\ntakeaway: ST minimizes summary size; PCST's runtime is nearly "
+        "independent of the terminal count — pick by scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

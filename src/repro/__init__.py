@@ -1,0 +1,57 @@
+"""repro: reproduction of "Path-based summary explanations for graph
+recommenders" (Pla Karidi & Pitoura, ICDE 2025).
+
+Public API tour
+---------------
+- :mod:`repro.graph` — knowledge-graph substrate and the Steiner / PCST
+  algorithms.
+- :mod:`repro.data` — ML1M/LFM1M-shaped synthetic datasets and DBpedia-
+  style external knowledge.
+- :mod:`repro.recommenders` — PGPR / CAFE / PLM / PEARLM structural
+  simulators emitting path explanations.
+- :mod:`repro.core` — the paper's contribution: ST and PCST summary
+  explanations for the four scenarios.
+- :mod:`repro.metrics` — the eight evaluation metric families.
+- :mod:`repro.experiments` — workbench + builders for every table/figure.
+
+Quickstart::
+
+    from repro import quick_demo
+    print(quick_demo())
+"""
+
+from repro.core.scenarios import (
+    Scenario,
+    item_centric_task,
+    item_group_task,
+    user_centric_task,
+    user_group_task,
+)
+from repro.core.summarizer import Summarizer, summarize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Scenario",
+    "Summarizer",
+    "__version__",
+    "item_centric_task",
+    "item_group_task",
+    "quick_demo",
+    "summarize",
+    "user_centric_task",
+    "user_group_task",
+]
+
+
+def quick_demo() -> str:
+    """Tiny self-contained demo: the paper's Table I example, verbalized."""
+    from repro.experiments.tables import table1_example
+
+    result = table1_example()
+    lines = [*result.path_sentences, "", f"Summary: {result.summary_sentence}"]
+    lines.append(
+        f"(total path edges {result.total_path_edges} -> "
+        f"summary edges {result.summary_edges})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Explanation result objects.
+
+Metrics must treat two shapes uniformly:
+
+- the baselines' *path sets* (k standalone paths, possibly overlapping),
+  where the paper counts nodes/edges with multiplicity ("the explanation
+  paths had a total length of 13"), and
+- our *summary subgraphs*, where nodes/edges are unique by construction.
+
+Both are :class:`Explanation` subtypes exposing the same counting views;
+:class:`SubgraphExplanation` additionally provides the connection-path
+decomposition used by the redundancy metric and verbalization.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.core.scenarios import SummaryTask
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.paths import Path
+from repro.graph.shortest_paths import bfs_shortest_path
+from repro.graph.types import NodeType, undirected_key
+
+
+class Explanation:
+    """Common counting interface over path-set and subgraph explanations."""
+
+    #: Producing method name ("ST", "PCST", "PGPR", ...).
+    method: str = ""
+
+    def node_mentions(self) -> Counter:
+        """Node -> number of mentions (multiplicity view)."""
+        raise NotImplementedError
+
+    def edge_mentions(self) -> list[tuple[str, str]]:
+        """Edge occurrences, with repeats where the explanation repeats."""
+        raise NotImplementedError
+
+    @property
+    def size_in_edges(self) -> int:
+        """``|E_S|`` — the denominator of comprehensibility."""
+        return len(self.edge_mentions())
+
+    def unique_nodes(self) -> set[str]:
+        """Distinct nodes appearing in the explanation."""
+        return set(self.node_mentions())
+
+    def unique_edges(self) -> set[tuple[str, str]]:
+        """Distinct (undirected) edges in the explanation."""
+        return {undirected_key(u, v) for u, v in self.edge_mentions()}
+
+    def count_nodes_of_type(self, node_type: NodeType) -> int:
+        """Mentions of nodes of ``node_type`` (multiplicity view)."""
+        return sum(
+            count
+            for node, count in self.node_mentions().items()
+            if NodeType.of(node) is node_type
+        )
+
+    @property
+    def total_node_mentions(self) -> int:
+        """Sum of all node mention counts."""
+        return sum(self.node_mentions().values())
+
+
+@dataclass
+class PathSetExplanation(Explanation):
+    """The baseline explanation: k separate paths shown side by side."""
+
+    paths: tuple[Path, ...]
+    method: str = "paths"
+
+    def __post_init__(self) -> None:
+        if not self.paths:
+            raise ValueError("empty path set")
+
+    def node_mentions(self) -> Counter:
+        """Node -> mention count for this explanation form."""
+        counter: Counter = Counter()
+        for path in self.paths:
+            counter.update(path.nodes)
+        return counter
+
+    def edge_mentions(self) -> list[tuple[str, str]]:
+        """Edge occurrences for this explanation form."""
+        return [key for path in self.paths for key in path.edge_keys()]
+
+
+@dataclass
+class SubgraphExplanation(Explanation):
+    """A summary explanation: one connected (sub)graph over the terminals."""
+
+    subgraph: KnowledgeGraph
+    task: SummaryTask
+    method: str = "summary"
+    params: dict = field(default_factory=dict)
+
+    def node_mentions(self) -> Counter:
+        """Node -> mention count for this explanation form."""
+        return Counter({node: 1 for node in self.subgraph.nodes()})
+
+    def edge_mentions(self) -> list[tuple[str, str]]:
+        """Edge occurrences for this explanation form."""
+        return [edge.key() for edge in self.subgraph.edges()]
+
+    @property
+    def covered_terminals(self) -> set[str]:
+        """Terminals actually present (PCST may forfeit unreachable ones)."""
+        return {
+            t for t in self.task.terminals if t in self.subgraph
+        }
+
+    @property
+    def terminal_coverage(self) -> float:
+        """Fraction of requested terminals included in the summary."""
+        return len(self.covered_terminals) / len(self.task.terminals)
+
+    @cached_property
+    def connection_paths(self) -> tuple[Path, ...]:
+        """Decomposition into focus-to-anchor paths inside the summary.
+
+        For a user-centric summary this recovers, for each recommended
+        item, the (unique, since the summary is a tree) route from the
+        user to that item — the per-recommendation reading of the summary
+        that the redundancy metric and the verbalizer work from.
+        """
+        paths: list[Path] = []
+        focus_nodes = [f for f in self.task.focus if f in self.subgraph]
+        if not focus_nodes:
+            return ()
+        for anchor in self.task.anchors:
+            if anchor not in self.subgraph:
+                continue
+            best: list[str] | None = None
+            for focus in focus_nodes:
+                nodes = bfs_shortest_path(self.subgraph, focus, anchor)
+                if nodes is not None and (
+                    best is None or len(nodes) < len(best)
+                ):
+                    best = nodes
+            if best is not None and len(best) >= 2:
+                paths.append(Path(nodes=tuple(best)))
+        return tuple(paths)

@@ -1,0 +1,141 @@
+"""Incremental ST summaries across the top-k sweep (extension).
+
+The experiments need ``S_1, S_2, ..., S_K`` for every subject (the
+consistency metric is defined over that sequence). Running Algorithm 1
+from scratch per k costs ``Σ_k k·Dijkstra``; since the terminal sets are
+nested (``T_k ⊂ T_{k+1}``), the metric closure computed once for ``T_K``
+already contains every closure the smaller k need.
+
+:class:`IncrementalSteinerSummarizer` computes that closure once
+(K+1 single-source Dijkstras) and then derives each ``S_k`` with an MST
+over the cached closure plus the cached shortest-path unfoldings —
+a ~K× speedup over the naive sweep.
+
+Approximation note: Eq. (1)'s boost depends on k through ``freq/|S|``
+(paths and anchors of the *current* k). The incremental variant fixes
+the weighting at ``k = K``; for λ ∈ {0.01, 100} the cost surface is
+saturated and the trees coincide with the per-k computation, for λ ≈ 1
+they may differ slightly. The figure benches use the exact per-k
+computation; this class serves interactive/production use where the
+sweep dominates latency.
+"""
+
+from __future__ import annotations
+
+from repro.core.explanation import SubgraphExplanation
+from repro.core.scenarios import SummaryTask, user_centric_task
+from repro.core.weighting import ExplanationWeighting
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.mst import kruskal_mst
+from repro.graph.shortest_paths import dijkstra, reconstruct_path
+from repro.graph.steiner import _prune_non_terminal_leaves
+from repro.graph.subgraph import edge_subgraph
+from repro.graph.types import undirected_key
+from repro.recommenders.base import RecommendationList
+
+
+class IncrementalSteinerSummarizer:
+    """Shared-closure ST summaries for nested terminal sets."""
+
+    method = "ST"
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        lam: float = 1.0,
+        weight_influence: float = 0.7,
+    ) -> None:
+        self.graph = graph
+        self.lam = lam
+        self.weight_influence = weight_influence
+
+    def summaries_for_ks(
+        self, recommendations: RecommendationList, k_max: int
+    ) -> list[SubgraphExplanation]:
+        """``[S_1, ..., S_k_max]`` for one user's top-k sweep."""
+        k_max = min(k_max, len(recommendations))
+        if k_max < 1:
+            raise ValueError("need at least one recommendation")
+        full_task = user_centric_task(recommendations, k_max)
+        weighting = ExplanationWeighting(
+            graph=self.graph,
+            task=full_task,
+            lam=self.lam,
+            weight_influence=self.weight_influence,
+        )
+        cost_fn = weighting.cost_fn()
+
+        terminals = list(full_task.terminals)
+        closure, shortest = self._metric_closure(terminals, cost_fn)
+
+        summaries = []
+        for k in range(1, k_max + 1):
+            task = user_centric_task(recommendations, k)
+            tree = self._tree_for(
+                list(task.terminals), closure, shortest, cost_fn
+            )
+            summaries.append(
+                SubgraphExplanation(
+                    subgraph=tree,
+                    task=task,
+                    method=self.method,
+                    params={
+                        "lam": self.lam,
+                        "weight_influence": self.weight_influence,
+                        "algorithm": "kmb-incremental",
+                    },
+                )
+            )
+        return summaries
+
+    # ------------------------------------------------------------------
+    def _metric_closure(self, terminals, cost_fn):
+        """All-pairs terminal distances + paths, one Dijkstra per terminal."""
+        closure: dict[tuple[str, str], float] = {}
+        shortest: dict[tuple[str, str], list[str]] = {}
+        for index, source in enumerate(terminals):
+            rest = set(terminals[index + 1 :])
+            if not rest:
+                break
+            dist, prev = dijkstra(
+                self.graph, source, cost_fn=cost_fn, targets=rest
+            )
+            for target in rest:
+                if target not in dist:
+                    raise ValueError(
+                        f"terminals {source!r}, {target!r} disconnected"
+                    )
+                key = undirected_key(source, target)
+                closure[key] = dist[target]
+                shortest[key] = reconstruct_path(prev, source, target)
+        return closure, shortest
+
+    def _tree_for(self, terminals, closure, shortest, cost_fn):
+        """Algorithm 1 steps 7-14 against the cached closure."""
+        if len(terminals) == 1:
+            only = KnowledgeGraph()
+            only.add_node(terminals[0])
+            return only
+        closure_edges = [
+            (a, b, closure[undirected_key(a, b)])
+            for i, a in enumerate(terminals)
+            for b in terminals[i + 1 :]
+        ]
+        closure_mst = kruskal_mst(terminals, closure_edges)
+        unfolded: dict[tuple[str, str], float] = {}
+        for a, b, _w in closure_mst:
+            for u, v in zip(
+                shortest[undirected_key(a, b)],
+                shortest[undirected_key(a, b)][1:],
+            ):
+                unfolded[undirected_key(u, v)] = self.graph.weight(u, v)
+        nodes = sorted({n for key in unfolded for n in key})
+        tree_edges = kruskal_mst(
+            nodes,
+            [(u, v, cost_fn(u, v, w)) for (u, v), w in unfolded.items()],
+        )
+        tree = edge_subgraph(
+            self.graph, {undirected_key(u, v) for u, v, _ in tree_edges}
+        )
+        _prune_non_terminal_leaves(tree, set(terminals))
+        return tree

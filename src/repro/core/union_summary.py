@@ -1,0 +1,46 @@
+"""Union-graph summary: the "straightforward definition" baseline (§III).
+
+The naive summary is just the union of the individual explanation paths
+as a subgraph. The paper argues this overloads users; it is implemented
+here as the reference point the ST/PCST summaries are compared against in
+ablations (the per-path baselines in the figures keep their multiset form
+via :class:`repro.core.explanation.PathSetExplanation`).
+"""
+
+from __future__ import annotations
+
+from repro.core.explanation import SubgraphExplanation
+from repro.core.scenarios import SummaryTask
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+
+class UnionSummarizer:
+    """Union-of-paths summarizer bound to one knowledge graph."""
+
+    method = "Union"
+
+    def __init__(self, graph: KnowledgeGraph) -> None:
+        self.graph = graph
+
+    def summarize(self, task: SummaryTask) -> SubgraphExplanation:
+        """Union every input path into one subgraph.
+
+        Hallucinated hops (PLM paths) that do not exist in the graph are
+        still included — the union summarizes what the recommender
+        *said*, not what the graph contains — with weight 0.
+        """
+        union = KnowledgeGraph()
+        for path in task.paths:
+            for u, v in path.edges():
+                if self.graph.has_edge(u, v):
+                    union.add_edge(
+                        u, v, self.graph.weight(u, v), self.graph.relation(u, v)
+                    )
+                else:
+                    union.add_edge(u, v, 0.0)
+        for terminal in task.terminals:
+            if terminal in self.graph and terminal not in union:
+                union.add_node(terminal)
+        return SubgraphExplanation(
+            subgraph=union, task=task, method=self.method
+        )

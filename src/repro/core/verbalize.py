@@ -1,0 +1,105 @@
+"""Natural-language rendering of paths and summaries (Table I style).
+
+``verbalize_path`` renders an individual explanation ("User 1 is connected
+to Eternity and a Day through Landscape in the Mist, ...");
+``verbalize_summary`` renders a summary subgraph ("User 1 is connected to
+A, B and C through X, Y and Z" plus per-anchor routes), matching the
+phrasing the paper's user study showed to participants.
+"""
+
+from __future__ import annotations
+
+from repro.core.explanation import SubgraphExplanation
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.paths import Path
+from repro.graph.types import NodeType
+
+
+def _display(graph: KnowledgeGraph | None, node: str) -> str:
+    if graph is not None and node in graph:
+        return graph.name(node)
+    return node
+
+
+def _join(names: list[str]) -> str:
+    if not names:
+        return ""
+    if len(names) == 1:
+        return names[0]
+    return ", ".join(names[:-1]) + f", and {names[-1]}"
+
+
+def verbalize_path(path: Path, graph: KnowledgeGraph | None = None) -> str:
+    """One sentence for one explanation path."""
+    start = _display(graph, path.nodes[0])
+    end = _display(graph, path.nodes[-1])
+    middle = [_display(graph, n) for n in path.intermediate_nodes()]
+    if not middle:
+        return f"{start} is directly connected to {end}."
+    return (
+        f"{start} is connected to {end} through {_join(middle)}."
+    )
+
+
+def verbalize_summary(
+    explanation: SubgraphExplanation,
+    graph: KnowledgeGraph | None = None,
+    include_routes: bool = False,
+) -> str:
+    """Headline sentence (optionally plus per-anchor routes) for a summary.
+
+    The headline names the focus node(s), the anchors reached, and the
+    connector nodes the summary routes through. With ``include_routes``
+    each anchor's route inside the summary is spelled out as well
+    (the format of the user-study summary texts).
+    """
+    subgraph = explanation.subgraph
+    lookup = graph or subgraph
+    focus = [
+        _display(lookup, f)
+        for f in explanation.task.focus
+        if f in subgraph
+    ]
+    anchors = [
+        _display(lookup, a)
+        for a in explanation.task.anchors
+        if a in subgraph
+    ]
+    terminal_set = set(explanation.task.terminals)
+    connectors = sorted(
+        _display(lookup, n)
+        for n in subgraph.nodes()
+        if n not in terminal_set
+    )
+    if not focus:
+        return "The summary is empty."
+    headline = f"{_join(focus)} is connected to {_join(anchors)}"
+    if connectors:
+        headline += f" through {_join(connectors)}"
+    headline += "."
+
+    if not include_routes:
+        return headline
+
+    routes = []
+    for route in explanation.connection_paths:
+        if route.num_hops == 1:
+            routes.append(
+                f"{_display(lookup, route.nodes[0])} is directly connected "
+                f"to {_display(lookup, route.nodes[-1])}"
+            )
+        else:
+            via = _join(
+                [_display(lookup, n) for n in route.intermediate_nodes()]
+            )
+            routes.append(
+                f"connects to {_display(lookup, route.nodes[-1])} via {via}"
+            )
+    if routes:
+        headline += " " + "; ".join(routes) + "."
+    return headline
+
+
+def node_type_label(node: str) -> str:
+    """'user' / 'item' / 'external' label for prose and reports."""
+    return NodeType.of(node).value

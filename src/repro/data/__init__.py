@@ -1,0 +1,26 @@
+"""Data substrate: rating matrices, synthetic dataset generators shaped
+like MovieLens-1M and LastFM-1M, DBpedia-style external knowledge, and the
+user/item sampling schemes used by the paper's experiments.
+"""
+
+from repro.data.ratings import Rating, RatingMatrix
+from repro.data.movielens import MovieLensSpec, generate_ml1m_like
+from repro.data.lastfm import LastFMSpec, generate_lfm1m_like
+from repro.data.dbpedia import ExternalSchema, attach_external_knowledge
+from repro.data.sampling import (
+    sample_items_by_popularity,
+    sample_users_balanced,
+)
+
+__all__ = [
+    "ExternalSchema",
+    "LastFMSpec",
+    "MovieLensSpec",
+    "Rating",
+    "RatingMatrix",
+    "attach_external_knowledge",
+    "generate_lfm1m_like",
+    "generate_ml1m_like",
+    "sample_items_by_popularity",
+    "sample_users_balanced",
+]

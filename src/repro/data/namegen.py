@@ -1,0 +1,64 @@
+"""Deterministic human-readable names for synthetic entities.
+
+Verbalized explanations (Table I style) read much better with names like
+"Genre: Drama" or "Director: D. Vassiliou" than with raw ids. Names are a
+pure function of (kind, index) so runs stay reproducible.
+"""
+
+from __future__ import annotations
+
+_GENRES = (
+    "Drama", "Comedy", "Thriller", "Documentary", "Romance", "Sci-Fi",
+    "Horror", "Animation", "Crime", "Adventure", "Fantasy", "Mystery",
+    "Western", "Musical", "War", "Film-Noir", "Jazz", "Folk", "Electronic",
+    "Classical", "Rock", "Hip-Hop", "Ambient", "Blues",
+)
+
+_SURNAMES = (
+    "Angelou", "Vassiliou", "Karras", "Makris", "Economou", "Pappas",
+    "Nikolaou", "Dimas", "Floros", "Galanis", "Hatzis", "Ioannou",
+    "Katsaros", "Lambros", "Manos", "Nikas", "Orfanos", "Petridis",
+    "Rallis", "Samaras", "Tsaldaris", "Vlahos", "Xydis", "Zervas",
+)
+
+_COUNTRIES = (
+    "Greece", "France", "Italy", "Japan", "USA", "Germany", "Spain",
+    "Sweden", "Brazil", "India", "Canada", "Mexico", "Poland", "Korea",
+)
+
+_DECADES = ("1950s", "1960s", "1970s", "1980s", "1990s", "2000s", "2010s")
+
+
+def entity_name(kind: str, index: int) -> str:
+    """Readable display name for the ``index``-th entity of ``kind``."""
+    if kind in ("genre",):
+        base = _GENRES[index % len(_GENRES)]
+        suffix = "" if index < len(_GENRES) else f" {index // len(_GENRES) + 1}"
+        return f"Genre: {base}{suffix}"
+    if kind in ("country",):
+        base = _COUNTRIES[index % len(_COUNTRIES)]
+        suffix = "" if index < len(_COUNTRIES) else f" {index // len(_COUNTRIES) + 1}"
+        return f"Country: {base}{suffix}"
+    if kind in ("decade",):
+        base = _DECADES[index % len(_DECADES)]
+        return f"Decade: {base}"
+    if kind in ("director", "actor", "composer", "writer", "artist"):
+        surname = _SURNAMES[index % len(_SURNAMES)]
+        initial = chr(ord("A") + (index // len(_SURNAMES)) % 26)
+        return f"{kind.capitalize()}: {initial}. {surname}"
+    return f"{kind.capitalize()} #{index}"
+
+
+def movie_name(index: int) -> str:
+    """Readable movie title."""
+    return f"Movie #{index}"
+
+
+def track_name(index: int) -> str:
+    """Readable track title."""
+    return f"Track #{index}"
+
+
+def user_name(index: int) -> str:
+    """Readable user label."""
+    return f"User {index}"

@@ -1,0 +1,160 @@
+"""The rating matrix ``M`` (§III): sparse (rating, timestamp) records.
+
+``M[u, i] = (r, t)`` with positive rating ``r`` and timestamp ``t``; the
+absence of a record means "no rating". Stored in coordinate form with
+numpy column arrays plus per-user/per-item indices for the queries the
+recommenders and samplers need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class Rating:
+    """One interaction record."""
+
+    user: int
+    item: int
+    rating: float
+    timestamp: float
+
+
+class RatingMatrix:
+    """Sparse user-item rating matrix with timestamps.
+
+    Parameters
+    ----------
+    num_users, num_items:
+        Matrix dimensions (index universes; rows/columns may be empty).
+    users, items, ratings, timestamps:
+        Parallel coordinate arrays. Duplicate (user, item) pairs are
+        rejected — the paper's model keeps a single (r, t) per pair.
+    """
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        users: np.ndarray,
+        items: np.ndarray,
+        ratings: np.ndarray,
+        timestamps: np.ndarray,
+    ) -> None:
+        if not (len(users) == len(items) == len(ratings) == len(timestamps)):
+            raise ValueError("coordinate arrays must be the same length")
+        if len(users) and (users.min() < 0 or users.max() >= num_users):
+            raise ValueError("user index out of range")
+        if len(items) and (items.min() < 0 or items.max() >= num_items):
+            raise ValueError("item index out of range")
+        if len(ratings) and ratings.min() <= 0:
+            raise ValueError("ratings must be positive (M stores positive ratings)")
+        self.num_users = int(num_users)
+        self.num_items = int(num_items)
+        self._users = users.astype(np.int64)
+        self._items = items.astype(np.int64)
+        self._ratings = ratings.astype(np.float64)
+        self._timestamps = timestamps.astype(np.float64)
+
+        pairs = set(zip(self._users.tolist(), self._items.tolist()))
+        if len(pairs) != len(self._users):
+            raise ValueError("duplicate (user, item) rating pairs")
+
+        self._by_user: dict[int, list[int]] = {}
+        self._by_item: dict[int, list[int]] = {}
+        for row, (u, i) in enumerate(zip(self._users, self._items)):
+            self._by_user.setdefault(int(u), []).append(row)
+            self._by_item.setdefault(int(i), []).append(row)
+        self._lookup = {
+            (int(u), int(i)): row
+            for row, (u, i) in enumerate(zip(self._users, self._items))
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def num_ratings(self) -> int:
+        """Number of stored ratings."""
+        return len(self._users)
+
+    @property
+    def max_timestamp(self) -> float:
+        """The reference time ``t0`` used by the recency function."""
+        return float(self._timestamps.max()) if len(self._timestamps) else 0.0
+
+    def get(self, user: int, item: int) -> tuple[float, float]:
+        """``M[u, i]`` — (rating, timestamp), or (0, 0) if unrated."""
+        row = self._lookup.get((user, item))
+        if row is None:
+            return (0.0, 0.0)
+        return (float(self._ratings[row]), float(self._timestamps[row]))
+
+    def has_rating(self, user: int, item: int) -> bool:
+        """True iff the (user, item) pair has a rating."""
+        return (user, item) in self._lookup
+
+    def iter_ratings(self) -> Iterator[tuple[int, int, float, float]]:
+        """Yield (user, item, rating, timestamp) tuples."""
+        for row in range(len(self._users)):
+            yield (
+                int(self._users[row]),
+                int(self._items[row]),
+                float(self._ratings[row]),
+                float(self._timestamps[row]),
+            )
+
+    def user_items(self, user: int) -> list[int]:
+        """Items rated by ``user`` (ordering follows insertion)."""
+        return [int(self._items[r]) for r in self._by_user.get(user, [])]
+
+    def item_users(self, item: int) -> list[int]:
+        """Users who rated ``item``."""
+        return [int(self._users[r]) for r in self._by_item.get(item, [])]
+
+    def user_ratings(self, user: int) -> list[Rating]:
+        """Full Rating records for one user."""
+        return [
+            Rating(
+                user,
+                int(self._items[r]),
+                float(self._ratings[r]),
+                float(self._timestamps[r]),
+            )
+            for r in self._by_user.get(user, [])
+        ]
+
+    def item_popularity(self) -> np.ndarray:
+        """Rating count per item (the popularity signal used by Fig 17)."""
+        counts = np.zeros(self.num_items, dtype=np.int64)
+        np.add.at(counts, self._items, 1)
+        return counts
+
+    def user_activity(self) -> np.ndarray:
+        """Rating count per user."""
+        counts = np.zeros(self.num_users, dtype=np.int64)
+        np.add.at(counts, self._users, 1)
+        return counts
+
+    def to_dense(self) -> np.ndarray:
+        """Dense (num_users, num_items) rating array — small matrices only."""
+        dense = np.zeros((self.num_users, self.num_items))
+        dense[self._users, self._items] = self._ratings
+        return dense
+
+    @classmethod
+    def from_records(
+        cls,
+        num_users: int,
+        num_items: int,
+        records: list[tuple[int, int, float, float]],
+    ) -> "RatingMatrix":
+        """Build from (user, item, rating, timestamp) tuples."""
+        if records:
+            users, items, ratings, timestamps = map(np.array, zip(*records))
+        else:
+            users = items = np.array([], dtype=np.int64)
+            ratings = timestamps = np.array([], dtype=np.float64)
+        return cls(num_users, num_items, users, items, ratings, timestamps)

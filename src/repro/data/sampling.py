@@ -1,0 +1,104 @@
+"""Experiment sampling schemes (§V-A, "User and Item Sampling").
+
+- user-centric: 100 male + 100 female users, preserving the rating-count
+  distribution within each gender bucket (stratified by activity decile);
+- item-centric: 100 items, split between the 50 most and 50 least popular.
+
+Both are parameterized by count so CI-scale configs can shrink them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sample_users_balanced(
+    user_gender: np.ndarray,
+    user_activity: np.ndarray,
+    per_gender: int,
+    rng: np.random.Generator,
+) -> list[int]:
+    """Sample ``per_gender`` male and female users, activity-stratified.
+
+    Within each gender the user pool is split into activity deciles and
+    sampled proportionally, which "preserv[es] the original rating
+    distribution to reduce bias" as the paper describes.
+    """
+    if len(user_gender) != len(user_activity):
+        raise ValueError("gender and activity arrays must align")
+    selected: list[int] = []
+    for gender in ("M", "F"):
+        pool = np.flatnonzero(user_gender == gender)
+        if len(pool) == 0:
+            continue
+        take = min(per_gender, len(pool))
+        selected.extend(
+            _stratified_by_activity(pool, user_activity[pool], take, rng)
+        )
+    return sorted(selected)
+
+
+def _stratified_by_activity(
+    pool: np.ndarray,
+    activity: np.ndarray,
+    take: int,
+    rng: np.random.Generator,
+) -> list[int]:
+    """Proportional sampling from activity deciles of ``pool``."""
+    if take >= len(pool):
+        return [int(u) for u in pool]
+    order = np.argsort(activity, kind="stable")
+    sorted_pool = pool[order]
+    num_strata = min(10, len(pool))
+    strata = np.array_split(sorted_pool, num_strata)
+    quotas = _proportional_quotas(
+        [len(s) for s in strata], take
+    )
+    chosen: list[int] = []
+    for stratum, quota in zip(strata, quotas):
+        if quota == 0:
+            continue
+        picks = rng.choice(len(stratum), size=quota, replace=False)
+        chosen.extend(int(stratum[p]) for p in picks)
+    return chosen
+
+
+def _proportional_quotas(sizes: list[int], total: int) -> list[int]:
+    """Largest-remainder apportionment of ``total`` across strata."""
+    weight_sum = sum(sizes)
+    raw = [total * size / weight_sum for size in sizes]
+    quotas = [min(int(r), size) for r, size in zip(raw, sizes)]
+    remainders = sorted(
+        range(len(sizes)),
+        key=lambda i: raw[i] - int(raw[i]),
+        reverse=True,
+    )
+    shortfall = total - sum(quotas)
+    for index in remainders:
+        if shortfall == 0:
+            break
+        if quotas[index] < sizes[index]:
+            quotas[index] += 1
+            shortfall -= 1
+    return quotas
+
+
+def sample_items_by_popularity(
+    item_popularity: np.ndarray,
+    per_bucket: int,
+    min_ratings: int = 1,
+) -> tuple[list[int], list[int]]:
+    """The paper's item sample: top-N most and bottom-N least popular items.
+
+    Items with fewer than ``min_ratings`` ratings are excluded from the
+    "least popular" bucket (a never-rated item can't be recommended, let
+    alone explained). Returns ``(popular, unpopular)`` index lists.
+    """
+    eligible = np.flatnonzero(item_popularity >= min_ratings)
+    if len(eligible) == 0:
+        raise ValueError("no items meet the min_ratings threshold")
+    order = eligible[np.argsort(item_popularity[eligible], kind="stable")]
+    take = min(per_bucket, len(order) // 2 or 1)
+    unpopular = [int(i) for i in order[:take]]
+    popular = [int(i) for i in order[-take:]]
+    return popular, unpopular

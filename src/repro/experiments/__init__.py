@@ -1,0 +1,14 @@
+"""Experiment harness: everything needed to regenerate the paper's tables
+and figures (see DESIGN.md §4 for the experiment index).
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workbench import Workbench
+from repro.experiments.report import format_series_table, format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "Workbench",
+    "format_series_table",
+    "format_table",
+]

@@ -1,0 +1,103 @@
+"""Explanation-fairness slicing (paper §VII future work, plus Fig 17).
+
+Slices any static metric across user-demographic groups and
+item-popularity buckets, reporting per-group means and the max pairwise
+gap — the quantity a fairness audit of explanation quality cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.core.scenarios import Scenario
+from repro.experiments.workbench import Workbench
+from repro.metrics import (
+    actionability,
+    comprehensibility,
+    diversity,
+    privacy,
+    redundancy,
+)
+
+_METRICS = {
+    "comprehensibility": comprehensibility,
+    "actionability": actionability,
+    "diversity": diversity,
+    "redundancy": redundancy,
+    "privacy": privacy,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class FairnessReport:
+    """Per-group metric means and the largest between-group gap."""
+
+    metric: str
+    group_means: dict[str, float]
+    max_gap: float
+
+    @property
+    def groups(self) -> list[str]:
+        """Group labels present in the report."""
+        return sorted(self.group_means)
+
+
+def user_fairness(
+    bench: Workbench,
+    recommender: str,
+    metric: str,
+    method_label: str,
+    k: int | None = None,
+) -> FairnessReport:
+    """Slice a user-centric metric by the user's gender attribute."""
+    scorer = _METRICS[metric]
+    k = k or bench.config.k_max
+    gender = bench.dataset.user_gender
+    buckets: dict[str, list[float]] = {}
+    for subject in bench.tasks(Scenario.USER_CENTRIC, recommender, k):
+        explanation = bench.explanation(
+            method_label, Scenario.USER_CENTRIC, recommender, k, subject
+        )
+        if explanation is None:
+            continue
+        group = str(gender[int(subject.split(":")[1])])
+        buckets.setdefault(group, []).append(scorer(explanation))
+    return _report(metric, buckets)
+
+
+def item_fairness(
+    bench: Workbench,
+    recommender: str,
+    metric: str,
+    method_label: str,
+    k: int | None = None,
+) -> FairnessReport:
+    """Slice an item-centric metric by item popularity bucket (Fig 17)."""
+    scorer = _METRICS[metric]
+    k = k or bench.config.k_max
+    popular, unpopular = bench.sampled_items
+    membership = {i: "popular" for i in popular}
+    membership.update({i: "unpopular" for i in unpopular})
+    buckets: dict[str, list[float]] = {}
+    for subject in bench.tasks(Scenario.ITEM_CENTRIC, recommender, k):
+        group = membership.get(subject)
+        if group is None:
+            continue
+        explanation = bench.explanation(
+            method_label, Scenario.ITEM_CENTRIC, recommender, k, subject
+        )
+        if explanation is None:
+            continue
+        buckets.setdefault(group, []).append(scorer(explanation))
+    return _report(metric, buckets)
+
+
+def _report(metric: str, buckets: dict[str, list[float]]) -> FairnessReport:
+    means = {group: mean(values) for group, values in buckets.items() if values}
+    if len(means) < 2:
+        gap = 0.0
+    else:
+        ordered = sorted(means.values())
+        gap = ordered[-1] - ordered[0]
+    return FairnessReport(metric=metric, group_means=means, max_gap=gap)

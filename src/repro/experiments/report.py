@@ -1,0 +1,64 @@
+"""ASCII reporting helpers: the benches print the same rows/series the
+paper's figures plot, in a grep-friendly fixed-width format.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Fixed-width table with a title rule."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in cells))
+        if cells
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * len(widths))]
+    lines.append(
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(value.ljust(w) for value, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series_table(
+    title: str,
+    series: Mapping[str, Mapping[object, float]],
+    x_label: str = "k",
+) -> str:
+    """Series table: one row per x value, one column per series.
+
+    ``series`` maps a legend label (e.g. "ST λ=1") to an {x: y} mapping —
+    the exact structure :mod:`repro.experiments.figures` produces.
+    """
+    labels = list(series)
+    xs = sorted({x for values in series.values() for x in values},
+                key=lambda v: (isinstance(v, str), v))
+    headers = [x_label, *labels]
+    rows = []
+    for x in xs:
+        row: list[object] = [x]
+        for label in labels:
+            value = series[label].get(x)
+            row.append("-" if value is None else value)
+        rows.append(row)
+    return format_table(title, headers, rows)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,188 @@
+"""Generic experiment runner: execute any set of experiments by id.
+
+This is the programmatic mirror of the CLI — useful for scripted runs
+("regenerate figures 2, 4 and the user study at test scale and give me
+the reports as strings") and for the integration tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_series_table, format_table
+from repro.experiments.tables import table1_example, table2, table3
+from repro.experiments.user_study import simulate_user_study
+from repro.experiments.workbench import Workbench
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentResult:
+    """One regenerated experiment."""
+
+    experiment_id: str
+    report: str
+    data: object
+
+
+def available_experiments() -> list[str]:
+    """All experiment ids the runner accepts."""
+    return [
+        "table1",
+        "table2",
+        "table3",
+        *(f"fig{n}" for n in range(2, 18)),
+        "userstudy",
+    ]
+
+
+def run_experiment(
+    experiment_id: str, config: ExperimentConfig | None = None
+) -> ExperimentResult:
+    """Regenerate one experiment and return its printable report."""
+    config = config or ExperimentConfig.ci_scale()
+    handler = _HANDLERS.get(experiment_id)
+    if handler is None:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; see "
+            "available_experiments()"
+        )
+    report, data = handler(config)
+    return ExperimentResult(
+        experiment_id=experiment_id, report=report, data=data
+    )
+
+
+def run_experiments(
+    experiment_ids: Iterable[str],
+    config: ExperimentConfig | None = None,
+) -> list[ExperimentResult]:
+    """Run several experiments against one shared configuration."""
+    config = config or ExperimentConfig.ci_scale()
+    return [run_experiment(eid, config) for eid in experiment_ids]
+
+
+# ----------------------------------------------------------------------
+def _render_panels(title: str, panels) -> str:
+    return "\n\n".join(
+        format_series_table(f"{title} [{panel}]", series)
+        for panel, series in panels.items()
+    )
+
+
+def _table1(_config) -> tuple[str, object]:
+    result = table1_example()
+    report = format_table(
+        "Table I",
+        ["quantity", "value"],
+        [
+            ["total path edges", result.total_path_edges],
+            ["summary edges", result.summary_edges],
+        ],
+    )
+    return report + "\nSummary: " + result.summary_sentence, result
+
+
+def _table2(config) -> tuple[str, object]:
+    stats = table2(config, approx_pairs=32)
+    report = format_table(
+        "Table II",
+        ["property", "value"],
+        [
+            ["nodes", stats.num_nodes],
+            ["edges", stats.num_edges],
+            ["average degree", stats.average_degree],
+            ["average path length", stats.average_path_length],
+            ["diameter", stats.diameter],
+        ],
+    )
+    return report, stats
+
+
+def _table3(_config) -> tuple[str, object]:
+    rows = table3(scale=0.01)
+    report = format_table(
+        "Table III",
+        ["graph", "nodes", "edges"],
+        [
+            [f"G{i}", stats.num_nodes, stats.num_edges]
+            for i, (_spec, stats) in enumerate(rows, start=1)
+        ],
+    )
+    return report, rows
+
+
+def _figure(builder: Callable, title: str, needs_lfm: bool = False):
+    def handler(config: ExperimentConfig) -> tuple[str, object]:
+        """Regenerate this figure against the shared config."""
+        if needs_lfm:
+            config = config.with_dataset("lfm1m")
+        bench = Workbench.get(config)
+        panels = builder(bench)
+        return _render_panels(title, panels), panels
+
+    return handler
+
+
+def _fig9(config) -> tuple[str, object]:
+    bench = Workbench.get(config)
+    results = figures.figure9(bench)
+    flat = {
+        f"{scenario} {side}": series
+        for scenario, sides in results.items()
+        for side, series in sides.items()
+    }
+    return _render_panels("Fig 9", flat), results
+
+
+def _fig11(_config) -> tuple[str, object]:
+    panels = figures.figure11(scale=0.01, k=5, group_size=8)
+    return _render_panels("Fig 11", panels), panels
+
+
+def _fig16(config) -> tuple[str, object]:
+    panels = figures.figure16(config)
+    return _render_panels("Fig 16", panels), panels
+
+
+def _userstudy(config) -> tuple[str, object]:
+    bench = Workbench.get(config)
+    result = simulate_user_study(bench)
+    report = format_table(
+        "User study (simulated)",
+        ["quantity", "value"],
+        [
+            ["preference for summaries", f"{result.preference_share:.2%}"],
+            *[
+                [f"usefulness: {metric}", f"{rating:.2f}"]
+                for metric, rating in result.metric_ratings.items()
+            ],
+        ],
+    )
+    return report, result
+
+
+_HANDLERS: dict[str, Callable] = {
+    "table1": _table1,
+    "table2": _table2,
+    "table3": _table3,
+    "fig2": _figure(figures.figure2, "Fig 2"),
+    "fig3": _figure(figures.figure3, "Fig 3"),
+    "fig4": _figure(figures.figure4, "Fig 4"),
+    "fig5": _figure(figures.figure5, "Fig 5"),
+    "fig6": _figure(figures.figure6, "Fig 6"),
+    "fig7": _figure(figures.figure7, "Fig 7"),
+    "fig8": _figure(figures.figure8, "Fig 8"),
+    "fig9": _fig9,
+    "fig10": _figure(figures.figure10, "Fig 10"),
+    "fig11": _fig11,
+    "fig12": _figure(figures.figure12, "Fig 12"),
+    "fig13": _figure(figures.figure13, "Fig 13"),
+    "fig14": _figure(figures.figure14, "Fig 14", needs_lfm=True),
+    "fig15": _figure(figures.figure15, "Fig 15", needs_lfm=True),
+    "fig16": _fig16,
+    "fig17": _figure(figures.figure17, "Fig 17"),
+    "userstudy": _userstudy,
+}

@@ -1,0 +1,339 @@
+"""The experiment workbench: build once, reuse everywhere.
+
+Every figure bench needs the same expensive artifacts — dataset, knowledge
+graph, fitted recommenders, sampled users/items, top-k recommendations and
+the summaries themselves. :class:`Workbench` builds each lazily and caches
+it; :meth:`Workbench.get` memoizes whole workbenches per configuration so
+the eight metric figures share one set of summaries within a pytest
+session.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.explanation import (
+    Explanation,
+    PathSetExplanation,
+    SubgraphExplanation,
+)
+from repro.core.scenarios import (
+    Scenario,
+    SummaryTask,
+    item_centric_task,
+    item_group_task,
+    user_centric_task,
+    user_group_task,
+)
+from repro.core.summarizer import Summarizer
+from repro.data.dbpedia import ExternalSchema, attach_external_knowledge
+from repro.data.lastfm import LastFMSpec, generate_lfm1m_like
+from repro.data.movielens import MovieLensSpec, generate_ml1m_like
+from repro.data.sampling import (
+    sample_items_by_popularity,
+    sample_users_balanced,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.graph.build import build_interaction_graph
+from repro.graph.weights import InteractionWeights
+from repro.recommenders.base import (
+    Recommendation,
+    RecommendationList,
+    invert_recommendations,
+)
+from repro.recommenders.registry import make_recommender
+
+_WORKBENCH_CACHE: dict[tuple, "Workbench"] = {}
+
+#: Method labels used across figures; "baseline" is the raw path set.
+BASELINE = "baseline"
+
+
+def st_label(lam: float) -> str:
+    """Figure legend label for one ST λ setting."""
+    return f"ST λ={lam:g}"
+
+
+class Workbench:
+    """Lazily-built shared experimental state for one configuration."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+        self._recommenders: dict[str, object] = {}
+        self._recommendations: dict[str, dict[str, RecommendationList]] = {}
+        self._by_item: dict[tuple[str, int], dict[str, list[Recommendation]]] = {}
+        self._summaries: dict[tuple, SubgraphExplanation] = {}
+        self._summarizers: dict[str, Summarizer] = {}
+
+    @classmethod
+    def get(cls, config: ExperimentConfig) -> "Workbench":
+        """Memoized workbench per configuration."""
+        key = config.cache_key()
+        bench = _WORKBENCH_CACHE.get(key)
+        if bench is None:
+            bench = cls(config)
+            _WORKBENCH_CACHE[key] = bench
+        return bench
+
+    @classmethod
+    def clear_cache(cls) -> None:
+        """Drop all memoized workbenches (tests only)."""
+        _WORKBENCH_CACHE.clear()
+
+    # ------------------------------------------------------------------
+    # Dataset and graph
+    # ------------------------------------------------------------------
+    @cached_property
+    def dataset(self):
+        """ML1M- or LFM1M-shaped dataset bundle."""
+        if self.config.dataset == "ml1m":
+            return generate_ml1m_like(
+                MovieLensSpec(
+                    scale=self.config.dataset_scale, seed=self.config.seed
+                )
+            )
+        return generate_lfm1m_like(
+            LastFMSpec(scale=self.config.dataset_scale, seed=self.config.seed)
+        )
+
+    @cached_property
+    def interaction_weights(self) -> InteractionWeights:
+        """The w_M weight function for this config."""
+        return InteractionWeights(
+            beta_rating=self.config.beta_rating,
+            beta_recency=self.config.beta_recency,
+            gamma=self.config.recency_gamma,
+            now=self.dataset.ratings.max_timestamp,
+        )
+
+    @cached_property
+    def graph(self):
+        """The knowledge-based graph G (interactions + external layer)."""
+        kg = build_interaction_graph(
+            self.dataset.ratings, weights=self.interaction_weights
+        )
+        schema = (
+            ExternalSchema.movies()
+            if self.config.dataset == "ml1m"
+            else ExternalSchema.music()
+        )
+        rng = np.random.default_rng(self.config.seed + 1)
+        return attach_external_knowledge(kg, schema, rng)
+
+    # ------------------------------------------------------------------
+    # Sampling (§V-A)
+    # ------------------------------------------------------------------
+    @cached_property
+    def sampled_users(self) -> list[str]:
+        """Gender-balanced, activity-stratified user sample."""
+        rng = np.random.default_rng(self.config.seed + 2)
+        indices = sample_users_balanced(
+            self.dataset.user_gender,
+            self.dataset.ratings.user_activity(),
+            per_gender=self.config.users_per_gender,
+            rng=rng,
+        )
+        return [f"u:{i}" for i in indices]
+
+    @cached_property
+    def eval_users(self) -> list[str]:
+        """The per-user evaluation subset (capped sample)."""
+        return self.sampled_users[: self.config.eval_users]
+
+    @cached_property
+    def sampled_items(self) -> tuple[list[str], list[str]]:
+        """(popular, unpopular) item samples."""
+        popular, unpopular = sample_items_by_popularity(
+            self.dataset.ratings.item_popularity(),
+            per_bucket=self.config.items_per_bucket,
+        )
+        return (
+            [f"i:{i}" for i in popular],
+            [f"i:{i}" for i in unpopular],
+        )
+
+    @cached_property
+    def user_groups(self) -> dict[str, list[str]]:
+        """Named user groups (by gender, per the paper's sampling)."""
+        gender = self.dataset.user_gender
+        males = [
+            u
+            for u in self.sampled_users
+            if gender[int(u.split(":")[1])] == "M"
+        ][: self.config.group_size]
+        females = [
+            u
+            for u in self.sampled_users
+            if gender[int(u.split(":")[1])] == "F"
+        ][: self.config.group_size]
+        groups = {}
+        if males:
+            groups["male"] = males
+        if females:
+            groups["female"] = females
+        return groups
+
+    @cached_property
+    def item_groups(self) -> dict[str, list[str]]:
+        """Named item groups (popularity buckets)."""
+        popular, unpopular = self.sampled_items
+        return {
+            "popular": popular[: self.config.group_size],
+            "unpopular": unpopular[: self.config.group_size],
+        }
+
+    # ------------------------------------------------------------------
+    # Recommendations
+    # ------------------------------------------------------------------
+    def recommender(self, name: str):
+        """Fitted recommender by paper name (PGPR/CAFE/PLM/PEARLM/...)."""
+        rec = self._recommenders.get(name)
+        if rec is None:
+            rec = make_recommender(name, seed=self.config.seed + 3)
+            rec.fit(self.graph, self.dataset.ratings)
+            self._recommenders[name] = rec
+        return rec
+
+    def recommendations(self, name: str) -> dict[str, RecommendationList]:
+        """Top-``k_max`` lists for every sampled user (cached)."""
+        cached = self._recommendations.get(name)
+        if cached is None:
+            rec = self.recommender(name)
+            cached = rec.recommend_many(self.sampled_users, self.config.k_max)
+            self._recommendations[name] = cached
+        return cached
+
+    def recommendations_by_item(
+        self, name: str, k: int
+    ) -> dict[str, list[Recommendation]]:
+        """``C_i``/``E_i`` inputs: top-k recommendations grouped by item."""
+        key = (name, k)
+        cached = self._by_item.get(key)
+        if cached is None:
+            cached = invert_recommendations(self.recommendations(name), k)
+            self._by_item[key] = cached
+        return cached
+
+    def eval_items_for(self, name: str) -> list[str]:
+        """Items with a non-trivial ``C_i`` under recommender ``name``.
+
+        Prefers the popularity-sampled items that actually received
+        recommendations; falls back to the most-recommended items so the
+        item-centric panels are never empty.
+        """
+        by_item = self.recommendations_by_item(name, self.config.k_max)
+        popular, unpopular = self.sampled_items
+        chosen = [
+            i for i in (*popular, *unpopular) if len(by_item.get(i, ())) >= 1
+        ]
+        if len(chosen) < self.config.eval_items:
+            extras = sorted(
+                (i for i in by_item if i not in set(chosen)),
+                key=lambda i: -len(by_item[i]),
+            )
+            chosen.extend(extras[: self.config.eval_items - len(chosen)])
+        return chosen[: self.config.eval_items]
+
+    # ------------------------------------------------------------------
+    # Tasks
+    # ------------------------------------------------------------------
+    def tasks(
+        self, scenario: Scenario, name: str, k: int
+    ) -> dict[str, SummaryTask]:
+        """subject-id -> task, for every subject of ``scenario``."""
+        if scenario is Scenario.USER_CENTRIC:
+            per_user = self.recommendations(name)
+            return {
+                user: user_centric_task(per_user[user], k)
+                for user in self.eval_users
+                if len(per_user[user]) >= 1
+            }
+        if scenario is Scenario.ITEM_CENTRIC:
+            by_item = self.recommendations_by_item(name, k)
+            tasks = {}
+            for item in self.eval_items_for(name):
+                recs = by_item.get(item)
+                if recs:
+                    tasks[item] = item_centric_task(item, recs)
+            return tasks
+        if scenario is Scenario.USER_GROUP:
+            per_user = self.recommendations(name)
+            return {
+                label: user_group_task(group, per_user, k)
+                for label, group in self.user_groups.items()
+            }
+        if scenario is Scenario.ITEM_GROUP:
+            by_item = self.recommendations_by_item(name, k)
+            tasks = {}
+            for label, group in self.item_groups.items():
+                present = [i for i in group if by_item.get(i)]
+                if present:
+                    tasks[label] = item_group_task(present, by_item)
+            return tasks
+        raise ValueError(f"unhandled scenario {scenario}")
+
+    # ------------------------------------------------------------------
+    # Explanations (baselines + summaries), cached
+    # ------------------------------------------------------------------
+    def method_labels(self, include_baseline: bool = True) -> list[str]:
+        """Figure legend order: baseline, ST per λ, PCST."""
+        labels = [BASELINE] if include_baseline else []
+        labels.extend(st_label(lam) for lam in self.config.lambdas)
+        labels.append("PCST")
+        return labels
+
+    def summarizer(self, label: str) -> Summarizer:
+        """Method label -> configured summarizer (cached)."""
+        summarizer = self._summarizers.get(label)
+        if summarizer is None:
+            if label.startswith("ST"):
+                lam = float(label.split("=")[1])
+                summarizer = Summarizer(
+                    self.graph,
+                    method="ST",
+                    lam=lam,
+                    weight_influence=self.config.weight_influence,
+                )
+            elif label == "PCST":
+                summarizer = Summarizer(self.graph, method="PCST")
+            elif label == "Union":
+                summarizer = Summarizer(self.graph, method="Union")
+            else:
+                raise ValueError(f"unknown method label {label!r}")
+            self._summarizers[label] = summarizer
+        return summarizer
+
+    def explanation(
+        self,
+        label: str,
+        scenario: Scenario,
+        name: str,
+        k: int,
+        subject: str,
+    ) -> Explanation | None:
+        """One explanation (baseline path set or cached summary)."""
+        task = self.tasks(scenario, name, k).get(subject)
+        if task is None:
+            return None
+        if label == BASELINE:
+            return PathSetExplanation(paths=task.paths, method=name)
+        key = (label, scenario, name, k, subject)
+        cached = self._summaries.get(key)
+        if cached is None:
+            cached = self.summarizer(label).summarize(task)
+            self._summaries[key] = cached
+        return cached
+
+    def explanations(
+        self, label: str, scenario: Scenario, name: str, k: int
+    ) -> list[Explanation]:
+        """All subjects' explanations for one (method, scenario, k) cell."""
+        subjects = self.tasks(scenario, name, k)
+        results = []
+        for subject in subjects:
+            explanation = self.explanation(label, scenario, name, k, subject)
+            if explanation is not None:
+                results.append(explanation)
+        return results

@@ -1,0 +1,69 @@
+"""Graph substrate: typed knowledge graphs and the algorithms used by the
+summarizers (Dijkstra, MST, Steiner Tree, Prize-Collecting Steiner Tree).
+
+Everything here is implemented from scratch on plain Python data structures;
+``networkx`` is used only in the test suite as an oracle.
+"""
+
+from repro.graph.types import Edge, EdgeType, Node, NodeType
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.paths import Path
+from repro.graph.disjoint_set import DisjointSet
+from repro.graph.heap import AddressableHeap
+from repro.graph.shortest_paths import (
+    bfs_shortest_path,
+    dijkstra,
+    dijkstra_multi_source,
+    shortest_path_between,
+)
+from repro.graph.mst import kruskal_mst, prim_mst
+from repro.graph.steiner import steiner_tree
+from repro.graph.pcst import grow_prune_pcst, paper_pcst
+from repro.graph.subgraph import (
+    induced_subgraph,
+    is_weakly_connected,
+    weakly_connected_components,
+)
+from repro.graph.build import build_interaction_graph, extend_with_external
+from repro.graph.weights import InteractionWeights, recency_score
+from repro.graph.generators import generate_random_kg
+from repro.graph.mehlhorn import mehlhorn_steiner_tree
+from repro.graph.centrality import (
+    closeness_centrality,
+    degree_centrality,
+    harmonic_centrality,
+    pagerank,
+)
+
+__all__ = [
+    "AddressableHeap",
+    "DisjointSet",
+    "Edge",
+    "EdgeType",
+    "InteractionWeights",
+    "KnowledgeGraph",
+    "Node",
+    "NodeType",
+    "Path",
+    "bfs_shortest_path",
+    "build_interaction_graph",
+    "closeness_centrality",
+    "degree_centrality",
+    "harmonic_centrality",
+    "mehlhorn_steiner_tree",
+    "pagerank",
+    "dijkstra",
+    "dijkstra_multi_source",
+    "extend_with_external",
+    "generate_random_kg",
+    "grow_prune_pcst",
+    "induced_subgraph",
+    "is_weakly_connected",
+    "kruskal_mst",
+    "paper_pcst",
+    "prim_mst",
+    "recency_score",
+    "shortest_path_between",
+    "steiner_tree",
+    "weakly_connected_components",
+]

@@ -1,0 +1,77 @@
+"""Building the knowledge-based graph from a rating matrix (§III).
+
+``build_interaction_graph`` constructs ``G_M`` (users, items, weighted
+interaction edges); ``extend_with_external`` adds the ``V_A``/``E_A``
+knowledge layer produced by :mod:`repro.data.dbpedia`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.types import item_id, user_id
+from repro.graph.weights import InteractionWeights
+
+
+def build_interaction_graph(
+    ratings,
+    weights: InteractionWeights | None = None,
+) -> KnowledgeGraph:
+    """Build ``G_M`` from a :class:`repro.data.ratings.RatingMatrix`.
+
+    Each positive rating ``M[u, i] = (r, t)`` becomes one weighted edge
+    ``w_M(u, i) = β1·r + β2·f(t)``.
+    """
+    if weights is None:
+        weights = InteractionWeights.rating_only()
+        if ratings.num_ratings:
+            weights = InteractionWeights(
+                beta_rating=1.0,
+                beta_recency=0.0,
+                now=ratings.max_timestamp,
+            )
+    graph = KnowledgeGraph()
+    for user in range(ratings.num_users):
+        graph.add_node(user_id(user))
+    for item in range(ratings.num_items):
+        graph.add_node(item_id(item))
+    for user, item, rating, timestamp in ratings.iter_ratings():
+        graph.add_edge(
+            user_id(user),
+            item_id(item),
+            weights.weight(rating, timestamp),
+        )
+    return graph
+
+
+def extend_with_external(
+    graph: KnowledgeGraph,
+    links: Iterable[tuple[str, str, str]],
+    external_weight: float = 0.0,
+    names: dict[str, str] | None = None,
+) -> KnowledgeGraph:
+    """Attach external-knowledge nodes/edges to ``G_M`` in place.
+
+    Parameters
+    ----------
+    graph:
+        The interaction graph ``G_M`` (mutated and returned).
+    links:
+        ``(node_id, external_id, relation)`` triples; ``node_id`` is a
+        user or item already in the graph.
+    external_weight:
+        ``w_A`` — the paper's experiments use 0 everywhere ("we set
+        w_A = 0 [16], [17], [21]").
+    names:
+        Optional display names for the external entities.
+    """
+    for node, external, relation in links:
+        if node not in graph:
+            raise KeyError(f"link endpoint {node!r} is not in the graph")
+        graph.add_edge(node, external, external_weight, relation)
+    if names:
+        for node_id, name in names.items():
+            if node_id in graph:
+                graph.set_name(node_id, name)
+    return graph

@@ -1,0 +1,91 @@
+"""Union-find (disjoint set) with union by rank and path compression.
+
+Used by Kruskal's MST and by the prize-collecting Steiner tree growth phase
+(the paper's Algorithm 2 keeps a disjoint set ``D`` of partially built
+components).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from typing import TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class DisjointSet:
+    """Disjoint-set forest over arbitrary hashable elements.
+
+    Elements are registered lazily: :meth:`find` and :meth:`union` auto-create
+    singleton sets for unseen elements, matching the ``make_set`` loop in the
+    paper's Algorithm 2 without requiring an upfront universe.
+    """
+
+    def __init__(self, elements: Iterable[T] = ()) -> None:
+        self._parent: dict[T, T] = {}
+        self._rank: dict[T, int] = {}
+        self._size: dict[T, int] = {}
+        self._num_sets = 0
+        for element in elements:
+            self.make_set(element)
+
+    def __len__(self) -> int:
+        """Number of registered elements."""
+        return len(self._parent)
+
+    def __contains__(self, element: T) -> bool:
+        return element in self._parent
+
+    @property
+    def num_sets(self) -> int:
+        """Current number of disjoint sets."""
+        return self._num_sets
+
+    def make_set(self, element: T) -> None:
+        """Register ``element`` as a singleton set (no-op if present)."""
+        if element in self._parent:
+            return
+        self._parent[element] = element
+        self._rank[element] = 0
+        self._size[element] = 1
+        self._num_sets += 1
+
+    def find(self, element: T) -> T:
+        """Return the canonical representative of ``element``'s set."""
+        self.make_set(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression: point every node on the walk directly at root.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def connected(self, a: T, b: T) -> bool:
+        """True if ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def union(self, a: T, b: T) -> bool:
+        """Merge the sets of ``a`` and ``b``; return False if already merged."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+        self._num_sets -= 1
+        return True
+
+    def set_size(self, element: T) -> int:
+        """Number of elements in ``element``'s set."""
+        return self._size[self.find(element)]
+
+    def sets(self) -> list[set[T]]:
+        """Materialize all sets (for inspection/testing; O(n))."""
+        groups: dict[T, set[T]] = {}
+        for element in self._parent:
+            groups.setdefault(self.find(element), set()).add(element)
+        return list(groups.values())

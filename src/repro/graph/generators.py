@@ -1,0 +1,160 @@
+"""Random typed knowledge-graph generator (paper Table III).
+
+The scalability study (Fig 11) uses synthetic graphs whose user/item/
+external proportions and degrees mirror the ML1M graph. The paper's split
+is ~30.4% users / 19.6% items / 54.5% external (scaled to 10k..30k nodes)
+with ~56 edges per node; we reproduce those ratios and attach edges with
+preferential popularity so degree distributions are skewed like real data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.types import external_id, item_id, user_id
+
+# Node-population fractions taken from Table III (e.g. G1: 3,043 users /
+# 1,956 items / 5,452 external of 10,000 nodes; constant across G1..G5).
+USER_FRACTION = 0.3043
+ITEM_FRACTION = 0.1956
+EDGES_PER_NODE = 55.97  # Table III: 559,734 edges / 10,000 nodes
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticSpec:
+    """Size recipe for one synthetic graph."""
+
+    total_nodes: int
+    edges_per_node: float = EDGES_PER_NODE
+    interaction_share: float = 0.83  # ML1M: 932,293 of 1,125,631 edges
+
+    @property
+    def num_users(self) -> int:
+        """Number of users at this scale."""
+        return round(self.total_nodes * USER_FRACTION)
+
+    @property
+    def num_items(self) -> int:
+        """Number of items at this scale."""
+        return round(self.total_nodes * ITEM_FRACTION)
+
+    @property
+    def num_external(self) -> int:
+        """Number of external entities at this scale."""
+        return self.total_nodes - self.num_users - self.num_items
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return round(self.total_nodes * self.edges_per_node)
+
+
+def table3_specs(scale: float = 1.0) -> list[SyntheticSpec]:
+    """The five Table III graph sizes (10k..30k nodes), scaled by ``scale``.
+
+    ``scale < 1`` shrinks node counts and edges proportionally so CI-speed
+    runs keep the same five-point sweep shape.
+    """
+    sizes = [10_000, 15_000, 20_000, 25_000, 30_000]
+    return [
+        SyntheticSpec(max(30, round(size * scale)))
+        for size in sizes
+    ]
+
+
+def generate_random_kg(
+    spec: SyntheticSpec, rng: np.random.Generator
+) -> KnowledgeGraph:
+    """Sample a random KG matching ``spec``.
+
+    Interaction edges connect users to items with Zipf-ish item popularity;
+    knowledge edges connect items (and a few users) to external entities
+    with Zipf-ish entity popularity. Edge weights for interactions are
+    ratings in {1..5}; knowledge edges carry weight 0 per the paper.
+    """
+    graph = KnowledgeGraph()
+    users = [user_id(i) for i in range(spec.num_users)]
+    items = [item_id(i) for i in range(spec.num_items)]
+    externals = [external_id("syn", i) for i in range(spec.num_external)]
+    for node in (*users, *items, *externals):
+        graph.add_node(node)
+
+    item_pop = _zipf_probabilities(len(items), exponent=0.9, rng=rng)
+    ext_pop = _zipf_probabilities(len(externals), exponent=1.0, rng=rng)
+
+    num_interactions = round(spec.num_edges * spec.interaction_share)
+    num_knowledge = spec.num_edges - num_interactions
+
+    user_picks = rng.integers(0, len(users), size=num_interactions)
+    item_picks = rng.choice(len(items), size=num_interactions, p=item_pop)
+    ratings = rng.integers(1, 6, size=num_interactions)
+    for u, i, r in zip(user_picks, item_picks, ratings):
+        graph.add_edge(users[int(u)], items[int(i)], float(r))
+
+    source_items = rng.choice(len(items), size=num_knowledge, p=item_pop)
+    targets = rng.choice(len(externals), size=num_knowledge, p=ext_pop)
+    for i, e in zip(source_items, targets):
+        graph.add_edge(items[int(i)], externals[int(e)], 0.0, "syn")
+    return graph
+
+
+def random_three_hop_paths(
+    graph: KnowledgeGraph,
+    users: list[str],
+    paths_per_user: int,
+    rng: np.random.Generator,
+    max_tries: int = 40,
+):
+    """Random user->item paths of exactly 3 hops, as Fig 11's workload.
+
+    ("We test our algorithms on synthetic paths connecting users to items
+    via random paths of length 3 as in the baselines.")
+    """
+    from repro.graph.paths import Path
+    from repro.graph.types import NodeType
+
+    paths: list[Path] = []
+    for user in users:
+        found = 0
+        tries = 0
+        seen: set[tuple[str, ...]] = set()
+        while found < paths_per_user and tries < max_tries * paths_per_user:
+            tries += 1
+            walk = _random_walk(graph, user, hops=3, rng=rng)
+            if walk is None or tuple(walk) in seen:
+                continue
+            if NodeType.of(walk[-1]) is not NodeType.ITEM:
+                continue
+            seen.add(tuple(walk))
+            paths.append(Path.from_nodes(walk))
+            found += 1
+    return paths
+
+
+def _random_walk(
+    graph: KnowledgeGraph, start: str, hops: int, rng: np.random.Generator
+) -> list[str] | None:
+    walk = [start]
+    for _ in range(hops):
+        neighbors = [
+            n for n in graph.neighbors(walk[-1]) if n not in walk
+        ]
+        if not neighbors:
+            return None
+        walk.append(neighbors[int(rng.integers(0, len(neighbors)))])
+    return walk
+
+
+def _zipf_probabilities(
+    n: int, exponent: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Zipf-like popularity vector with a random permutation of ranks."""
+    if n <= 0:
+        raise ValueError("need at least one element")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    rng.shuffle(weights)
+    return weights / weights.sum()

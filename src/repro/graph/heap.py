@@ -1,0 +1,125 @@
+"""Addressable binary min-heap with decrease-key.
+
+Dijkstra, Prim and the PCST growth loop all need ``decrease_key``; Python's
+``heapq`` does not support it without lazy-deletion bookkeeping, so this is a
+classic array-backed binary heap that tracks each key's slot.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from typing import Generic, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class AddressableHeap(Generic[K]):
+    """Binary min-heap mapping hashable keys to float priorities.
+
+    Supports ``push``, ``pop_min``, ``decrease_key`` (via :meth:`update`),
+    and O(1) priority lookup. Each key may appear at most once.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[float, K]] = []
+        self._slot: dict[K, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._slot
+
+    def priority(self, key: K) -> float:
+        """Current priority of ``key`` (KeyError if absent)."""
+        return self._entries[self._slot[key]][0]
+
+    def push(self, key: K, priority: float) -> None:
+        """Insert ``key``; raises if it is already queued."""
+        if key in self._slot:
+            raise KeyError(f"key {key!r} already in heap")
+        self._entries.append((priority, key))
+        self._slot[key] = len(self._entries) - 1
+        self._sift_up(len(self._entries) - 1)
+
+    def update(self, key: K, priority: float) -> bool:
+        """Insert ``key`` or change its priority.
+
+        Returns True if the key was inserted or its priority changed.
+        Both decrease and increase are supported; Dijkstra only ever
+        decreases.
+        """
+        if key not in self._slot:
+            self.push(key, priority)
+            return True
+        index = self._slot[key]
+        current = self._entries[index][0]
+        if priority == current:
+            return False
+        self._entries[index] = (priority, key)
+        if priority < current:
+            self._sift_up(index)
+        else:
+            self._sift_down(index)
+        return True
+
+    def decrease_if_lower(self, key: K, priority: float) -> bool:
+        """Set ``key``'s priority only if ``priority`` improves on it."""
+        if key in self._slot and self.priority(key) <= priority:
+            return False
+        return self.update(key, priority)
+
+    def pop_min(self) -> tuple[K, float]:
+        """Remove and return ``(key, priority)`` with the smallest priority."""
+        if not self._entries:
+            raise IndexError("pop from empty heap")
+        priority, key = self._entries[0]
+        last = self._entries.pop()
+        del self._slot[key]
+        if self._entries:
+            self._entries[0] = last
+            self._slot[last[1]] = 0
+            self._sift_down(0)
+        return key, priority
+
+    def peek_min(self) -> tuple[K, float]:
+        """Return (but do not remove) the minimum entry."""
+        if not self._entries:
+            raise IndexError("peek at empty heap")
+        priority, key = self._entries[0]
+        return key, priority
+
+    def _sift_up(self, index: int) -> None:
+        entries, slot = self._entries, self._slot
+        entry = entries[index]
+        while index > 0:
+            parent = (index - 1) >> 1
+            if entries[parent][0] <= entry[0]:
+                break
+            entries[index] = entries[parent]
+            slot[entries[index][1]] = index
+            index = parent
+        entries[index] = entry
+        slot[entry[1]] = index
+
+    def _sift_down(self, index: int) -> None:
+        entries, slot = self._entries, self._slot
+        size = len(entries)
+        entry = entries[index]
+        while True:
+            child = 2 * index + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and entries[right][0] < entries[child][0]:
+                child = right
+            if entries[child][0] >= entry[0]:
+                break
+            entries[index] = entries[child]
+            slot[entries[index][1]] = index
+            index = child
+        entries[index] = entry
+        slot[entry[1]] = index

@@ -1,0 +1,134 @@
+"""Serialization: knowledge graphs and path sets to/from JSON and TSV.
+
+A downstream user needs to persist generated graphs, exchange explanation
+paths with other tooling, and reload experiment artifacts. Formats:
+
+- JSON (one document: nodes with names, edges with weight/relation) —
+  lossless round trip;
+- TSV edge list (``source<TAB>target<TAB>weight<TAB>relation``) — for
+  spreadsheet/graph-tool interop, loses node names of isolated nodes;
+- JSON lines for paths (one path per line with provenance).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path as FilePath
+
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.paths import Path
+
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: KnowledgeGraph) -> dict:
+    """Plain-dict form of a graph (JSON-ready)."""
+    return {
+        "version": FORMAT_VERSION,
+        "nodes": [
+            {"id": node, "name": graph.name(node)}
+            if graph.name(node) != node
+            else {"id": node}
+            for node in sorted(graph.nodes())
+        ],
+        "edges": [
+            {
+                "source": edge.source,
+                "target": edge.target,
+                "weight": edge.weight,
+                **({"relation": edge.relation} if edge.relation else {}),
+            }
+            for edge in sorted(
+                graph.edges(), key=lambda e: (e.source, e.target)
+            )
+        ],
+    }
+
+
+def graph_from_dict(payload: dict) -> KnowledgeGraph:
+    """Inverse of :func:`graph_to_dict`."""
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported graph format version {version!r}")
+    graph = KnowledgeGraph()
+    for node in payload.get("nodes", ()):
+        graph.add_node(node["id"], node.get("name", ""))
+    for edge in payload.get("edges", ()):
+        graph.add_edge(
+            edge["source"],
+            edge["target"],
+            float(edge.get("weight", 1.0)),
+            edge.get("relation", ""),
+        )
+    return graph
+
+
+def save_graph_json(graph: KnowledgeGraph, path: str | FilePath) -> None:
+    """Write a lossless JSON dump."""
+    FilePath(path).write_text(json.dumps(graph_to_dict(graph)))
+
+
+def load_graph_json(path: str | FilePath) -> KnowledgeGraph:
+    """Load a :func:`save_graph_json` dump."""
+    return graph_from_dict(json.loads(FilePath(path).read_text()))
+
+
+def save_graph_tsv(graph: KnowledgeGraph, path: str | FilePath) -> None:
+    """Write a TSV edge list (header + one row per undirected edge)."""
+    lines = ["source\ttarget\tweight\trelation"]
+    for edge in sorted(graph.edges(), key=lambda e: (e.source, e.target)):
+        lines.append(
+            f"{edge.source}\t{edge.target}\t{edge.weight}\t{edge.relation}"
+        )
+    FilePath(path).write_text("\n".join(lines) + "\n")
+
+
+def load_graph_tsv(path: str | FilePath) -> KnowledgeGraph:
+    """Load a :func:`save_graph_tsv` edge list."""
+    graph = KnowledgeGraph()
+    lines = FilePath(path).read_text().splitlines()
+    if not lines or lines[0] != "source\ttarget\tweight\trelation":
+        raise ValueError("not a graph TSV (missing header)")
+    for number, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        parts = line.split("\t")
+        if len(parts) != 4:
+            raise ValueError(f"malformed TSV row at line {number}")
+        source, target, weight, relation = parts
+        graph.add_edge(source, target, float(weight), relation)
+    return graph
+
+
+def save_paths_jsonl(paths: list[Path], path: str | FilePath) -> None:
+    """Write explanation paths as JSON lines (nodes + provenance)."""
+    lines = [
+        json.dumps(
+            {
+                "nodes": list(p.nodes),
+                "user": p.user,
+                "item": p.item,
+                "score": p.score,
+            }
+        )
+        for p in paths
+    ]
+    FilePath(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+
+def load_paths_jsonl(path: str | FilePath) -> list[Path]:
+    """Load a :func:`save_paths_jsonl` dump."""
+    paths = []
+    for line in FilePath(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        paths.append(
+            Path(
+                nodes=tuple(record["nodes"]),
+                user=record.get("user", ""),
+                item=record.get("item", ""),
+                score=float(record.get("score", 0.0)),
+            )
+        )
+    return paths

@@ -1,0 +1,254 @@
+"""The knowledge-based graph ``G = (V, E, w)`` of the paper.
+
+The paper defines G as directed (user -> item, item -> external) but all of
+its algorithms — shortest paths for Steiner, the PCST growth, and *weakly*
+connected summary subgraphs — traverse edges in both directions. We therefore
+store a symmetric adjacency (each edge is visible from both endpoints) and
+keep the canonical orientation implicit in the node-type prefixes: an
+interaction edge always means "user rated item" regardless of which endpoint
+is listed first.
+
+Node ids are strings with type prefixes (see :mod:`repro.graph.types`);
+weights live in the adjacency, relations and display names in side tables.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+
+from repro.graph.types import (
+    Edge,
+    EdgeType,
+    GraphStats,
+    NodeType,
+    undirected_key,
+)
+
+
+class KnowledgeGraph:
+    """Weighted typed graph over users, items and external entities.
+
+    The central substrate type: datasets build one, recommenders walk it,
+    summarizers extract trees from it, and metrics interrogate it.
+    """
+
+    def __init__(self) -> None:
+        self._adjacency: dict[str, dict[str, float]] = {}
+        self._relations: dict[tuple[str, str], str] = {}
+        self._names: dict[str, str] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: str, name: str = "") -> None:
+        """Add a node (validating its type prefix); no-op if present."""
+        NodeType.of(node_id)  # raises on malformed ids
+        if node_id not in self._adjacency:
+            self._adjacency[node_id] = {}
+        if name:
+            self._names[node_id] = name
+
+    def add_edge(
+        self,
+        source: str,
+        target: str,
+        weight: float = 1.0,
+        relation: str = "",
+    ) -> None:
+        """Add (or overwrite) the edge between ``source`` and ``target``.
+
+        Endpoint population compatibility is enforced via
+        :meth:`EdgeType.of`, which rejects e.g. user-user edges that the
+        paper's graph model does not contain.
+        """
+        if source == target:
+            raise ValueError(f"self-loop on {source!r} not allowed")
+        EdgeType.of(source, target)  # raises on incompatible populations
+        self.add_node(source)
+        self.add_node(target)
+        if target not in self._adjacency[source]:
+            self._num_edges += 1
+        self._adjacency[source][target] = weight
+        self._adjacency[target][source] = weight
+        if relation:
+            self._relations[undirected_key(source, target)] = relation
+
+    def remove_edge(self, source: str, target: str) -> None:
+        """Remove the edge; KeyError if absent."""
+        del self._adjacency[source][target]
+        del self._adjacency[target][source]
+        self._relations.pop(undirected_key(source, target), None)
+        self._num_edges -= 1
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove a node and all its incident edges; KeyError if absent."""
+        neighbors = list(self._adjacency[node_id])
+        for neighbor in neighbors:
+            self.remove_edge(node_id, neighbor)
+        del self._adjacency[node_id]
+        self._names.pop(node_id, None)
+
+    def set_weight(self, source: str, target: str, weight: float) -> None:
+        """Reassign an existing edge's weight; KeyError if absent."""
+        if target not in self._adjacency.get(source, {}):
+            raise KeyError(f"no edge ({source!r}, {target!r})")
+        self._adjacency[source][target] = weight
+        self._adjacency[target][source] = weight
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return self._num_edges
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def nodes(self) -> Iterator[str]:
+        """Iterate over node ids."""
+        return iter(self._adjacency)
+
+    def nodes_of_type(self, node_type: NodeType) -> Iterator[str]:
+        """Iterate over node ids in one population."""
+        return (n for n in self._adjacency if NodeType.of(n) is node_type)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over each undirected edge exactly once."""
+        for source, neighbors in self._adjacency.items():
+            for target, weight in neighbors.items():
+                if source < target:
+                    yield Edge(
+                        source,
+                        target,
+                        weight,
+                        self._relations.get((source, target), ""),
+                    )
+
+    def neighbors(self, node_id: str) -> dict[str, float]:
+        """Neighbor -> edge weight mapping (read-only by convention)."""
+        return self._adjacency[node_id]
+
+    def has_edge(self, source: str, target: str) -> bool:
+        """True iff the edge exists."""
+        return target in self._adjacency.get(source, {})
+
+    def weight(self, source: str, target: str) -> float:
+        """Weight of the edge; KeyError if absent."""
+        return self._adjacency[source][target]
+
+    def relation(self, source: str, target: str) -> str:
+        """Knowledge predicate of the edge ('' for interactions)."""
+        return self._relations.get(undirected_key(source, target), "")
+
+    def degree(self, node_id: str) -> int:
+        """Number of incident edges."""
+        return len(self._adjacency[node_id])
+
+    def name(self, node_id: str) -> str:
+        """Display name for a node (falls back to the raw id)."""
+        return self._names.get(node_id, node_id)
+
+    def set_name(self, node_id: str, name: str) -> None:
+        """Assign a display name to an existing node."""
+        if node_id not in self._adjacency:
+            raise KeyError(f"unknown node {node_id!r}")
+        self._names[node_id] = name
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def copy(self) -> "KnowledgeGraph":
+        """Deep copy (adjacency, relations and names)."""
+        clone = KnowledgeGraph()
+        clone._adjacency = {n: dict(nbrs) for n, nbrs in self._adjacency.items()}
+        clone._relations = dict(self._relations)
+        clone._names = dict(self._names)
+        clone._num_edges = self._num_edges
+        return clone
+
+    def reweighted(self, weight_fn) -> "KnowledgeGraph":
+        """Copy of the graph with ``weight_fn(Edge) -> float`` applied.
+
+        Used by the summarizers to apply the paper's Eq. (1) boost without
+        mutating the shared graph.
+        """
+        clone = self.copy()
+        for edge in self.edges():
+            clone.set_weight(edge.source, edge.target, weight_fn(edge))
+        return clone
+
+    def stats(self, approx_pairs: int = 0, rng=None) -> GraphStats:
+        """Compute Table II-style statistics.
+
+        ``average_path_length`` and ``diameter`` are exact when
+        ``approx_pairs == 0`` (BFS from every node; only viable on small
+        graphs) and sampled from ``approx_pairs`` BFS sources otherwise.
+        """
+        from repro.graph.shortest_paths import bfs_eccentricity
+
+        users = sum(1 for _ in self.nodes_of_type(NodeType.USER))
+        items = sum(1 for _ in self.nodes_of_type(NodeType.ITEM))
+        external = self.num_nodes - users - items
+        interactions = sum(
+            1 for e in self.edges() if e.type is EdgeType.INTERACTION
+        )
+        knowledge = self._num_edges - interactions
+        n = self.num_nodes
+        density = (
+            2.0 * self._num_edges / (n * (n - 1)) if n > 1 else 0.0
+        )
+        avg_degree = 2.0 * self._num_edges / n if n else 0.0
+
+        sources: list[str]
+        all_nodes = list(self._adjacency)
+        if approx_pairs and approx_pairs < len(all_nodes):
+            if rng is None:
+                import numpy as np
+
+                rng = np.random.default_rng(0)
+            picks = rng.choice(len(all_nodes), size=approx_pairs, replace=False)
+            sources = [all_nodes[int(i)] for i in picks]
+        else:
+            sources = all_nodes
+
+        total_length = 0
+        total_pairs = 0
+        diameter = 0
+        for source in sources:
+            ecc, dist_sum, reached = bfs_eccentricity(self, source)
+            diameter = max(diameter, ecc)
+            total_length += dist_sum
+            total_pairs += reached
+        avg_path = total_length / total_pairs if total_pairs else math.nan
+
+        return GraphStats(
+            num_users=users,
+            num_items=items,
+            num_external=external,
+            num_interaction_edges=interactions,
+            num_knowledge_edges=knowledge,
+            average_degree=avg_degree,
+            density=density,
+            average_path_length=avg_path,
+            diameter=diameter,
+        )
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple]) -> "KnowledgeGraph":
+        """Build from ``(source, target[, weight[, relation]])`` tuples."""
+        graph = cls()
+        for edge in edges:
+            graph.add_edge(*edge)
+        return graph

@@ -1,0 +1,83 @@
+"""Minimum spanning tree: Kruskal and Prim.
+
+The Steiner 2-approximation builds an MST over the terminals' metric
+closure (paper Algorithm 1, step 7). Kruskal is the default because the
+metric closure arrives as an edge list; Prim is provided for dense inputs
+and as a cross-check in tests.
+
+Both accept plain edge lists ``(u, v, weight)`` over arbitrary hashable
+nodes — the metric closure is not a :class:`KnowledgeGraph` (its "edges"
+are shortest-path distances), so the MST layer stays structure-agnostic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from typing import TypeVar
+
+from repro.graph.disjoint_set import DisjointSet
+from repro.graph.heap import AddressableHeap
+
+N = TypeVar("N", bound=Hashable)
+EdgeTuple = tuple[N, N, float]
+
+
+def kruskal_mst(
+    nodes: Sequence[N], edges: Sequence[EdgeTuple]
+) -> list[EdgeTuple]:
+    """Kruskal's algorithm.
+
+    Returns the MST edge list (a minimum spanning *forest* if the input is
+    disconnected). Ties are broken by edge order after a stable sort, so the
+    result is deterministic for a deterministic input order.
+    """
+    forest = DisjointSet(nodes)
+    mst: list[EdgeTuple] = []
+    for u, v, weight in sorted(edges, key=lambda e: e[2]):
+        if forest.union(u, v):
+            mst.append((u, v, weight))
+            if len(mst) == len(nodes) - 1:
+                break
+    return mst
+
+
+def prim_mst(
+    nodes: Sequence[N], edges: Sequence[EdgeTuple]
+) -> list[EdgeTuple]:
+    """Prim's algorithm over an adjacency built from ``edges``.
+
+    Handles disconnected inputs by restarting from each unvisited node,
+    yielding a spanning forest like :func:`kruskal_mst`.
+    """
+    adjacency: dict[N, list[tuple[N, float]]] = {n: [] for n in nodes}
+    for u, v, weight in edges:
+        adjacency[u].append((v, weight))
+        adjacency[v].append((u, weight))
+
+    visited: set[N] = set()
+    mst: list[EdgeTuple] = []
+    best_parent: dict[N, N] = {}
+
+    for root in nodes:
+        if root in visited:
+            continue
+        heap: AddressableHeap[N] = AddressableHeap()
+        heap.push(root, 0.0)
+        while heap:
+            node, cost = heap.pop_min()
+            if node in visited:
+                continue
+            visited.add(node)
+            if node != root:
+                mst.append((best_parent[node], node, cost))
+            for neighbor, weight in adjacency[node]:
+                if neighbor in visited:
+                    continue
+                if heap.decrease_if_lower(neighbor, weight):
+                    best_parent[neighbor] = node
+    return mst
+
+
+def total_weight(edges: Sequence[EdgeTuple]) -> float:
+    """Sum of the weights of an edge list."""
+    return sum(weight for _u, _v, weight in edges)

@@ -1,0 +1,121 @@
+"""Explanation paths: ``E(u, i) = (u, v1, ..., vk, i)``.
+
+A :class:`Path` is the unit every recommender emits and every summarizer
+consumes. It is a node sequence plus provenance (which user/item pair it
+explains); edge iteration, KG validation and hop counting live here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.types import NodeType, undirected_key
+
+
+@dataclass(frozen=True)
+class Path:
+    """An explanation path from a user to a recommended item.
+
+    ``nodes`` is the full node sequence including both endpoints. ``user``
+    and ``item`` record which recommendation the path explains; for paths
+    produced by recommenders they equal ``nodes[0]`` / ``nodes[-1]``.
+    ``score`` is the emitting recommender's confidence (used for ordering,
+    never by the summarizers themselves).
+    """
+
+    nodes: tuple[str, ...]
+    user: str = ""
+    item: str = ""
+    score: float = 0.0
+    meta: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) < 2:
+            raise ValueError("a path needs at least two nodes")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValueError(f"path revisits a node: {self.nodes}")
+        if not self.user:
+            object.__setattr__(self, "user", self.nodes[0])
+        if not self.item:
+            object.__setattr__(self, "item", self.nodes[-1])
+
+    @classmethod
+    def from_nodes(cls, nodes: Sequence[str], score: float = 0.0) -> "Path":
+        """Build a Path from any node sequence."""
+        return cls(nodes=tuple(nodes), score=score)
+
+    def __len__(self) -> int:
+        """Number of edges (hops), matching the paper's path length."""
+        return len(self.nodes) - 1
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.nodes)
+
+    @property
+    def num_hops(self) -> int:
+        """Number of edges (alias of len())."""
+        return len(self.nodes) - 1
+
+    def edges(self) -> Iterator[tuple[str, str]]:
+        """Consecutive node pairs, in path order."""
+        return zip(self.nodes, self.nodes[1:])
+
+    def edge_keys(self) -> Iterator[tuple[str, str]]:
+        """Direction-normalized edge identities (for frequency counting)."""
+        for u, v in self.edges():
+            yield undirected_key(u, v)
+
+    def intermediate_nodes(self) -> tuple[str, ...]:
+        """Nodes strictly between the user and the item."""
+        return self.nodes[1:-1]
+
+    def node_types(self) -> tuple[NodeType, ...]:
+        """NodeType of each node, in path order."""
+        return tuple(NodeType.of(n) for n in self.nodes)
+
+    def is_valid_in(self, graph: KnowledgeGraph) -> bool:
+        """True iff every hop exists in ``graph``.
+
+        PLM-style generators can emit hallucinated hops; PEARLM and the
+        summarizers require faithful paths, checked with this.
+        """
+        return all(graph.has_edge(u, v) for u, v in self.edges())
+
+    def invalid_edges(self, graph: KnowledgeGraph) -> list[tuple[str, str]]:
+        """Hops not present in ``graph`` (empty iff :meth:`is_valid_in`)."""
+        return [(u, v) for u, v in self.edges() if not graph.has_edge(u, v)]
+
+    def total_weight(self, graph: KnowledgeGraph) -> float:
+        """Sum of KG weights along the path (missing hops contribute 0)."""
+        return sum(
+            graph.weight(u, v)
+            for u, v in self.edges()
+            if graph.has_edge(u, v)
+        )
+
+
+def paths_node_multiset(paths: Sequence[Path]) -> dict[str, int]:
+    """Occurrence count of each node across a path collection.
+
+    The redundancy metric is defined on the *multiset* view of a path set:
+    a node mentioned by three paths counts three times.
+    """
+    counts: dict[str, int] = {}
+    for path in paths:
+        for node in path.nodes:
+            counts[node] = counts.get(node, 0) + 1
+    return counts
+
+
+def paths_edge_frequency(paths: Sequence[Path]) -> dict[tuple[str, str], int]:
+    """Occurrence count of each (undirected) edge across a path collection.
+
+    This is the ``Σ_x 1_{e∈P}`` numerator of the paper's Eq. (1).
+    """
+    counts: dict[tuple[str, str], int] = {}
+    for path in paths:
+        for key in path.edge_keys():
+            counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,314 @@
+"""Prize-Collecting Steiner Tree (PCST) heuristics.
+
+Two implementations:
+
+- :func:`paper_pcst` follows the paper's Algorithm 2: a single Prim-style
+  growth pass over the whole graph, driven by a priority queue initialized
+  at ``-p(v)`` and a disjoint set of partially built components, running in
+  ``O((|V| + |E|) log |V|)`` — crucially *independent of the number of
+  terminals*, which is what gives PCST its scalability edge in Figs 9-11.
+  The pseudocode in the paper is under-specified (taken literally, the
+  ``cost < Q[v]`` guard never fires for positive costs), so we implement
+  the standard reading: the queue holds each frontier node's cheapest
+  connection cost discounted by its prize, components merge through their
+  cheapest contact edges, and growth stops once every positive-prize node
+  is settled and connected (or proven unreachable).
+
+- :func:`grow_prune_pcst` adds Goemans-Williamson-style *strong pruning*
+  on top of the grown tree: a subtree is kept only if its collected prize
+  exceeds the cost of attaching it. This is the textbook 2-approximation
+  behaviour and is exposed as an ablation (`PrizePolicy` experiments); the
+  paper's experimental setting (unit prizes, ignored edge weights) expects
+  the unpruned variant.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.graph.disjoint_set import DisjointSet
+from repro.graph.heap import AddressableHeap
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.shortest_paths import CostFn
+from repro.graph.subgraph import edge_subgraph
+from repro.graph.types import undirected_key
+
+
+def paper_pcst(
+    graph: KnowledgeGraph,
+    prizes: Mapping[str, float],
+    cost_fn: CostFn | None = None,
+    prune_zero_prize_leaves: bool = False,
+    seeds: list[str] | None = None,
+) -> KnowledgeGraph:
+    """Prize-collecting growth heuristic (paper Algorithm 2).
+
+    Parameters
+    ----------
+    graph:
+        The knowledge graph. Edge costs come from ``cost_fn`` (default:
+        unit cost per edge, matching the paper's experimental setting that
+        "ignores edge weights for the PCST summaries").
+    prizes:
+        Node prize map; missing nodes default to prize 0. Nodes with
+        positive prize act as growth seeds (the terminals).
+    prune_zero_prize_leaves:
+        If True, iteratively strip zero-prize leaves after growth. The
+        paper's variant keeps them (producing the larger, bushier
+        summaries reported in Fig 2); pruning is exposed for ablations.
+    seeds:
+        Growth seeds (the terminal set). Defaults to every node with a
+        positive prize; pass explicitly when side policies hand small
+        prizes to many non-terminal nodes.
+
+    Returns
+    -------
+    KnowledgeGraph
+        A forest containing every *reachable* positive-prize node; the
+        components of mutually reachable seeds are merged into single
+        trees. Unreachable seeds are simply omitted (the prize-collecting
+        relaxation forfeits their prize).
+    """
+    cost = cost_fn or (lambda _u, _v, _w: 1.0)
+    if seeds is None:
+        seeds = [n for n, p in prizes.items() if p > 0]
+    seeds = [n for n in seeds if n in graph]
+    if not seeds:
+        return KnowledgeGraph()
+
+    heap: AddressableHeap[str] = AddressableHeap()
+    components = DisjointSet()
+    connect_via: dict[str, tuple[str, str]] = {}
+    settled: set[str] = set()
+    tree_edges: set[tuple[str, str]] = set()
+
+    # Algorithm 2 lines 4-7: every seed enters the queue at -p(v). Ordinary
+    # nodes enter lazily when a wavefront first reaches them.
+    for seed in seeds:
+        heap.push(seed, -prizes.get(seed, 0.0))
+        components.make_set(seed)
+
+    # Early exit is only sound once every positive-prize node has been
+    # settled: with binary prizes that's just the terminals, but the
+    # §IV-B weight-range policy hands every node a prize and the growth
+    # then legitimately spans the whole graph (Algorithm 2's "while Q is
+    # not empty"), producing the "excessively large" summaries the paper
+    # reports for that configuration.
+    unsettled_seeds = set(seeds)
+    unsettled_positive = sum(
+        1 for n, p in prizes.items() if p > 0 and n in graph
+    )
+    seed_components = len(seeds)
+
+    while heap:
+        node, _priority = heap.pop_min()
+        settled.add(node)
+        components.make_set(node)
+        if prizes.get(node, 0.0) > 0:
+            unsettled_positive -= 1
+
+        if node in connect_via:
+            u, v = connect_via[node]
+            if components.union(u, v):
+                tree_edges.add(undirected_key(u, v))
+
+        if node in unsettled_seeds:
+            unsettled_seeds.discard(node)
+
+        # Merge with any already-settled neighboring component: the growth
+        # fronts of two seeds meet here, and the contact edge joins them
+        # (Algorithm 2 lines 12-23, the u_set != v_set branch).
+        for neighbor, stored in graph.neighbors(node).items():
+            if neighbor in settled and not components.connected(node, neighbor):
+                components.union(node, neighbor)
+                tree_edges.add(undirected_key(node, neighbor))
+                seed_components = _count_seed_components(components, seeds)
+
+        # Stop as soon as all reachable seeds are settled and mutually
+        # connected AND no uncollected prizes remain; continuing would
+        # only inflate the summary.
+        if not unsettled_seeds and unsettled_positive <= 0:
+            seed_components = _count_seed_components(components, seeds)
+            if seed_components <= 1:
+                break
+        # Relax outgoing edges: neighbor's entry cost is the edge cost
+        # discounted by its prize (high-prize nodes are pulled in sooner).
+        for neighbor, stored in graph.neighbors(node).items():
+            if neighbor in settled:
+                continue
+            edge_cost = cost(node, neighbor, stored)
+            priority = edge_cost - prizes.get(neighbor, 0.0)
+            if heap.decrease_if_lower(neighbor, priority):
+                connect_via[neighbor] = (node, neighbor)
+
+    if not tree_edges:
+        lone = KnowledgeGraph()
+        for seed in seeds:
+            if seed in settled:
+                lone.add_node(seed)
+        return lone
+
+    forest = edge_subgraph(graph, tree_edges)
+    _keep_seed_components(forest, seeds)
+    if prune_zero_prize_leaves:
+        _prune_leaves(forest, keep=set(seeds), prizes=prizes, cost=cost)
+    return forest
+
+
+def grow_prune_pcst(
+    graph: KnowledgeGraph,
+    prizes: Mapping[str, float],
+    cost_fn: CostFn | None = None,
+    seeds: list[str] | None = None,
+) -> KnowledgeGraph:
+    """Grow (via :func:`paper_pcst`) then apply GW-style strong pruning.
+
+    Strong pruning roots each grown tree and keeps a child subtree only if
+    its *net value* — collected prize minus attachment cost — is positive.
+    With the paper's unit-prize/unit-cost setting this collapses summaries
+    down to near-isolated terminals, which is exactly why the paper's
+    experiments skip it; it is provided as the honest PCST baseline for
+    the prize-policy ablations.
+    """
+    cost = cost_fn or (lambda _u, _v, _w: 1.0)
+    grown = paper_pcst(graph, prizes, cost_fn=cost_fn, seeds=seeds)
+    if grown.num_edges == 0:
+        return grown
+
+    kept_edges: set[tuple[str, str]] = set()
+    kept_nodes: set[str] = set()
+    visited: set[str] = set()
+    for root in list(grown.nodes()):
+        if root in visited:
+            continue
+        component_nodes = _collect_component(grown, root)
+        visited |= component_nodes
+        best_root = max(
+            component_nodes, key=lambda n: prizes.get(n, 0.0)
+        )
+        net = _strong_prune(
+            grown, best_root, prizes, cost, kept_edges, kept_nodes
+        )
+        if net <= 0:
+            # Even the best subtree loses money: keep just the root node.
+            kept_nodes.add(best_root)
+
+    pruned = KnowledgeGraph()
+    for node in kept_nodes:
+        pruned.add_node(node)
+        name = grown.name(node)
+        if name != node:
+            pruned.set_name(node, name)
+    for u, v in kept_edges:
+        pruned.add_edge(u, v, graph.weight(u, v), graph.relation(u, v))
+    return pruned
+
+
+def _strong_prune(
+    tree: KnowledgeGraph,
+    root: str,
+    prizes: Mapping[str, float],
+    cost,
+    kept_edges: set[tuple[str, str]],
+    kept_nodes: set[str],
+) -> float:
+    """Iterative post-order DP computing each subtree's net value.
+
+    Child subtrees with non-positive ``net - edge_cost`` are pruned; the
+    rest are recorded into ``kept_edges`` / ``kept_nodes``.
+    """
+    parent: dict[str, str] = {root: root}
+    order: list[str] = [root]
+    index = 0
+    while index < len(order):
+        node = order[index]
+        index += 1
+        for neighbor in tree.neighbors(node):
+            if neighbor not in parent:
+                parent[neighbor] = node
+                order.append(neighbor)
+
+    net: dict[str, float] = {}
+    keep_children: dict[str, list[str]] = {n: [] for n in order}
+    for node in reversed(order):
+        value = prizes.get(node, 0.0)
+        for neighbor in tree.neighbors(node):
+            if neighbor == node or parent.get(neighbor) != node:
+                continue
+            gain = net[neighbor] - cost(
+                node, neighbor, tree.weight(node, neighbor)
+            )
+            if gain > 0:
+                value += gain
+                keep_children[node].append(neighbor)
+        net[node] = value
+
+    kept_nodes.add(root)
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        for child in keep_children[node]:
+            kept_edges.add(undirected_key(node, child))
+            kept_nodes.add(child)
+            stack.append(child)
+    return net[root]
+
+
+def _count_seed_components(components: DisjointSet, seeds: list[str]) -> int:
+    """Number of distinct components the (settled) seeds currently span."""
+    roots = {
+        components.find(seed) for seed in seeds if seed in components
+    }
+    return len(roots)
+
+
+def _keep_seed_components(forest: KnowledgeGraph, seeds: list[str]) -> None:
+    """Drop grown components that contain no seed at all (in place)."""
+    keep: set[str] = set()
+    for seed in seeds:
+        if seed in forest and seed not in keep:
+            keep |= _collect_component(forest, seed)
+    for node in [n for n in forest.nodes() if n not in keep]:
+        forest.remove_node(node)
+
+
+def _collect_component(graph: KnowledgeGraph, start: str) -> set[str]:
+    component = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in component:
+                component.add(neighbor)
+                frontier.append(neighbor)
+    return component
+
+
+def _prune_leaves(
+    forest: KnowledgeGraph,
+    keep: set[str],
+    prizes: Mapping[str, float],
+    cost,
+) -> None:
+    """Strip degree-1 nodes outside ``keep`` whose prize does not pay for
+    their attaching edge (the prize-collecting economics, applied to the
+    grown forest in place)."""
+
+    def prunable(node: str) -> bool:
+        """True if this leaf should be removed."""
+        if node in keep or node not in forest or forest.degree(node) != 1:
+            return False
+        (neighbor,) = forest.neighbors(node)
+        edge_cost = cost(node, neighbor, forest.weight(node, neighbor))
+        return prizes.get(node, 0.0) < edge_cost
+
+    stack = [n for n in list(forest.nodes()) if prunable(n)]
+    while stack:
+        leaf = stack.pop()
+        if not prunable(leaf):
+            continue
+        neighbors = list(forest.neighbors(leaf))
+        forest.remove_node(leaf)
+        for neighbor in neighbors:
+            if prunable(neighbor):
+                stack.append(neighbor)

@@ -1,0 +1,219 @@
+"""Shortest-path primitives: Dijkstra (single/multi-source) and BFS.
+
+The Steiner 2-approximation needs all-pairs shortest paths among the
+terminal set; we provide single-source Dijkstra with predecessor tracking
+plus an early-exit pairwise variant. Costs must be non-negative — the
+summarizers guarantee this by affine-shifting the maximization weights
+(see :mod:`repro.core.weighting`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.graph.heap import AddressableHeap
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+CostFn = Callable[[str, str, float], float]
+
+
+def _unit_cost(_u: str, _v: str, _w: float) -> float:
+    return 1.0
+
+
+def _weight_cost(_u: str, _v: str, w: float) -> float:
+    return w
+
+
+def dijkstra(
+    graph: KnowledgeGraph,
+    source: str,
+    cost_fn: CostFn | None = None,
+    targets: set[str] | None = None,
+) -> tuple[dict[str, float], dict[str, str]]:
+    """Single-source shortest paths.
+
+    Parameters
+    ----------
+    graph:
+        The knowledge graph (traversed undirected).
+    source:
+        Start node.
+    cost_fn:
+        Maps ``(u, v, stored_weight) -> cost``; defaults to the stored
+        weight. Must return non-negative costs.
+    targets:
+        Optional early-exit set: the search stops once every target has
+        been settled.
+
+    Returns
+    -------
+    (dist, prev):
+        ``dist[v]`` is the cost of the shortest path to each reached node,
+        ``prev[v]`` its predecessor on that path (absent for ``source``).
+    """
+    if source not in graph:
+        raise KeyError(f"unknown source node {source!r}")
+    cost = cost_fn or _weight_cost
+    remaining = set(targets) if targets else None
+    if remaining is not None:
+        remaining.discard(source)
+
+    dist: dict[str, float] = {}
+    prev: dict[str, str] = {}
+    heap: AddressableHeap[str] = AddressableHeap()
+    heap.push(source, 0.0)
+    tentative_prev: dict[str, str] = {}
+
+    while heap:
+        node, d = heap.pop_min()
+        dist[node] = d
+        if node in tentative_prev:
+            prev[node] = tentative_prev[node]
+        if remaining is not None:
+            remaining.discard(node)
+            if not remaining:
+                break
+        for neighbor, stored in graph.neighbors(node).items():
+            if neighbor in dist:
+                continue
+            edge_cost = cost(node, neighbor, stored)
+            if edge_cost < 0:
+                raise ValueError(
+                    f"negative cost {edge_cost} on edge "
+                    f"({node!r}, {neighbor!r}); shift weights first"
+                )
+            candidate = d + edge_cost
+            if heap.decrease_if_lower(neighbor, candidate):
+                tentative_prev[neighbor] = node
+    return dist, prev
+
+
+def reconstruct_path(prev: dict[str, str], source: str, target: str) -> list[str]:
+    """Rebuild the node sequence source..target from a predecessor map."""
+    if target == source:
+        return [source]
+    if target not in prev:
+        raise KeyError(f"no path recorded to {target!r}")
+    nodes = [target]
+    while nodes[-1] != source:
+        nodes.append(prev[nodes[-1]])
+    nodes.reverse()
+    return nodes
+
+
+def shortest_path_between(
+    graph: KnowledgeGraph,
+    source: str,
+    target: str,
+    cost_fn: CostFn | None = None,
+) -> tuple[list[str], float]:
+    """Shortest path between two nodes; raises ValueError if disconnected."""
+    dist, prev = dijkstra(graph, source, cost_fn=cost_fn, targets={target})
+    if target not in dist:
+        raise ValueError(f"{source!r} and {target!r} are disconnected")
+    return reconstruct_path(prev, source, target), dist[target]
+
+
+def dijkstra_multi_source(
+    graph: KnowledgeGraph,
+    sources: Iterable[str],
+    cost_fn: CostFn | None = None,
+) -> tuple[dict[str, float], dict[str, str], dict[str, str]]:
+    """Dijkstra from a set of sources simultaneously.
+
+    Returns ``(dist, prev, origin)`` where ``origin[v]`` is the source whose
+    shortest-path tree reached ``v``. Used by the Steiner metric-closure
+    construction (a Mehlhorn-style optimization: one multi-source run gives
+    every node's nearest terminal).
+    """
+    cost = cost_fn or _weight_cost
+    dist: dict[str, float] = {}
+    prev: dict[str, str] = {}
+    origin: dict[str, str] = {}
+    heap: AddressableHeap[str] = AddressableHeap()
+    tentative_prev: dict[str, str] = {}
+    tentative_origin: dict[str, str] = {}
+
+    for source in sources:
+        if source not in graph:
+            raise KeyError(f"unknown source node {source!r}")
+        heap.update(source, 0.0)
+        tentative_origin[source] = source
+
+    while heap:
+        node, d = heap.pop_min()
+        dist[node] = d
+        origin[node] = tentative_origin[node]
+        if node in tentative_prev:
+            prev[node] = tentative_prev[node]
+        for neighbor, stored in graph.neighbors(node).items():
+            if neighbor in dist:
+                continue
+            candidate = d + cost(node, neighbor, stored)
+            if heap.decrease_if_lower(neighbor, candidate):
+                tentative_prev[neighbor] = node
+                tentative_origin[neighbor] = tentative_origin[node]
+    return dist, prev, origin
+
+
+def bfs_shortest_path(
+    graph: KnowledgeGraph, source: str, target: str
+) -> list[str] | None:
+    """Fewest-hops path (unit costs), or None if disconnected."""
+    if source not in graph or target not in graph:
+        return None
+    if source == target:
+        return [source]
+    prev: dict[str, str] = {source: source}
+    frontier = [source]
+    while frontier:
+        next_frontier: list[str] = []
+        for node in frontier:
+            for neighbor in graph.neighbors(node):
+                if neighbor in prev:
+                    continue
+                prev[neighbor] = node
+                if neighbor == target:
+                    nodes = [target]
+                    while nodes[-1] != source:
+                        nodes.append(prev[nodes[-1]])
+                    nodes.reverse()
+                    return nodes
+                next_frontier.append(neighbor)
+        frontier = next_frontier
+    return None
+
+
+def bfs_distances(graph: KnowledgeGraph, source: str) -> dict[str, int]:
+    """Hop distance to every reachable node."""
+    dist = {source: 0}
+    frontier = [source]
+    depth = 0
+    while frontier:
+        depth += 1
+        next_frontier: list[str] = []
+        for node in frontier:
+            for neighbor in graph.neighbors(node):
+                if neighbor not in dist:
+                    dist[neighbor] = depth
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return dist
+
+
+def bfs_eccentricity(
+    graph: KnowledgeGraph, source: str
+) -> tuple[int, int, int]:
+    """(eccentricity, sum of distances, #reached-excluding-source).
+
+    One pass used by :meth:`KnowledgeGraph.stats` to estimate average path
+    length and diameter without materializing full distance maps.
+    """
+    dist = bfs_distances(graph, source)
+    reached = len(dist) - 1
+    if reached == 0:
+        return 0, 0, 0
+    ecc = max(dist.values())
+    total = sum(dist.values())
+    return ecc, total, reached

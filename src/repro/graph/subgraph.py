@@ -1,0 +1,95 @@
+"""Subgraph utilities: induced subgraphs and weak-connectivity checks.
+
+Summary explanations are *weakly connected subgraphs* of G (problem
+definition, §III); this module provides the checks the summarizers and the
+property-based tests rely on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+
+def induced_subgraph(
+    graph: KnowledgeGraph, nodes: Iterable[str]
+) -> KnowledgeGraph:
+    """Subgraph of ``graph`` induced by ``nodes`` (names/relations kept)."""
+    keep = set(nodes)
+    sub = KnowledgeGraph()
+    for node in keep:
+        if node not in graph:
+            raise KeyError(f"unknown node {node!r}")
+        sub.add_node(node, graph.name(node) if graph.name(node) != node else "")
+    for node in keep:
+        for neighbor, weight in graph.neighbors(node).items():
+            if neighbor in keep and node < neighbor:
+                sub.add_edge(
+                    node, neighbor, weight, graph.relation(node, neighbor)
+                )
+    return sub
+
+
+def edge_subgraph(
+    graph: KnowledgeGraph, edges: Iterable[tuple[str, str]]
+) -> KnowledgeGraph:
+    """Subgraph containing exactly ``edges`` (weights copied from graph)."""
+    sub = KnowledgeGraph()
+    for u, v in edges:
+        sub.add_edge(u, v, graph.weight(u, v), graph.relation(u, v))
+        for node in (u, v):
+            name = graph.name(node)
+            if name != node:
+                sub.set_name(node, name)
+    return sub
+
+
+def weakly_connected_components(graph: KnowledgeGraph) -> list[set[str]]:
+    """Connected components (the graph is stored symmetrically, so weak
+    connectivity coincides with plain connectivity)."""
+    seen: set[str] = set()
+    components: list[set[str]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in graph.neighbors(node):
+                if neighbor not in component:
+                    component.add(neighbor)
+                    frontier.append(neighbor)
+        seen |= component
+        components.append(component)
+    return components
+
+
+def is_weakly_connected(graph: KnowledgeGraph) -> bool:
+    """True iff the graph has exactly one weakly connected component."""
+    if graph.num_nodes == 0:
+        return True
+    return len(weakly_connected_components(graph)) == 1
+
+
+def is_tree(graph: KnowledgeGraph) -> bool:
+    """True iff the graph is a tree: connected with |E| = |V| - 1."""
+    if graph.num_nodes == 0:
+        return True
+    return (
+        graph.num_edges == graph.num_nodes - 1 and is_weakly_connected(graph)
+    )
+
+
+def is_forest(graph: KnowledgeGraph) -> bool:
+    """True iff acyclic: every component satisfies |E| = |V| - 1."""
+    total_edges = 0
+    for component in weakly_connected_components(graph):
+        edges_in_component = (
+            sum(len(graph.neighbors(n)) for n in component) // 2
+        )
+        if edges_in_component != len(component) - 1:
+            return False
+        total_edges += edges_in_component
+    return total_edges == graph.num_edges

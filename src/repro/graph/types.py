@@ -1,0 +1,161 @@
+"""Node and edge typing for the knowledge-based graph.
+
+The paper's graph ``G = (V, E, w)`` has three node populations:
+
+- users ``U`` and items ``I`` from the rating matrix ``M`` (graph ``G_M``),
+- external knowledge entities ``V_A`` (directors, genres, artists, ...)
+  attached via edges ``E_A``.
+
+Node identity in this codebase is a plain string id with a conventional
+prefix (``u:``, ``i:``, ``e:``) so that ids stay hashable, cheap and
+human-readable in verbalized explanations. :class:`NodeType` classifies ids;
+:class:`Node`/:class:`Edge` are the record types used at API boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class NodeType(Enum):
+    """Population a node belongs to (user / item / external entity)."""
+
+    USER = "user"
+    ITEM = "item"
+    EXTERNAL = "external"
+
+    @classmethod
+    def of(cls, node_id: str) -> "NodeType":
+        """Classify a node id by its conventional prefix.
+
+        >>> NodeType.of("u:12")
+        <NodeType.USER: 'user'>
+        >>> NodeType.of("i:5")
+        <NodeType.ITEM: 'item'>
+        >>> NodeType.of("e:genre:3")
+        <NodeType.EXTERNAL: 'external'>
+        """
+        if node_id.startswith("u:"):
+            return cls.USER
+        if node_id.startswith("i:"):
+            return cls.ITEM
+        if node_id.startswith("e:"):
+            return cls.EXTERNAL
+        raise ValueError(f"node id {node_id!r} has no recognized type prefix")
+
+
+def user_id(index: int) -> str:
+    """Canonical id for the ``index``-th user."""
+    return f"u:{index}"
+
+
+def item_id(index: int) -> str:
+    """Canonical id for the ``index``-th item."""
+    return f"i:{index}"
+
+
+def external_id(relation: str, index: int) -> str:
+    """Canonical id for the ``index``-th external entity of ``relation``."""
+    return f"e:{relation}:{index}"
+
+
+class EdgeType(Enum):
+    """Edge population: rating-matrix edges vs external-knowledge edges."""
+
+    INTERACTION = "interaction"  # member of E_M (user rated item)
+    KNOWLEDGE = "knowledge"  # member of E_A (user/item -> external)
+
+    @classmethod
+    def of(cls, source: str, target: str) -> "EdgeType":
+        """Infer the edge population from endpoint node types."""
+        types = {NodeType.of(source), NodeType.of(target)}
+        if types == {NodeType.USER, NodeType.ITEM}:
+            return cls.INTERACTION
+        if NodeType.EXTERNAL in types:
+            return cls.KNOWLEDGE
+        raise ValueError(
+            f"edge ({source!r}, {target!r}) connects populations the paper's "
+            "graph model does not allow"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Node:
+    """A typed node record (id plus optional display name)."""
+
+    id: str
+    name: str = ""
+
+    @property
+    def type(self) -> NodeType:
+        """Population this record belongs to."""
+        return NodeType.of(self.id)
+
+    @property
+    def display(self) -> str:
+        """Human-facing label: explicit name if set, else the raw id."""
+        return self.name or self.id
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """A weighted directed edge record.
+
+    ``relation`` carries the external-knowledge predicate (``genre``,
+    ``director``, ...) for ``E_A`` edges and is empty for interactions.
+    """
+
+    source: str
+    target: str
+    weight: float = 1.0
+    relation: str = ""
+
+    @property
+    def type(self) -> EdgeType:
+        """Population this record belongs to."""
+        return EdgeType.of(self.source, self.target)
+
+    def key(self) -> tuple[str, str]:
+        """Direction-insensitive identity used for set membership.
+
+        Explanation paths traverse edges in either direction (the summary
+        subgraph is *weakly* connected), so two edges that connect the same
+        endpoints count as the same edge for frequency and metric purposes.
+        """
+        if self.source <= self.target:
+            return (self.source, self.target)
+        return (self.target, self.source)
+
+
+def undirected_key(u: str, v: str) -> tuple[str, str]:
+    """Order-normalized endpoint pair, the canonical edge identity."""
+    if u <= v:
+        return (u, v)
+    return (v, u)
+
+
+@dataclass(slots=True)
+class GraphStats:
+    """Summary statistics in the shape of the paper's Table II."""
+
+    num_users: int = 0
+    num_items: int = 0
+    num_external: int = 0
+    num_interaction_edges: int = 0
+    num_knowledge_edges: int = 0
+    average_degree: float = 0.0
+    density: float = 0.0
+    average_path_length: float = 0.0
+    diameter: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return self.num_users + self.num_items + self.num_external
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return self.num_interaction_edges + self.num_knowledge_edges

@@ -1,0 +1,79 @@
+"""Interaction edge weights: ``w_M(u,i) = β1·r + β2·f(t)`` (§III).
+
+The recency function is the exponential decay ``f(t) = exp(-γ·(t0 - t))``.
+Experiments in the paper default to β2 = 0 (pure rating weights) and probe
+the β1/β2 trade-off in Fig 16, which is what :class:`InteractionWeights`
+parameterizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def recency_score(timestamp: float, now: float, gamma: float) -> float:
+    """``f(t) = exp(-γ (t0 - t))`` — 1.0 for a rating made right now,
+    decaying toward 0 for older ratings. Future timestamps clamp to 1.0."""
+    if gamma < 0:
+        raise ValueError(f"gamma must be non-negative, got {gamma}")
+    age = max(0.0, now - timestamp)
+    return math.exp(-gamma * age)
+
+
+@dataclass(frozen=True, slots=True)
+class InteractionWeights:
+    """The paper's ``w_M`` weight function for user-item edges.
+
+    Parameters
+    ----------
+    beta_rating:
+        β1, importance of the rating value.
+    beta_recency:
+        β2, importance of recency (paper default 0).
+    gamma:
+        Decay rate of the recency exponential, per time unit.
+    now:
+        The reference time ``t0``. Datasets pass their maximum timestamp.
+    """
+
+    beta_rating: float = 1.0
+    beta_recency: float = 0.0
+    gamma: float = 1e-8
+    now: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.beta_rating < 0 or self.beta_recency < 0:
+            raise ValueError("beta coefficients must be non-negative")
+        if self.beta_rating == 0 and self.beta_recency == 0:
+            raise ValueError("at least one beta coefficient must be positive")
+
+    def weight(self, rating: float, timestamp: float) -> float:
+        """``β1·r + β2·f(t)`` for one interaction."""
+        value = self.beta_rating * rating
+        if self.beta_recency:
+            value += self.beta_recency * recency_score(
+                timestamp, self.now, self.gamma
+            )
+        return value
+
+    @classmethod
+    def rating_only(cls, beta_rating: float = 1.0) -> "InteractionWeights":
+        """The paper's experimental default (β2 = 0)."""
+        return cls(beta_rating=beta_rating, beta_recency=0.0)
+
+    @classmethod
+    def mix(
+        cls,
+        beta_rating: float,
+        beta_recency: float,
+        gamma: float,
+        now: float,
+    ) -> "InteractionWeights":
+        """Explicit β1/β2 combination, as swept in Fig 16."""
+        return cls(
+            beta_rating=beta_rating,
+            beta_recency=beta_recency,
+            gamma=gamma,
+            now=now,
+        )

@@ -1,0 +1,33 @@
+"""Evaluation metrics for explanations (§V-B).
+
+Every metric takes :class:`repro.core.explanation.Explanation` objects,
+so baseline path sets and summary subgraphs are scored with the same
+code, using the multiplicity conventions the paper defines for each form.
+"""
+
+from repro.metrics.comprehensibility import comprehensibility
+from repro.metrics.actionability import actionability
+from repro.metrics.diversity import diversity
+from repro.metrics.redundancy import redundancy
+from repro.metrics.consistency import consistency
+from repro.metrics.relevance import relevance
+from repro.metrics.privacy import privacy
+from repro.metrics.faithfulness import faithfulness, hallucination_rate
+from repro.metrics.performance import PerformanceProbe, measure
+from repro.metrics.suite import MetricReport, evaluate_explanation
+
+__all__ = [
+    "MetricReport",
+    "PerformanceProbe",
+    "actionability",
+    "comprehensibility",
+    "consistency",
+    "diversity",
+    "evaluate_explanation",
+    "faithfulness",
+    "hallucination_rate",
+    "measure",
+    "privacy",
+    "redundancy",
+    "relevance",
+]

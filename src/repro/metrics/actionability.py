@@ -1,0 +1,20 @@
+"""Actionability: share of actionable (item) nodes (§V-B.2).
+
+Item nodes are actionable — users can change their ratings of items and
+thereby steer the recommender. User and external-knowledge nodes are not.
+``A(S) = #item nodes / |V_S|`` over the explanation's node view
+(with multiplicity for path sets, unique for subgraphs).
+"""
+
+from __future__ import annotations
+
+from repro.core.explanation import Explanation
+from repro.graph.types import NodeType
+
+
+def actionability(explanation: Explanation) -> float:
+    """Item-node share in [0, 1]; empty explanations score 0."""
+    total = explanation.total_node_mentions
+    if total == 0:
+        return 0.0
+    return explanation.count_nodes_of_type(NodeType.ITEM) / total

@@ -1,0 +1,20 @@
+"""Comprehensibility: ``C(S) = 1 / |E_S|`` (§V-B.1).
+
+Inversely proportional to explanation size — for baselines the total
+length of the shown paths (with multiplicity), for summaries the number
+of subgraph edges. Higher is better (briefer explanation).
+"""
+
+from __future__ import annotations
+
+from repro.core.explanation import Explanation
+
+
+def comprehensibility(explanation: Explanation) -> float:
+    """``1 / |E_S|``; an edgeless explanation scores 1 by convention
+    (nothing could be briefer, and the paper's inputs never produce one
+    at k >= 1)."""
+    size = explanation.size_in_edges
+    if size == 0:
+        return 1.0
+    return 1.0 / size

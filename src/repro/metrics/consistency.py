@@ -1,0 +1,38 @@
+"""Consistency: node-set stability across k (§V-B.5).
+
+``C = (1/(K-1)) Σ_k J(S_k, S_{k+1})`` — the average Jaccard similarity of
+the node sets of consecutive-k explanations. Higher means adding one more
+recommendation barely perturbs the explanation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.explanation import Explanation
+
+
+def jaccard_nodes(a: Explanation, b: Explanation) -> float:
+    """Jaccard similarity of two explanations' (unique) node sets."""
+    nodes_a, nodes_b = a.unique_nodes(), b.unique_nodes()
+    union = nodes_a | nodes_b
+    if not union:
+        return 1.0
+    return len(nodes_a & nodes_b) / len(union)
+
+
+def consistency(explanations_by_k: Sequence[Explanation]) -> float:
+    """Mean consecutive-k Jaccard over a K-long explanation sequence.
+
+    ``explanations_by_k[j]`` must be the explanation for ``k = j + 1``.
+    A single-entry sequence is perfectly consistent by convention.
+    """
+    if not explanations_by_k:
+        raise ValueError("need at least one explanation")
+    if len(explanations_by_k) == 1:
+        return 1.0
+    similarities = [
+        jaccard_nodes(a, b)
+        for a, b in zip(explanations_by_k, explanations_by_k[1:])
+    ]
+    return sum(similarities) / len(similarities)

@@ -1,0 +1,38 @@
+"""Faithfulness: do explanation edges actually exist in the KG?
+
+PLM-Rec "generates novel paths beyond the static KG topology" — i.e. it
+can hallucinate hops — while PEARLM's contribution is "ensuring that
+generated paths faithfully adhere to valid KG connections". This metric
+quantifies that axis for any explanation: the fraction of its edges
+present in the knowledge graph. 1.0 = fully faithful (always true for
+ST/PCST summaries, which are KG subgraphs by construction).
+"""
+
+from __future__ import annotations
+
+from repro.core.explanation import Explanation
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.paths import Path
+
+
+def faithfulness(explanation: Explanation, graph: KnowledgeGraph) -> float:
+    """Share of explanation edges that are real KG edges, in [0, 1]."""
+    edges = explanation.edge_mentions()
+    if not edges:
+        return 1.0
+    valid = sum(1 for u, v in edges if graph.has_edge(u, v))
+    return valid / len(edges)
+
+
+def hallucination_rate(
+    paths: list[Path], graph: KnowledgeGraph
+) -> float:
+    """Share of *paths* containing at least one non-KG hop.
+
+    The per-path view matters for user-facing trust: one invented hop
+    invalidates the whole story the path tells.
+    """
+    if not paths:
+        return 0.0
+    broken = sum(1 for p in paths if not p.is_valid_in(graph))
+    return broken / len(paths)

@@ -1,0 +1,79 @@
+"""Performance instrumentation: wall-clock time and peak memory (§V-B.8).
+
+``measure`` wraps a callable with ``time.perf_counter`` and
+``tracemalloc`` peak tracking; :class:`PerformanceProbe` accumulates many
+measurements for the sweep figures (Figs 9-11). Absolute values are
+hardware-dependent — the reproduction targets the *relative* ST-vs-PCST
+scaling shape, not the paper's testbed numbers.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from statistics import mean
+
+
+@dataclass(frozen=True, slots=True)
+class Measurement:
+    """One timed call."""
+
+    seconds: float
+    peak_bytes: int
+    result: object = field(compare=False)
+
+
+def measure(fn, *args, track_memory: bool = True, **kwargs) -> Measurement:
+    """Run ``fn(*args, **kwargs)`` and record duration and peak allocation.
+
+    ``tracemalloc`` adds tracing overhead (~2x slowdown); pass
+    ``track_memory=False`` for pure timing runs (pytest-benchmark does
+    its own timing and should never run under tracemalloc).
+    """
+    if track_memory:
+        tracemalloc.start()
+        try:
+            start = time.perf_counter()
+            result = fn(*args, **kwargs)
+            elapsed = time.perf_counter() - start
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return Measurement(seconds=elapsed, peak_bytes=peak, result=result)
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    elapsed = time.perf_counter() - start
+    return Measurement(seconds=elapsed, peak_bytes=0, result=result)
+
+
+@dataclass
+class PerformanceProbe:
+    """Accumulator of measurements keyed by a sweep coordinate (e.g. k)."""
+
+    label: str = ""
+    _seconds: dict[object, list[float]] = field(default_factory=dict)
+    _peaks: dict[object, list[int]] = field(default_factory=dict)
+
+    def record(self, key: object, measurement: Measurement) -> None:
+        """Append one measurement under a sweep key."""
+        self._seconds.setdefault(key, []).append(measurement.seconds)
+        self._peaks.setdefault(key, []).append(measurement.peak_bytes)
+
+    def run(self, key: object, fn, *args, **kwargs):
+        """Measure and record in one call; returns the callable's result."""
+        measurement = measure(fn, *args, **kwargs)
+        self.record(key, measurement)
+        return measurement.result
+
+    def mean_seconds(self) -> dict[object, float]:
+        """Sweep key -> mean wall-clock seconds."""
+        return {k: mean(v) for k, v in sorted(self._seconds.items(),
+                                              key=lambda kv: str(kv[0]))}
+
+    def mean_peak_mb(self) -> dict[object, float]:
+        """Sweep key -> mean peak memory in MiB."""
+        return {
+            k: mean(v) / (1024 * 1024)
+            for k, v in sorted(self._peaks.items(), key=lambda kv: str(kv[0]))
+        }

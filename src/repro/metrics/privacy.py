@@ -1,0 +1,21 @@
+"""Privacy: ``P(S) = 1 - #user nodes / |V_S|`` (§V-B.7).
+
+User nodes in an explanation expose other people's behaviour ("users who
+watched X also ..."); the fewer, the better the privacy protection.
+Computed over the explanation's node view (with multiplicity for path
+sets, unique nodes for subgraphs). Higher is better.
+"""
+
+from __future__ import annotations
+
+from repro.core.explanation import Explanation
+from repro.graph.types import NodeType
+
+
+def privacy(explanation: Explanation) -> float:
+    """User-node complement share in [0, 1]; empty explanations score 1."""
+    total = explanation.total_node_mentions
+    if total == 0:
+        return 1.0
+    users = explanation.count_nodes_of_type(NodeType.USER)
+    return 1.0 - users / total

@@ -1,0 +1,35 @@
+"""Redundancy: share of duplicate node appearances (§V-B.4).
+
+A node is "duplicated" when the explanation shows it more than once. We
+count appearances over the explanation's *edges* — the same view the
+diversity metric uses — so the definition applies uniformly:
+
+- in a baseline path set, a node repeated across paths (the user node
+  appears in all k of them) accumulates one appearance per incident edge
+  per path;
+- in a summary subgraph each edge is unique, so a node's appearances
+  equal its degree — a node the summary routes through repeatedly is
+  duplicated exactly as the paper describes for PCST's bushier trees.
+
+``R = (total appearances - unique nodes) / total appearances``; lower is
+better (fewer duplicates, more informative explanation).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.explanation import Explanation
+
+
+def redundancy(explanation: Explanation) -> float:
+    """Duplicate-appearance share in [0, 1); 0 when all unique."""
+    appearances: Counter = Counter()
+    for u, v in explanation.edge_mentions():
+        appearances[u] += 1
+        appearances[v] += 1
+    total = sum(appearances.values())
+    if total == 0:
+        return 0.0
+    duplicates = total - len(appearances)
+    return duplicates / total

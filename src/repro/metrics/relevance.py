@@ -1,0 +1,25 @@
+"""Relevance: total historical-interaction weight (§V-B.6).
+
+``R(S) = Σ_{e ∈ E_S} w_M(e)`` — the sum of *original* rating-derived
+weights over the explanation's edges (knowledge edges carry w_A = 0 in
+the paper's setting and contribute nothing). Note the sum uses the raw
+``w_M``, not the Eq. (1)-boosted weights: relevance asks how grounded the
+explanation is in actual user behaviour. Higher is better; unbounded.
+"""
+
+from __future__ import annotations
+
+from repro.core.explanation import Explanation
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+
+def relevance(explanation: Explanation, graph: KnowledgeGraph) -> float:
+    """Σ w_M over edge mentions (multiplicity view for path sets).
+
+    Hallucinated edges (PLM) do not exist in ``graph`` and add 0.
+    """
+    total = 0.0
+    for u, v in explanation.edge_mentions():
+        if graph.has_edge(u, v):
+            total += graph.weight(u, v)
+    return total

@@ -1,0 +1,63 @@
+"""Evaluate-everything helper: one call scoring all static metrics.
+
+Consistency (a cross-k metric) and performance (a process metric) are not
+per-explanation and live in their own modules; everything else lands in a
+:class:`MetricReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.explanation import Explanation
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.metrics.actionability import actionability
+from repro.metrics.comprehensibility import comprehensibility
+from repro.metrics.diversity import diversity
+from repro.metrics.privacy import privacy
+from repro.metrics.redundancy import redundancy
+from repro.metrics.relevance import relevance
+
+STATIC_METRICS = (
+    "comprehensibility",
+    "actionability",
+    "diversity",
+    "redundancy",
+    "relevance",
+    "privacy",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class MetricReport:
+    """All static metric values for one explanation."""
+
+    comprehensibility: float
+    actionability: float
+    diversity: float
+    redundancy: float
+    relevance: float
+    privacy: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Metric name -> value mapping."""
+        return {name: getattr(self, name) for name in STATIC_METRICS}
+
+    def __getitem__(self, name: str) -> float:
+        if name not in STATIC_METRICS:
+            raise KeyError(name)
+        return getattr(self, name)
+
+
+def evaluate_explanation(
+    explanation: Explanation, graph: KnowledgeGraph
+) -> MetricReport:
+    """Score one explanation on every static metric."""
+    return MetricReport(
+        comprehensibility=comprehensibility(explanation),
+        actionability=actionability(explanation),
+        diversity=diversity(explanation),
+        redundancy=redundancy(explanation),
+        relevance=relevance(explanation, graph),
+        privacy=privacy(explanation),
+    )

@@ -1,0 +1,35 @@
+"""Recommender substrates.
+
+The paper consumes explanation paths from four published systems — PGPR,
+CAFE, PLM-Rec and PEARLM. Trained checkpoints are unavailable offline, so
+each is re-implemented here as a faithful structural simulator: the same
+path grammar, scoring signals and failure modes (see DESIGN.md §2), built
+on a shared matrix-factorization relevance model.
+"""
+
+from repro.recommenders.base import (
+    PathExplainableRecommender,
+    Recommendation,
+    RecommendationList,
+)
+from repro.recommenders.mf import MatrixFactorizationModel
+from repro.recommenders.pgpr import PGPRRecommender
+from repro.recommenders.cafe import CAFERecommender
+from repro.recommenders.plm import PLMRecommender
+from repro.recommenders.pearlm import PEARLMRecommender
+from repro.recommenders.posthoc import PostHocPathRecommender
+from repro.recommenders.registry import available_recommenders, make_recommender
+
+__all__ = [
+    "CAFERecommender",
+    "MatrixFactorizationModel",
+    "PGPRRecommender",
+    "PLMRecommender",
+    "PEARLMRecommender",
+    "PathExplainableRecommender",
+    "PostHocPathRecommender",
+    "Recommendation",
+    "RecommendationList",
+    "available_recommenders",
+    "make_recommender",
+]

@@ -1,0 +1,116 @@
+"""Common recommender interface and result records.
+
+Every recommender in this package implements
+:class:`PathExplainableRecommender`: fit on (knowledge graph, rating
+matrix), then produce per-user top-k recommendations where each
+recommended item carries one explanation :class:`~repro.graph.paths.Path`
+of at most ``max_hops`` edges — the contract the paper's summarizers and
+baselines are built on.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.data.ratings import RatingMatrix
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.paths import Path
+
+MAX_HOPS = 3  # "each reaching the recommended item within a maximum of three edges"
+
+
+@dataclass(frozen=True, slots=True)
+class Recommendation:
+    """One (user, item) recommendation with its explanation path."""
+
+    user: str
+    item: str
+    score: float
+    path: Path
+
+    def __post_init__(self) -> None:
+        if self.path.nodes[0] != self.user:
+            raise ValueError("explanation path must start at the user")
+        if self.path.nodes[-1] != self.item:
+            raise ValueError("explanation path must end at the item")
+
+
+@dataclass(slots=True)
+class RecommendationList:
+    """Ordered top-k list for one user.
+
+    Slicing with :meth:`top` yields the paper's "incremental set of top-k
+    recommendation paths for k = 1 to 10".
+    """
+
+    user: str
+    recommendations: list[Recommendation] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.recommendations)
+
+    def __iter__(self):
+        return iter(self.recommendations)
+
+    def top(self, k: int) -> list[Recommendation]:
+        """First ``k`` recommendations (highest scores first)."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        return self.recommendations[:k]
+
+    def items(self, k: int | None = None) -> list[str]:
+        """Recommended item ids (``R_u``), optionally truncated at ``k``."""
+        recs = self.recommendations if k is None else self.top(k)
+        return [r.item for r in recs]
+
+    def paths(self, k: int | None = None) -> list[Path]:
+        """Explanation paths (``E_u``), optionally truncated at ``k``."""
+        recs = self.recommendations if k is None else self.top(k)
+        return [r.path for r in recs]
+
+
+class PathExplainableRecommender(abc.ABC):
+    """Interface shared by PGPR / CAFE / PLM / PEARLM simulators."""
+
+    #: Human-readable method name ("PGPR", "CAFE", ...).
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @abc.abstractmethod
+    def fit(
+        self, graph: KnowledgeGraph, ratings: RatingMatrix
+    ) -> "PathExplainableRecommender":
+        """Train on the knowledge graph and interaction history."""
+
+    @abc.abstractmethod
+    def recommend(self, user: str, k: int) -> RecommendationList:
+        """Top-``k`` items for ``user``, each with one explanation path."""
+
+    def recommend_many(
+        self, users: Sequence[str], k: int
+    ) -> dict[str, RecommendationList]:
+        """Batch helper: user id -> top-k list."""
+        return {user: self.recommend(user, k) for user in users}
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(f"{self.name}: call fit() before recommend()")
+
+
+def invert_recommendations(
+    per_user: dict[str, RecommendationList], k: int
+) -> dict[str, list[Recommendation]]:
+    """Group top-k recommendations by item: ``C_i`` and its paths ``E_i``.
+
+    The item-centric and item-group scenarios need, for each item, the
+    users it was recommended to and the corresponding paths.
+    """
+    by_item: dict[str, list[Recommendation]] = {}
+    for rec_list in per_user.values():
+        for rec in rec_list.top(k):
+            by_item.setdefault(rec.item, []).append(rec)
+    return by_item

@@ -1,0 +1,237 @@
+"""PGPR simulator: policy-guided path reasoning (Xian et al., SIGIR'19).
+
+The original PGPR trains an RL agent whose policy walks the knowledge
+graph from a user node and whose terminal reward is the relevance of the
+reached item. Structurally its output is: for each user, top-k items
+*reachable within 3 hops*, each justified by the highest-value walk.
+
+This simulator reproduces that contract with an explicit value function
+instead of a learned one: a beam search over ≤3-hop walks scored by
+
+``value(path) = relevance(user, end_item) + η · Σ log P(step)
+                + r · mean(w_M over path edges)``
+
+where ``P(step)`` is a weight-proportional transition probability with a
+degree penalty (hub avoidance, as PGPR's action-pruning does),
+``relevance`` comes from the shared matrix-factorization model, and the
+mean-edge-weight term plays the role of PGPR's path-quality reward — it
+is what propagates the β1/β2 rating/recency mix of Fig 16 into the
+chosen paths. The result has PGPR's signature properties the paper's
+experiments depend on: fixed 3-hop paths, popularity-correlated
+endpoints, one standalone path per recommended item.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.ratings import RatingMatrix
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.paths import Path
+from repro.graph.types import NodeType
+from repro.recommenders.base import (
+    MAX_HOPS,
+    PathExplainableRecommender,
+    Recommendation,
+    RecommendationList,
+)
+from repro.recommenders.mf import MatrixFactorizationModel
+
+
+class PGPRRecommender(PathExplainableRecommender):
+    """Beam-search path reasoner with an RL-style value function."""
+
+    name = "PGPR"
+
+    def __init__(
+        self,
+        beam_width: int = 48,
+        path_weight: float = 0.35,
+        degree_penalty: float = 0.25,
+        knowledge_affinity: float = 3.0,
+        reward_weight: float = 0.4,
+        item_weight_affinity: float = 2.5,
+        mf: MatrixFactorizationModel | None = None,
+        seed: int = 23,
+    ) -> None:
+        super().__init__()
+        self.beam_width = beam_width
+        self.path_weight = path_weight
+        self.degree_penalty = degree_penalty
+        self.knowledge_affinity = knowledge_affinity
+        self.reward_weight = reward_weight
+        self.item_weight_affinity = item_weight_affinity
+        self._item_weight_bonus: np.ndarray | None = None
+        self.mf = mf or MatrixFactorizationModel(seed=seed)
+        self.seed = seed
+        self._graph: KnowledgeGraph | None = None
+        self._ratings: RatingMatrix | None = None
+
+    def fit(
+        self, graph: KnowledgeGraph, ratings: RatingMatrix
+    ) -> "PGPRRecommender":
+        """Train on the knowledge graph and interaction history."""
+        self._graph = graph
+        self._ratings = ratings
+        if self.mf.user_factors is None:
+            self.mf.fit(ratings)
+        self._max_weight = max(
+            (edge.weight for edge in graph.edges()), default=1.0
+        ) or 1.0
+        self._item_weight_bonus = (
+            self._compute_item_weight_bonus() / self._max_weight
+        )
+        self._fitted = True
+        return self
+
+    def _compute_item_weight_bonus(self) -> np.ndarray:
+        """Mean w_M over each item's interaction edges.
+
+        This is how the graph's rating/recency weighting (β1/β2) reaches
+        the item *ranking*: under rating-dominant weights head items get
+        the bonus, under recency-dominant weights the recently-rated tail
+        does — the mechanism behind the paper's Fig 16.
+        """
+        bonus = np.zeros(self._ratings.num_items)
+        for item_index in range(self._ratings.num_items):
+            item = f"i:{item_index}"
+            if item not in self._graph:
+                continue
+            weights = [
+                w
+                for neighbor, w in self._graph.neighbors(item).items()
+                if NodeType.of(neighbor) is NodeType.USER
+            ]
+            if weights:
+                bonus[item_index] = sum(weights) / len(weights)
+        return bonus
+
+    def recommend(self, user: str, k: int) -> RecommendationList:
+        """Top-k items for one user, each with one path."""
+        self._check_fitted()
+        graph, ratings = self._graph, self._ratings
+        if user not in graph:
+            raise KeyError(f"unknown user {user!r}")
+        user_index = int(user.split(":")[1])
+        rated = set(ratings.user_items(user_index))
+        # The (normalized) item weight bonus spans [0, 1]; scaled by 2 it
+        # can shift rankings by up to two MF-score standard deviations.
+        scores = (
+            self.mf.score_items(user_index)
+            + 2.0 * self.item_weight_affinity * self._item_weight_bonus
+        )
+
+        # Beam over walks of exactly <= MAX_HOPS edges. Each beam entry is
+        # (log-prob, node tuple); item endpoints yield candidate paths.
+        beam: list[tuple[float, tuple[str, ...]]] = [(0.0, (user,))]
+        best_per_item: dict[str, tuple[float, tuple[str, ...]]] = {}
+
+        for _hop in range(MAX_HOPS):
+            candidates: list[tuple[float, tuple[str, ...]]] = []
+            for log_prob, walk in beam:
+                tail = walk[-1]
+                steps = self._transition_log_probs(tail, walk)
+                for neighbor, step_lp in steps:
+                    new_walk = walk + (neighbor,)
+                    new_lp = log_prob + step_lp
+                    candidates.append((new_lp, new_walk))
+                    self._offer(
+                        best_per_item,
+                        new_walk,
+                        new_lp,
+                        rated,
+                        scores,
+                    )
+            candidates.sort(key=lambda c: -c[0])
+            beam = candidates[: self.beam_width]
+            if not beam:
+                break
+
+        ranked = sorted(
+            best_per_item.items(), key=lambda kv: -kv[1][0]
+        )[:k]
+        recommendations = [
+            Recommendation(
+                user=user,
+                item=item,
+                score=value,
+                path=Path(nodes=walk, user=user, item=item, score=value),
+            )
+            for item, (value, walk) in ranked
+        ]
+        return RecommendationList(user=user, recommendations=recommendations)
+
+    # ------------------------------------------------------------------
+    def _transition_log_probs(
+        self, node: str, walk: tuple[str, ...]
+    ) -> list[tuple[str, float]]:
+        """Hub-penalized, weight-proportional step distribution from ``node``.
+
+        Mirrors PGPR's pruned action space: only the top-degree-penalized
+        neighbors are considered, and revisits are forbidden.
+        """
+        graph = self._graph
+        visited = set(walk)
+        entries: list[tuple[str, float]] = []
+        for neighbor, weight in graph.neighbors(node).items():
+            if neighbor in visited:
+                continue
+            # KG reasoners step through entity relations far more often
+            # than through co-rating users; knowledge edges carry w_A = 0,
+            # so they get a fixed affinity instead of a weight bonus.
+            # Interaction attraction is normalized by the graph's max
+            # weight so the β1/β2 *scale* cancels and only the weight
+            # *distribution* steers the walks.
+            if NodeType.of(neighbor) is NodeType.EXTERNAL:
+                base = self.knowledge_affinity
+            else:
+                base = 1.0 + 4.0 * max(weight, 0.0) / self._max_weight
+            attraction = base / (
+                graph.degree(neighbor) ** self.degree_penalty
+            )
+            entries.append((neighbor, attraction))
+        if not entries:
+            return []
+        total = sum(a for _, a in entries)
+        return [
+            (neighbor, math.log(attraction / total))
+            for neighbor, attraction in entries
+        ]
+
+    def _offer(
+        self,
+        best_per_item: dict[str, tuple[float, tuple[str, ...]]],
+        walk: tuple[str, ...],
+        log_prob: float,
+        rated: set[int],
+        scores: np.ndarray,
+    ) -> None:
+        """Record ``walk`` as a candidate explanation if it ends at a new
+        recommendable item and beats the item's current best value."""
+        end = walk[-1]
+        if NodeType.of(end) is not NodeType.ITEM:
+            return
+        item_index = int(end.split(":")[1])
+        if item_index in rated:
+            return
+        value = (
+            float(scores[item_index])
+            + self.path_weight * log_prob
+            + 2.0
+            * self.reward_weight
+            * self._mean_path_weight(walk)
+            / self._max_weight
+        )
+        current = best_per_item.get(end)
+        if current is None or value > current[0]:
+            best_per_item[end] = (value, walk)
+
+    def _mean_path_weight(self, walk: tuple[str, ...]) -> float:
+        """Mean w_M over the walk's edges (the path-quality reward)."""
+        graph = self._graph
+        total = 0.0
+        for u, v in zip(walk, walk[1:]):
+            total += graph.weight(u, v)
+        return total / (len(walk) - 1)

@@ -1,0 +1,196 @@
+"""PLM-Rec simulator: path language modeling (Geng et al., WWW'22).
+
+PLM-Rec trains a language model on path corpora sampled from the KG and
+*decodes* recommendation paths token by token. Its defining property — the
+one the paper's Figs 12-13 exercise — is that decoding is **not**
+constrained to the KG: the model can emit fluent but *hallucinated* hops
+that do not exist as edges, producing more diverse paths than graph-bound
+reasoners (and occasionally unfaithful ones).
+
+The simulator trains a smoothed bigram model over node tokens from random
+walks and decodes stochastically:
+
+- transitions seen in the walk corpus get probability mass from counts;
+- with probability ``hallucination_rate`` a step is sampled from the
+  *global type-compatible vocabulary* instead of the neighbor set — the
+  structural analogue of an LM generalizing beyond observed edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.ratings import RatingMatrix
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.paths import Path
+from repro.graph.types import NodeType
+from repro.recommenders.base import (
+    MAX_HOPS,
+    PathExplainableRecommender,
+    Recommendation,
+    RecommendationList,
+)
+from repro.recommenders.mf import MatrixFactorizationModel
+
+
+class PLMRecommender(PathExplainableRecommender):
+    """Bigram path language model with unconstrained decoding."""
+
+    name = "PLM"
+
+    def __init__(
+        self,
+        walks_per_node: int = 6,
+        walk_length: int = 4,
+        hallucination_rate: float = 0.25,
+        decode_attempts: int = 400,
+        mf: MatrixFactorizationModel | None = None,
+        seed: int = 31,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= hallucination_rate <= 1.0:
+            raise ValueError("hallucination_rate must be in [0, 1]")
+        self.walks_per_node = walks_per_node
+        self.walk_length = walk_length
+        self.hallucination_rate = hallucination_rate
+        self.decode_attempts = decode_attempts
+        self.mf = mf or MatrixFactorizationModel(seed=seed)
+        self.seed = seed
+        self._graph: KnowledgeGraph | None = None
+        self._ratings: RatingMatrix | None = None
+        self._bigram: dict[str, tuple[list[str], np.ndarray]] = {}
+        self._vocab_by_type: dict[NodeType, list[str]] = {}
+        self._rng: np.random.Generator | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, graph: KnowledgeGraph, ratings: RatingMatrix) -> "PLMRecommender":
+        """Train on the knowledge graph and interaction history."""
+        self._graph = graph
+        self._ratings = ratings
+        self._rng = np.random.default_rng(self.seed)
+        if self.mf.user_factors is None:
+            self.mf.fit(ratings)
+        self._train_language_model()
+        self._fitted = True
+        return self
+
+    def _train_language_model(self) -> None:
+        """Count bigrams over a random-walk corpus (the 'pre-training')."""
+        graph, rng = self._graph, self._rng
+        counts: dict[str, dict[str, int]] = {}
+        nodes = list(graph.nodes())
+        for node in nodes:
+            for _ in range(self.walks_per_node):
+                walk = [node]
+                for _ in range(self.walk_length):
+                    neighbors = list(graph.neighbors(walk[-1]))
+                    if not neighbors:
+                        break
+                    walk.append(
+                        neighbors[int(rng.integers(0, len(neighbors)))]
+                    )
+                for a, b in zip(walk, walk[1:]):
+                    counts.setdefault(a, {}).setdefault(b, 0)
+                    counts[a][b] += 1
+        self._bigram = {}
+        for token, nexts in counts.items():
+            options = list(nexts)
+            probs = np.array([nexts[o] for o in options], dtype=float)
+            probs /= probs.sum()
+            self._bigram[token] = (options, probs)
+        self._vocab_by_type = {
+            node_type: sorted(graph.nodes_of_type(node_type))
+            for node_type in NodeType
+        }
+
+    # ------------------------------------------------------------------
+    def recommend(self, user: str, k: int) -> RecommendationList:
+        """Top-k items for one user, each with one path."""
+        self._check_fitted()
+        graph, ratings, rng = self._graph, self._ratings, self._rng
+        if user not in graph:
+            raise KeyError(f"unknown user {user!r}")
+        user_index = int(user.split(":")[1])
+        rated = set(ratings.user_items(user_index))
+        scores = self.mf.score_items(user_index)
+
+        best_per_item: dict[str, tuple[float, tuple[str, ...]]] = {}
+        for _ in range(self.decode_attempts):
+            walk = self._decode_path(user)
+            if walk is None:
+                continue
+            end = walk[-1]
+            item_index = int(end.split(":")[1])
+            if item_index in rated:
+                continue
+            value = float(scores[item_index])
+            current = best_per_item.get(end)
+            if current is None or value > current[0]:
+                best_per_item[end] = (value, walk)
+            if len(best_per_item) >= 4 * k:
+                break
+
+        ranked = sorted(best_per_item.items(), key=lambda kv: -kv[1][0])[:k]
+        recommendations = [
+            Recommendation(
+                user=user,
+                item=item,
+                score=value,
+                path=Path(nodes=walk, user=user, item=item, score=value),
+            )
+            for item, (value, walk) in ranked
+        ]
+        return RecommendationList(user=user, recommendations=recommendations)
+
+    def _decode_path(self, user: str) -> tuple[str, ...] | None:
+        """Sample one ≤3-hop walk from the LM, ending at an item token."""
+        rng = self._rng
+        walk = [user]
+        for hop in range(MAX_HOPS):
+            token = self._sample_next(walk)
+            if token is None:
+                return None
+            walk.append(token)
+            if NodeType.of(token) is NodeType.ITEM and hop >= 1:
+                break
+        if NodeType.of(walk[-1]) is not NodeType.ITEM or len(walk) < 3:
+            return None
+        return tuple(walk)
+
+    def _sample_next(self, walk: list[str]) -> str | None:
+        """One decoding step: corpus bigram or hallucinated token."""
+        rng = self._rng
+        tail = walk[-1]
+        visited = set(walk)
+        if rng.random() < self.hallucination_rate:
+            # LM generalization: jump to any type-plausible token.
+            target_type = self._plausible_next_type(tail, rng)
+            vocab = self._vocab_by_type.get(target_type, [])
+            candidates = [t for t in vocab if t not in visited]
+            if candidates:
+                return candidates[int(rng.integers(0, len(candidates)))]
+        entry = self._bigram.get(tail)
+        if entry is None:
+            return None
+        options, probs = entry
+        for _ in range(6):
+            token = options[int(rng.choice(len(options), p=probs))]
+            if token not in visited:
+                return token
+        return None
+
+    @staticmethod
+    def _plausible_next_type(
+        token: str, rng: np.random.Generator
+    ) -> NodeType:
+        """Schema-compatible next-token type (users never follow users)."""
+        current = NodeType.of(token)
+        if current is NodeType.USER:
+            return NodeType.ITEM
+        if current is NodeType.ITEM:
+            return (
+                NodeType.EXTERNAL
+                if rng.random() < 0.6
+                else NodeType.USER
+            )
+        return NodeType.ITEM

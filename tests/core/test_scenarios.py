@@ -1,0 +1,140 @@
+"""The four scenario task builders."""
+
+import pytest
+
+from repro.core.scenarios import (
+    Scenario,
+    SummaryTask,
+    item_centric_task,
+    item_group_task,
+    user_centric_task,
+    user_group_task,
+)
+from repro.graph.paths import Path
+from repro.recommenders.base import Recommendation, RecommendationList
+
+
+def rec(user, item):
+    return Recommendation(
+        user=user, item=item, score=1.0, path=Path(nodes=(user, item))
+    )
+
+
+class TestSummaryTask:
+    def test_anchor_must_be_terminal(self):
+        with pytest.raises(ValueError):
+            SummaryTask(
+                scenario=Scenario.USER_CENTRIC,
+                terminals=("u:0",),
+                paths=(),
+                anchors=("i:0",),
+                focus=("u:0",),
+            )
+
+    def test_focus_must_be_terminal(self):
+        with pytest.raises(ValueError):
+            SummaryTask(
+                scenario=Scenario.USER_CENTRIC,
+                terminals=("i:0",),
+                paths=(),
+                anchors=("i:0",),
+                focus=("u:0",),
+            )
+
+    def test_empty_terminals_rejected(self):
+        with pytest.raises(ValueError):
+            SummaryTask(
+                scenario=Scenario.USER_CENTRIC,
+                terminals=(),
+                paths=(),
+                anchors=(),
+                focus=(),
+            )
+
+    def test_is_group(self):
+        assert Scenario.USER_GROUP.is_group
+        assert not Scenario.USER_CENTRIC.is_group
+
+
+class TestUserCentric:
+    def test_terminals_are_user_plus_items(self, toy_recommendations):
+        task = user_centric_task(toy_recommendations, 2)
+        assert task.terminals == ("u:0", "i:1", "i:3")
+        assert task.anchors == ("i:1", "i:3")
+        assert task.focus == ("u:0",)
+        assert len(task.paths) == 2
+
+    def test_k_truncates(self, toy_recommendations):
+        task = user_centric_task(toy_recommendations, 1)
+        assert task.terminals == ("u:0", "i:1")
+        assert len(task.paths) == 1
+
+    def test_empty_recommendations_rejected(self):
+        empty = RecommendationList(user="u:0")
+        with pytest.raises(ValueError):
+            user_centric_task(empty, 3)
+
+
+class TestItemCentric:
+    def test_terminals_are_item_plus_users(self):
+        recs = [rec("u:0", "i:5"), rec("u:1", "i:5"), rec("u:2", "i:9")]
+        task = item_centric_task("i:5", recs)
+        assert task.terminals == ("i:5", "u:0", "u:1")
+        assert task.anchors == ("u:0", "u:1")
+        assert task.focus == ("i:5",)
+        assert len(task.paths) == 2
+
+    def test_unrecommended_item_rejected(self):
+        with pytest.raises(ValueError):
+            item_centric_task("i:5", [rec("u:0", "i:1")])
+
+
+class TestUserGroup:
+    def test_terminals_union(self):
+        per_user = {
+            "u:0": RecommendationList("u:0", [rec("u:0", "i:0")]),
+            "u:1": RecommendationList("u:1", [rec("u:1", "i:1")]),
+        }
+        task = user_group_task(["u:0", "u:1"], per_user, k=1)
+        assert set(task.terminals) == {"u:0", "u:1", "i:0", "i:1"}
+        assert set(task.focus) == {"u:0", "u:1"}
+        assert len(task.paths) == 2
+
+    def test_missing_member_raises(self):
+        with pytest.raises(KeyError):
+            user_group_task(["u:0"], {}, k=1)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            user_group_task([], {}, k=1)
+
+    def test_shared_items_deduplicated(self):
+        per_user = {
+            "u:0": RecommendationList("u:0", [rec("u:0", "i:7")]),
+            "u:1": RecommendationList("u:1", [rec("u:1", "i:7")]),
+        }
+        task = user_group_task(["u:0", "u:1"], per_user, k=1)
+        assert task.terminals.count("i:7") == 1
+        assert len(task.paths) == 2
+
+
+class TestItemGroup:
+    def test_terminals_union(self):
+        by_item = {
+            "i:0": [rec("u:0", "i:0"), rec("u:1", "i:0")],
+            "i:1": [rec("u:1", "i:1")],
+        }
+        task = item_group_task(["i:0", "i:1"], by_item)
+        assert set(task.terminals) == {"i:0", "i:1", "u:0", "u:1"}
+        assert set(task.anchors) == {"u:0", "u:1"}
+        assert set(task.focus) == {"i:0", "i:1"}
+        assert len(task.paths) == 3
+
+    def test_items_without_recommendations_skipped(self):
+        by_item = {"i:0": [rec("u:0", "i:0")]}
+        task = item_group_task(["i:0", "i:9"], by_item)
+        assert "i:9" not in task.terminals
+
+    def test_fully_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            item_group_task(["i:9"], {})

@@ -1,0 +1,48 @@
+"""Union-of-paths baseline summarizer."""
+
+from repro.core.scenarios import Scenario, SummaryTask
+from repro.core.union_summary import UnionSummarizer
+from repro.graph.paths import Path
+
+
+class TestUnionSummarizer:
+    def test_union_contains_every_path_edge(self, core_graph, toy_task):
+        summary = UnionSummarizer(core_graph).summarize(toy_task)
+        for path in toy_task.paths:
+            for u, v in path.edges():
+                assert summary.subgraph.has_edge(u, v)
+
+    def test_shared_edges_collapse(self, core_graph):
+        paths = (
+            Path(nodes=("u:0", "i:0", "e:genre:0", "i:1")),
+            Path(nodes=("u:0", "i:0", "e:genre:0", "i:1")),
+        )
+        task = SummaryTask(
+            scenario=Scenario.USER_CENTRIC,
+            terminals=("u:0", "i:1"),
+            paths=paths,
+            anchors=("i:1",),
+            focus=("u:0",),
+        )
+        summary = UnionSummarizer(core_graph).summarize(task)
+        assert summary.subgraph.num_edges == 3
+
+    def test_hallucinated_edges_kept_with_zero_weight(self, core_graph):
+        paths = (Path(nodes=("u:0", "i:1")),)  # edge absent from graph
+        task = SummaryTask(
+            scenario=Scenario.USER_CENTRIC,
+            terminals=("u:0", "i:1"),
+            paths=paths,
+            anchors=("i:1",),
+            focus=("u:0",),
+        )
+        summary = UnionSummarizer(core_graph).summarize(task)
+        assert summary.subgraph.has_edge("u:0", "i:1")
+        assert summary.subgraph.weight("u:0", "i:1") == 0.0
+
+    def test_weights_copied_from_graph(self, core_graph, toy_task):
+        summary = UnionSummarizer(core_graph).summarize(toy_task)
+        assert summary.subgraph.weight("u:0", "i:0") == 5.0
+
+    def test_method_label(self, core_graph, toy_task):
+        assert UnionSummarizer(core_graph).summarize(toy_task).method == "Union"

@@ -1,0 +1,69 @@
+"""Natural-language rendering."""
+
+from repro.core.steiner_summary import SteinerSummarizer
+from repro.core.verbalize import (
+    node_type_label,
+    verbalize_path,
+    verbalize_summary,
+)
+from repro.graph.paths import Path
+
+
+class TestVerbalizePath:
+    def test_direct_connection(self, core_graph):
+        sentence = verbalize_path(Path(nodes=("u:0", "i:0")), core_graph)
+        assert sentence == "u:0 is directly connected to i:0."
+
+    def test_through_intermediates(self, core_graph):
+        sentence = verbalize_path(
+            Path(nodes=("u:0", "i:0", "e:genre:0", "i:1")), core_graph
+        )
+        assert "is connected to" in sentence
+        assert "through" in sentence
+        assert "e:genre:0" in sentence
+
+    def test_names_used_when_available(self, core_graph):
+        core_graph.set_name("u:0", "Alice")
+        core_graph.set_name("i:1", "Casablanca")
+        sentence = verbalize_path(
+            Path(nodes=("u:0", "i:0", "e:genre:0", "i:1")), core_graph
+        )
+        assert sentence.startswith("Alice")
+        assert "Casablanca" in sentence
+
+    def test_without_graph_uses_ids(self):
+        sentence = verbalize_path(Path(nodes=("u:0", "i:0")))
+        assert "u:0" in sentence
+
+
+class TestVerbalizeSummary:
+    def test_headline_mentions_focus_and_anchors(self, core_graph, toy_task):
+        summary = SteinerSummarizer(core_graph, lam=1.0).summarize(toy_task)
+        sentence = verbalize_summary(summary, core_graph)
+        assert sentence.startswith("u:0 is connected to")
+        assert "i:1" in sentence
+        assert "i:3" in sentence
+
+    def test_routes_included_on_request(self, core_graph, toy_task):
+        summary = SteinerSummarizer(core_graph, lam=1.0).summarize(toy_task)
+        with_routes = verbalize_summary(
+            summary, core_graph, include_routes=True
+        )
+        without = verbalize_summary(summary, core_graph)
+        assert len(with_routes) >= len(without)
+
+    def test_empty_summary_handled(self, core_graph, toy_task):
+        from repro.core.explanation import SubgraphExplanation
+        from repro.graph.knowledge_graph import KnowledgeGraph
+
+        empty = SubgraphExplanation(
+            subgraph=KnowledgeGraph(), task=toy_task, method="ST"
+        )
+        assert verbalize_summary(empty) == "The summary is empty."
+
+
+class TestNodeTypeLabel:
+    def test_labels(self):
+        assert node_type_label("u:0") == "user"
+        assert node_type_label("i:0") == "item"
+        assert node_type_label("e:g:0") == "external"

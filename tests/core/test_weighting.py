@@ -1,0 +1,84 @@
+"""Eq. (1) weighting and the cost transform."""
+
+import pytest
+
+from repro.core.weighting import ExplanationWeighting
+
+
+class TestBoostedWeight:
+    def test_edge_on_path_boosted(self, core_graph, toy_task):
+        weighting = ExplanationWeighting(core_graph, toy_task, lam=1.0)
+        stored = core_graph.weight("u:0", "i:0")
+        boosted = weighting.boosted_weight("u:0", "i:0", stored)
+        # freq = 1, |S| = 2 anchors: w * (1 + 1 * 1/2)
+        assert boosted == pytest.approx(stored * 1.5)
+
+    def test_edge_off_path_unboosted(self, core_graph, toy_task):
+        weighting = ExplanationWeighting(core_graph, toy_task, lam=1.0)
+        stored = core_graph.weight("u:1", "i:1")
+        assert weighting.boosted_weight("u:1", "i:1", stored) == stored
+
+    def test_lambda_zero_nullifies(self, core_graph, toy_task):
+        weighting = ExplanationWeighting(core_graph, toy_task, lam=0.0)
+        stored = core_graph.weight("u:0", "i:0")
+        assert weighting.boosted_weight("u:0", "i:0", stored) == stored
+        assert weighting.boost("u:0", "i:0", stored) == 0.0
+
+    def test_knowledge_edges_never_boosted(self, core_graph, toy_task):
+        # w_A = 0 kills the multiplicative boost, per the paper.
+        weighting = ExplanationWeighting(core_graph, toy_task, lam=100.0)
+        assert weighting.boost("i:0", "e:genre:0", 0.0) == 0.0
+
+    def test_negative_lambda_rejected(self, core_graph, toy_task):
+        with pytest.raises(ValueError):
+            ExplanationWeighting(core_graph, toy_task, lam=-1.0)
+
+    def test_weight_influence_bounds(self, core_graph, toy_task):
+        with pytest.raises(ValueError):
+            ExplanationWeighting(core_graph, toy_task, weight_influence=1.0)
+
+
+class TestCost:
+    def test_costs_positive_and_bounded(self, core_graph, toy_task):
+        weighting = ExplanationWeighting(
+            core_graph, toy_task, lam=100.0, weight_influence=0.7
+        )
+        for edge in core_graph.edges():
+            cost = weighting.cost(edge.source, edge.target, edge.weight)
+            assert 0.3 < cost <= 1.0
+
+    def test_path_edges_cheaper(self, core_graph, toy_task):
+        weighting = ExplanationWeighting(core_graph, toy_task, lam=10.0)
+        on_path = weighting.cost(
+            "u:0", "i:0", core_graph.weight("u:0", "i:0")
+        )
+        off_path = weighting.cost(
+            "u:1", "i:1", core_graph.weight("u:1", "i:1")
+        )
+        assert on_path < off_path == 1.0
+
+    def test_lambda_monotone(self, core_graph, toy_task):
+        """Higher λ -> cheaper path edges (stronger path adherence)."""
+        stored = core_graph.weight("u:0", "i:0")
+        costs = [
+            ExplanationWeighting(core_graph, toy_task, lam=lam).cost(
+                "u:0", "i:0", stored
+            )
+            for lam in (0.01, 1.0, 100.0)
+        ]
+        assert costs[0] > costs[1] > costs[2]
+
+    def test_heavier_path_edges_cheaper(self, core_graph, toy_task):
+        """Within the path set, a 5-star edge outranks a 3-star edge."""
+        weighting = ExplanationWeighting(core_graph, toy_task, lam=1.0)
+        heavy = weighting.cost("u:0", "i:0", 5.0)
+        light = weighting.cost("u:0", "i:2", 3.0)
+        assert heavy < light
+
+    def test_lambda_zero_uniform_costs(self, core_graph, toy_task):
+        weighting = ExplanationWeighting(core_graph, toy_task, lam=0.0)
+        costs = {
+            weighting.cost(e.source, e.target, e.weight)
+            for e in core_graph.edges()
+        }
+        assert costs == {1.0}

@@ -1,0 +1,118 @@
+"""Synthetic DBpedia-style knowledge attachment."""
+
+import numpy as np
+import pytest
+
+from repro.data.dbpedia import (
+    ExternalSchema,
+    attach_external_knowledge,
+    attach_to_items,
+)
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.types import EdgeType, NodeType
+
+
+@pytest.fixture
+def item_graph() -> KnowledgeGraph:
+    graph = KnowledgeGraph()
+    for i in range(30):
+        graph.add_node(f"i:{i}")
+    graph.add_edge("u:0", "i:0", 5.0)
+    return graph
+
+
+class TestAttachment:
+    def test_adds_external_nodes_and_edges(self, item_graph):
+        attach_external_knowledge(
+            item_graph, ExternalSchema.movies(), np.random.default_rng(0)
+        )
+        externals = list(item_graph.nodes_of_type(NodeType.EXTERNAL))
+        assert externals
+        knowledge_edges = [
+            e for e in item_graph.edges() if e.type is EdgeType.KNOWLEDGE
+        ]
+        assert knowledge_edges
+
+    def test_external_edges_carry_zero_weight(self, item_graph):
+        attach_external_knowledge(
+            item_graph, ExternalSchema.movies(), np.random.default_rng(0)
+        )
+        for edge in item_graph.edges():
+            if edge.type is EdgeType.KNOWLEDGE:
+                assert edge.weight == 0.0
+
+    def test_relations_recorded(self, item_graph):
+        attach_external_knowledge(
+            item_graph, ExternalSchema.movies(), np.random.default_rng(0)
+        )
+        relations = {
+            e.relation
+            for e in item_graph.edges()
+            if e.type is EdgeType.KNOWLEDGE
+        }
+        assert "genre" in relations
+        assert "director" in relations
+
+    def test_every_item_gets_required_relations(self, item_graph):
+        attach_external_knowledge(
+            item_graph, ExternalSchema.movies(), np.random.default_rng(1)
+        )
+        for i in range(30):
+            neighbors = item_graph.neighbors(f"i:{i}")
+            kinds = {
+                item_graph.relation(f"i:{i}", n)
+                for n in neighbors
+                if NodeType.of(n) is NodeType.EXTERNAL
+            }
+            # director has entities_per_item = 1.0, so it's guaranteed.
+            assert "director" in kinds
+
+    def test_entities_are_shared_across_items(self, item_graph):
+        attach_external_knowledge(
+            item_graph, ExternalSchema.movies(), np.random.default_rng(2)
+        )
+        genre_nodes = [
+            n
+            for n in item_graph.nodes_of_type(NodeType.EXTERNAL)
+            if n.startswith("e:genre:")
+        ]
+        degrees = [item_graph.degree(n) for n in genre_nodes]
+        assert max(degrees) >= 2  # sharing is the whole point
+
+    def test_names_assigned(self, item_graph):
+        attach_external_knowledge(
+            item_graph, ExternalSchema.movies(), np.random.default_rng(3)
+        )
+        external = next(iter(item_graph.nodes_of_type(NodeType.EXTERNAL)))
+        assert item_graph.name(external) != external
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            attach_external_knowledge(
+                KnowledgeGraph(),
+                ExternalSchema.movies(),
+                np.random.default_rng(0),
+            )
+
+    def test_music_schema_relations(self, item_graph):
+        attach_external_knowledge(
+            item_graph, ExternalSchema.music(), np.random.default_rng(0)
+        )
+        relations = {
+            e.relation
+            for e in item_graph.edges()
+            if e.type is EdgeType.KNOWLEDGE
+        }
+        assert "artist" in relations
+
+
+class TestAttachToItems:
+    def test_triples_shape(self):
+        triples = attach_to_items(
+            10, ExternalSchema.movies(), np.random.default_rng(0)
+        )
+        assert triples
+        for item, external, relation in triples:
+            assert item.startswith("i:")
+            assert external.startswith("e:")
+            assert relation

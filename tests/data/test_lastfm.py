@@ -1,0 +1,58 @@
+"""LFM1M-like generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.lastfm import (
+    LFM1M_TRACKS,
+    LFM1M_USERS,
+    LastFMSpec,
+    generate_lfm1m_like,
+)
+from repro.data.movielens import MovieLensSpec, generate_ml1m_like
+
+
+class TestSpec:
+    def test_full_scale_sizes(self):
+        spec = LastFMSpec(scale=1.0)
+        assert spec.num_users == LFM1M_USERS
+        assert spec.num_items == LFM1M_TRACKS
+
+    def test_rating_cap(self):
+        spec = LastFMSpec(scale=0.01)
+        assert spec.num_ratings <= spec.num_users * spec.num_items // 4
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_lfm1m_like(LastFMSpec(scale=0.01, seed=3))
+
+    def test_matches_spec(self, dataset):
+        assert dataset.num_users == dataset.spec.num_users
+        assert dataset.num_items == dataset.spec.num_items
+
+    def test_implicit_ratings_positive(self, dataset):
+        for _, _, rating, _ in dataset.ratings.iter_ratings():
+            assert rating >= 1.0
+
+    def test_deterministic(self):
+        a = generate_lfm1m_like(LastFMSpec(scale=0.008, seed=4))
+        b = generate_lfm1m_like(LastFMSpec(scale=0.008, seed=4))
+        assert list(a.ratings.iter_ratings()) == list(b.ratings.iter_ratings())
+
+    def test_steeper_tail_than_movielens(self):
+        """LFM's popularity exponent is higher: its head should hold a
+        larger popularity share than ML1M's at equal sizes."""
+        ml = generate_ml1m_like(MovieLensSpec(scale=0.02, seed=8))
+        lfm = generate_lfm1m_like(LastFMSpec(scale=0.015, seed=8))
+
+        def head_share(ds):
+            popularity = np.sort(ds.ratings.item_popularity())[::-1]
+            head = popularity[: max(1, len(popularity) // 20)].sum()
+            return head / popularity.sum()
+
+        assert head_share(lfm) > head_share(ml)
+
+    def test_items_outnumber_users_like_lfm(self, dataset):
+        assert dataset.num_items > dataset.num_users

@@ -1,0 +1,77 @@
+"""ML1M-like generator: scale, shape and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.data.movielens import (
+    ML1M_ITEMS,
+    ML1M_USERS,
+    MovieLensSpec,
+    generate_ml1m_like,
+)
+
+
+class TestSpec:
+    def test_full_scale_sizes(self):
+        spec = MovieLensSpec(scale=1.0)
+        assert spec.num_users == ML1M_USERS
+        assert spec.num_items == ML1M_ITEMS
+
+    def test_scaled_sizes(self):
+        spec = MovieLensSpec(scale=0.1)
+        assert spec.num_users == round(ML1M_USERS * 0.1)
+
+    def test_rating_count_capped_by_pair_universe(self):
+        spec = MovieLensSpec(scale=0.01)
+        assert spec.num_ratings <= spec.num_users * spec.num_items // 4
+
+    def test_minimum_population(self):
+        spec = MovieLensSpec(scale=1e-6)
+        assert spec.num_users >= 8
+        assert spec.num_items >= 8
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_ml1m_like(MovieLensSpec(scale=0.02, seed=5))
+
+    def test_matches_spec(self, dataset):
+        assert dataset.num_users == dataset.spec.num_users
+        assert dataset.num_items == dataset.spec.num_items
+
+    def test_rating_values_in_range(self, dataset):
+        for _, _, rating, _ in dataset.ratings.iter_ratings():
+            assert 1.0 <= rating <= 5.0
+
+    def test_every_user_has_a_rating(self, dataset):
+        activity = dataset.ratings.user_activity()
+        assert activity.min() >= 1
+
+    def test_popularity_is_long_tailed(self, dataset):
+        popularity = np.sort(dataset.ratings.item_popularity())[::-1]
+        top_decile = popularity[: max(1, len(popularity) // 10)].sum()
+        assert top_decile > 0.2 * popularity.sum()
+
+    def test_gender_attribute_present(self, dataset):
+        assert set(np.unique(dataset.user_gender)) <= {"M", "F"}
+        assert len(dataset.user_gender) == dataset.num_users
+
+    def test_male_majority_like_ml1m(self, dataset):
+        male_share = (dataset.user_gender == "M").mean()
+        assert 0.55 < male_share < 0.9
+
+    def test_deterministic(self):
+        a = generate_ml1m_like(MovieLensSpec(scale=0.01, seed=9))
+        b = generate_ml1m_like(MovieLensSpec(scale=0.01, seed=9))
+        assert list(a.ratings.iter_ratings()) == list(b.ratings.iter_ratings())
+
+    def test_different_seeds_differ(self):
+        a = generate_ml1m_like(MovieLensSpec(scale=0.01, seed=1))
+        b = generate_ml1m_like(MovieLensSpec(scale=0.01, seed=2))
+        assert list(a.ratings.iter_ratings()) != list(b.ratings.iter_ratings())
+
+    def test_timestamps_within_window(self, dataset):
+        window = dataset.spec.rating_window_years * 365 * 24 * 3600
+        for _, _, _, timestamp in dataset.ratings.iter_ratings():
+            assert 0.0 <= timestamp <= window

@@ -1,0 +1,39 @@
+"""Deterministic entity naming."""
+
+from repro.data.namegen import entity_name, movie_name, track_name, user_name
+
+
+class TestEntityNames:
+    def test_genre_names(self):
+        assert entity_name("genre", 0) == "Genre: Drama"
+
+    def test_genre_overflow_suffix(self):
+        name = entity_name("genre", 1000)
+        assert name.startswith("Genre: ")
+        assert name != entity_name("genre", 0)
+
+    def test_person_kinds(self):
+        assert entity_name("director", 0).startswith("Director: ")
+        assert entity_name("actor", 3).startswith("Actor: ")
+        assert entity_name("artist", 5).startswith("Artist: ")
+
+    def test_unknown_kind_fallback(self):
+        assert entity_name("studio", 7) == "Studio #7"
+
+    def test_deterministic(self):
+        assert entity_name("actor", 12) == entity_name("actor", 12)
+
+    def test_distinct_indices_distinct_names_for_people(self):
+        names = {entity_name("director", i) for i in range(200)}
+        assert len(names) == 200
+
+    def test_country_and_decade(self):
+        assert entity_name("country", 0) == "Country: Greece"
+        assert entity_name("decade", 2) == "Decade: 1970s"
+
+
+class TestOtherNames:
+    def test_movie_track_user(self):
+        assert movie_name(3) == "Movie #3"
+        assert track_name(4) == "Track #4"
+        assert user_name(5) == "User 5"

@@ -1,0 +1,107 @@
+"""RatingMatrix storage and queries."""
+
+import numpy as np
+import pytest
+
+from repro.data.ratings import Rating, RatingMatrix
+
+
+@pytest.fixture
+def matrix() -> RatingMatrix:
+    return RatingMatrix.from_records(
+        num_users=3,
+        num_items=4,
+        records=[
+            (0, 0, 5.0, 10.0),
+            (0, 1, 3.0, 20.0),
+            (1, 1, 4.0, 30.0),
+            (2, 3, 2.0, 40.0),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_counts(self, matrix):
+        assert matrix.num_ratings == 4
+        assert matrix.num_users == 3
+        assert matrix.num_items == 4
+
+    def test_duplicate_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            RatingMatrix.from_records(
+                2, 2, [(0, 0, 5.0, 1.0), (0, 0, 3.0, 2.0)]
+            )
+
+    def test_out_of_range_user_rejected(self):
+        with pytest.raises(ValueError):
+            RatingMatrix.from_records(1, 2, [(5, 0, 5.0, 1.0)])
+
+    def test_out_of_range_item_rejected(self):
+        with pytest.raises(ValueError):
+            RatingMatrix.from_records(2, 1, [(0, 5, 5.0, 1.0)])
+
+    def test_nonpositive_rating_rejected(self):
+        with pytest.raises(ValueError):
+            RatingMatrix.from_records(1, 1, [(0, 0, 0.0, 1.0)])
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            RatingMatrix(
+                1,
+                1,
+                np.array([0]),
+                np.array([0]),
+                np.array([5.0]),
+                np.array([1.0, 2.0]),
+            )
+
+    def test_empty_matrix(self):
+        matrix = RatingMatrix.from_records(2, 2, [])
+        assert matrix.num_ratings == 0
+        assert matrix.max_timestamp == 0.0
+
+
+class TestQueries:
+    def test_get_present(self, matrix):
+        assert matrix.get(0, 0) == (5.0, 10.0)
+
+    def test_get_absent_is_zero_pair(self, matrix):
+        assert matrix.get(2, 0) == (0.0, 0.0)
+
+    def test_has_rating(self, matrix):
+        assert matrix.has_rating(1, 1)
+        assert not matrix.has_rating(1, 0)
+
+    def test_user_items(self, matrix):
+        assert matrix.user_items(0) == [0, 1]
+        assert matrix.user_items(2) == [3]
+
+    def test_item_users(self, matrix):
+        assert matrix.item_users(1) == [0, 1]
+        assert matrix.item_users(2) == []
+
+    def test_user_ratings_records(self, matrix):
+        records = matrix.user_ratings(0)
+        assert records[0] == Rating(0, 0, 5.0, 10.0)
+        assert len(records) == 2
+
+    def test_iter_ratings_covers_all(self, matrix):
+        assert len(list(matrix.iter_ratings())) == 4
+
+    def test_max_timestamp(self, matrix):
+        assert matrix.max_timestamp == 40.0
+
+
+class TestAggregates:
+    def test_item_popularity(self, matrix):
+        popularity = matrix.item_popularity()
+        assert popularity.tolist() == [1, 2, 0, 1]
+
+    def test_user_activity(self, matrix):
+        assert matrix.user_activity().tolist() == [2, 1, 1]
+
+    def test_to_dense(self, matrix):
+        dense = matrix.to_dense()
+        assert dense.shape == (3, 4)
+        assert dense[0, 0] == 5.0
+        assert dense[2, 2] == 0.0

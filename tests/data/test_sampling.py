@@ -1,0 +1,85 @@
+"""User and item sampling schemes (§V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.data.sampling import (
+    sample_items_by_popularity,
+    sample_users_balanced,
+)
+
+
+class TestUserSampling:
+    @pytest.fixture
+    def population(self):
+        rng = np.random.default_rng(0)
+        gender = np.where(rng.random(400) < 0.7, "M", "F")
+        activity = rng.lognormal(0, 1, 400)
+        return gender, activity, rng
+
+    def test_balanced_counts(self, population):
+        gender, activity, rng = population
+        users = sample_users_balanced(gender, activity, 20, rng)
+        sampled_gender = gender[users]
+        assert (sampled_gender == "M").sum() == 20
+        assert (sampled_gender == "F").sum() == 20
+
+    def test_no_duplicates(self, population):
+        gender, activity, rng = population
+        users = sample_users_balanced(gender, activity, 30, rng)
+        assert len(set(users)) == len(users)
+
+    def test_small_pool_takes_everyone(self):
+        gender = np.array(["M", "M", "F"])
+        activity = np.array([1.0, 2.0, 3.0])
+        users = sample_users_balanced(
+            gender, activity, 10, np.random.default_rng(0)
+        )
+        assert sorted(users) == [0, 1, 2]
+
+    def test_activity_distribution_preserved(self, population):
+        """Stratified sampling keeps the activity mean close to the
+        population mean (that's its purpose)."""
+        gender, activity, rng = population
+        users = sample_users_balanced(gender, activity, 50, rng)
+        sampled_mean = activity[users].mean()
+        assert sampled_mean == pytest.approx(activity.mean(), rel=0.35)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            sample_users_balanced(
+                np.array(["M"]),
+                np.array([1.0, 2.0]),
+                1,
+                np.random.default_rng(0),
+            )
+
+
+class TestItemSampling:
+    def test_popular_and_unpopular_buckets(self):
+        popularity = np.array([100, 5, 50, 1, 75, 2, 60, 3])
+        popular, unpopular = sample_items_by_popularity(popularity, 2)
+        assert set(popular) == {0, 4}
+        assert set(unpopular) == {3, 5}
+
+    def test_min_ratings_filter(self):
+        popularity = np.array([10, 0, 5, 0, 3])
+        popular, unpopular = sample_items_by_popularity(
+            popularity, 2, min_ratings=1
+        )
+        assert 1 not in unpopular
+        assert 3 not in unpopular
+
+    def test_buckets_disjoint(self):
+        popularity = np.arange(1, 41)
+        popular, unpopular = sample_items_by_popularity(popularity, 10)
+        assert not set(popular) & set(unpopular)
+
+    def test_all_unrated_raises(self):
+        with pytest.raises(ValueError):
+            sample_items_by_popularity(np.zeros(5), 2)
+
+    def test_tiny_pool_halves(self):
+        popularity = np.array([5, 1, 3])
+        popular, unpopular = sample_items_by_popularity(popularity, 10)
+        assert len(popular) == len(unpopular) == 1

@@ -1,0 +1,34 @@
+"""CLI entry point (fast paths only)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "fig17" in out
+        assert "userstudy" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Summary:" in out
+        assert "13" in out
+
+    def test_table3_runs(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "G5" in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_table2_test_scale(self, capsys):
+        assert main(["table2", "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "average degree" in out

@@ -1,0 +1,64 @@
+"""Experiment configuration."""
+
+import pytest
+
+from repro.experiments.config import RECENCY_COMBOS, ExperimentConfig
+
+
+class TestExperimentConfig:
+    def test_default_is_ci_scale(self):
+        config = ExperimentConfig.ci_scale()
+        assert config.scale_label == "ci"
+        assert config.k_max == 10
+
+    def test_test_scale_smaller(self):
+        test = ExperimentConfig.test_scale()
+        ci = ExperimentConfig.ci_scale()
+        assert test.dataset_scale < ci.dataset_scale
+        assert test.k_max <= ci.k_max
+
+    def test_paper_scale_matches_paper_sampling(self):
+        paper = ExperimentConfig.paper_scale()
+        assert paper.users_per_gender == 100
+        assert paper.items_per_bucket == 50
+        assert paper.dataset_scale == 1.0
+
+    def test_overrides(self):
+        config = ExperimentConfig.ci_scale(k_max=3)
+        assert config.k_max == 3
+
+    def test_k_values_range(self):
+        config = ExperimentConfig.ci_scale(k_max=4)
+        assert list(config.k_values) == [1, 2, 3, 4]
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(dataset="netflix")
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(k_max=0)
+
+    def test_empty_lambdas_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(lambdas=())
+
+    def test_with_dataset(self):
+        config = ExperimentConfig.ci_scale().with_dataset("lfm1m")
+        assert config.dataset == "lfm1m"
+
+    def test_with_recency(self):
+        config = ExperimentConfig.ci_scale().with_recency(0.5, 0.5)
+        assert config.beta_rating == 0.5
+        assert config.beta_recency == 0.5
+
+    def test_cache_key_stable_and_distinct(self):
+        a = ExperimentConfig.ci_scale()
+        b = ExperimentConfig.ci_scale()
+        c = ExperimentConfig.ci_scale(seed=1)
+        assert a.cache_key() == b.cache_key()
+        assert a.cache_key() != c.cache_key()
+
+    def test_recency_combos_cover_extremes(self):
+        assert (1.0, 0.0) in RECENCY_COMBOS
+        assert (0.0, 1.0) in RECENCY_COMBOS

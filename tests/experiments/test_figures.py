@@ -1,0 +1,109 @@
+"""Figure series builders (structure + key paper shapes at test scale)."""
+
+import pytest
+
+from repro.core.scenarios import Scenario
+from repro.experiments import figures
+from repro.experiments.workbench import BASELINE
+
+
+class TestMetricSeries:
+    def test_series_covers_methods_and_k(self, test_bench):
+        series = figures.metric_series(
+            test_bench, Scenario.USER_CENTRIC, "PGPR", "comprehensibility"
+        )
+        assert set(series) == set(test_bench.method_labels())
+        for points in series.values():
+            assert set(points) <= set(test_bench.config.k_values)
+
+    def test_st_beats_baseline_comprehensibility(self, test_bench):
+        """The paper's headline claim (Fig 2) at k_max."""
+        series = figures.metric_series(
+            test_bench, Scenario.USER_CENTRIC, "PGPR", "comprehensibility"
+        )
+        k = test_bench.config.k_max
+        st = series[f"ST λ={test_bench.config.lambdas[-1]:g}"][k]
+        assert st > series[BASELINE][k]
+
+    def test_baseline_diversity_lowest(self, test_bench):
+        """Fig 4 shape: fixed 3-hop baseline paths are least diverse."""
+        series = figures.metric_series(
+            test_bench, Scenario.USER_CENTRIC, "PGPR", "diversity"
+        )
+        k = test_bench.config.k_max
+        assert series[BASELINE][k] <= series["PCST"][k]
+
+    def test_baseline_redundancy_highest(self, test_bench):
+        series = figures.metric_series(
+            test_bench, Scenario.USER_CENTRIC, "PGPR", "redundancy"
+        )
+        k = test_bench.config.k_max
+        st = series[f"ST λ={test_bench.config.lambdas[0]:g}"][k]
+        assert series[BASELINE][k] >= st
+
+    def test_pcst_privacy_highest(self, test_bench):
+        series = figures.metric_series(
+            test_bench, Scenario.USER_CENTRIC, "PGPR", "privacy"
+        )
+        k = test_bench.config.k_max
+        assert series["PCST"][k] >= series[BASELINE][k]
+
+
+class TestConsistencySeries:
+    def test_values_in_unit_range(self, test_bench):
+        series = figures.consistency_series(
+            test_bench, Scenario.USER_CENTRIC, "PGPR"
+        )
+        for points in series.values():
+            for value in points.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_k_axis_stops_before_kmax(self, test_bench):
+        series = figures.consistency_series(
+            test_bench, Scenario.USER_CENTRIC, "PGPR"
+        )
+        for points in series.values():
+            assert max(points) <= test_bench.config.k_max - 1
+
+
+class TestPanelBuilders:
+    def test_figure2_panel_coverage(self, test_bench):
+        panels = figures.figure2(test_bench)
+        assert len(panels) == 8  # 4 scenarios x 2 recommenders
+
+    def test_figure12_uses_plm_baselines(self, test_bench):
+        panels = figures.figure12(test_bench)
+        assert set(panels) == {
+            "user-centric PLM",
+            "user-centric PEARLM",
+            "user-group PLM",
+            "user-group PEARLM",
+        }
+
+    def test_figure14_requires_lfm(self, test_bench):
+        with pytest.raises(ValueError):
+            figures.figure14(test_bench)
+
+
+class TestPerformanceFigures:
+    def test_figure10_times_positive(self, test_bench):
+        panels = figures.figure10(
+            test_bench, group_sizes=(2, 3)
+        )
+        for series in panels.values():
+            for points in series.values():
+                for value in points.values():
+                    assert value > 0.0
+
+    def test_figure11_small_scale(self):
+        panels = figures.figure11(scale=0.004, k=3, group_size=4)
+        assert "user-group time" in panels
+        st_points = panels["user-group time"]["ST"]
+        assert st_points  # at least one synthetic graph measured
+
+
+class TestFigure17:
+    def test_popularity_buckets_present(self, test_bench):
+        panels = figures.figure17(test_bench)
+        assert set(panels) <= {"popular", "unpopular"}
+        assert panels

@@ -1,0 +1,41 @@
+"""ASCII report formatting."""
+
+from repro.experiments.report import format_series_table, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_rendered(self):
+        text = format_table(
+            "Demo", ["name", "value"], [["alpha", 1.5], ["beta", 2]]
+        )
+        assert "Demo" in text
+        assert "alpha" in text
+        assert "1.5000" in text
+
+    def test_small_floats_scientific(self):
+        text = format_table("T", ["v"], [[0.00001]])
+        assert "e-05" in text
+
+    def test_empty_rows(self):
+        text = format_table("Empty", ["a", "b"], [])
+        assert "Empty" in text
+        assert "a" in text
+
+
+class TestFormatSeriesTable:
+    def test_series_by_k(self):
+        series = {
+            "ST": {1: 0.5, 2: 0.25},
+            "PCST": {1: 0.1},
+        }
+        text = format_series_table("Fig X", series)
+        assert "Fig X" in text
+        assert "ST" in text
+        assert "PCST" in text
+        assert "-" in text  # missing PCST k=2 value
+
+    def test_string_x_values(self):
+        series = {"ST": {"G1": 1.0, "G2": 2.0}}
+        text = format_series_table("Fig 11", series, x_label="graph")
+        assert "G1" in text
+        assert "graph" in text

@@ -1,0 +1,41 @@
+"""Generic experiment runner (fast experiments only)."""
+
+import pytest
+
+from repro.experiments.runner import (
+    available_experiments,
+    run_experiment,
+    run_experiments,
+)
+
+
+class TestRunner:
+    def test_catalog_complete(self):
+        experiments = available_experiments()
+        assert "table1" in experiments
+        for n in range(2, 18):
+            assert f"fig{n}" in experiments
+        assert "userstudy" in experiments
+
+    def test_table1(self):
+        result = run_experiment("table1")
+        assert result.experiment_id == "table1"
+        assert "13" in result.report
+        assert result.data.summary_edges == 6
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_fig2_at_test_scale(self, test_config):
+        result = run_experiment("fig2", test_config)
+        assert "ST" in result.report
+        assert result.data  # panels present
+
+    def test_userstudy_at_test_scale(self, test_config):
+        result = run_experiment("userstudy", test_config)
+        assert "preference" in result.report
+
+    def test_batch_shares_config(self, test_config):
+        results = run_experiments(["table1", "fig2"], test_config)
+        assert [r.experiment_id for r in results] == ["table1", "fig2"]

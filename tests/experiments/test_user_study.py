@@ -1,0 +1,46 @@
+"""Simulated user study."""
+
+import pytest
+
+from repro.experiments.user_study import STUDY_METRICS, simulate_user_study
+
+
+class TestUserStudy:
+    @pytest.fixture(scope="class")
+    def result(self, test_bench):
+        return simulate_user_study(
+            test_bench, num_participants=20, num_pairs=3, seed=1
+        )
+
+    def test_summaries_preferred(self, result):
+        """The paper reports 78.67%; the simulation should land above
+        chance when summaries are genuinely smaller. (Test scale uses
+        k=5 where the compression margin is thin; the CI-scale bench
+        asserts the stronger >60% bound.)"""
+        assert result.preference_share > 0.52
+
+    def test_participant_and_pair_counts(self, result):
+        assert result.num_participants == 20
+        assert result.num_pairs == 3
+
+    def test_all_seven_metrics_rated(self, result):
+        assert set(result.metric_ratings) == set(STUDY_METRICS)
+
+    def test_ratings_in_scale(self, result):
+        for rating in result.metric_ratings.values():
+            assert 1.0 <= rating <= 5.0
+
+    def test_comprehensibility_rated_highly(self, result):
+        """Brevity drives the simulated choices, so comprehensibility
+        (which tracks brevity exactly) must score near the top."""
+        ratings = result.metric_ratings
+        assert ratings["comprehensibility"] >= max(
+            v
+            for name, v in ratings.items()
+            if name not in ("comprehensibility",)
+        ) - 1.0
+
+    def test_deterministic_for_seed(self, test_bench):
+        a = simulate_user_study(test_bench, num_participants=5, seed=9)
+        b = simulate_user_study(test_bench, num_participants=5, seed=9)
+        assert a.preference_share == b.preference_share

@@ -1,0 +1,124 @@
+"""Workbench caching and task construction."""
+
+import pytest
+
+from repro.core.explanation import PathSetExplanation, SubgraphExplanation
+from repro.core.scenarios import Scenario
+from repro.experiments.workbench import BASELINE, Workbench, st_label
+
+
+class TestCaching:
+    def test_get_memoizes(self, test_config):
+        assert Workbench.get(test_config) is Workbench.get(test_config)
+
+    def test_graph_cached(self, test_bench):
+        assert test_bench.graph is test_bench.graph
+
+    def test_recommender_cached(self, test_bench):
+        assert test_bench.recommender("PGPR") is test_bench.recommender(
+            "PGPR"
+        )
+
+    def test_summary_cached(self, test_bench):
+        subject = test_bench.eval_users[0]
+        label = st_label(test_bench.config.lambdas[0])
+        a = test_bench.explanation(
+            label, Scenario.USER_CENTRIC, "PGPR", 2, subject
+        )
+        b = test_bench.explanation(
+            label, Scenario.USER_CENTRIC, "PGPR", 2, subject
+        )
+        assert a is b
+
+
+class TestSampling:
+    def test_sampled_users_nonempty(self, test_bench):
+        assert test_bench.sampled_users
+        assert all(u.startswith("u:") for u in test_bench.sampled_users)
+
+    def test_eval_users_capped(self, test_bench):
+        assert len(test_bench.eval_users) <= test_bench.config.eval_users
+
+    def test_item_buckets_disjoint(self, test_bench):
+        popular, unpopular = test_bench.sampled_items
+        assert not set(popular) & set(unpopular)
+
+    def test_user_groups_by_gender(self, test_bench):
+        gender = test_bench.dataset.user_gender
+        for label, members in test_bench.user_groups.items():
+            expected = "M" if label == "male" else "F"
+            for user in members:
+                assert gender[int(user.split(":")[1])] == expected
+
+
+class TestTasks:
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            Scenario.USER_CENTRIC,
+            Scenario.ITEM_CENTRIC,
+            Scenario.USER_GROUP,
+            Scenario.ITEM_GROUP,
+        ],
+    )
+    def test_tasks_built_for_all_scenarios(self, test_bench, scenario):
+        tasks = test_bench.tasks(scenario, "PGPR", 3)
+        assert tasks
+        for task in tasks.values():
+            assert task.scenario is scenario
+            assert task.terminals
+            assert task.paths
+
+    def test_user_centric_subjects_are_eval_users(self, test_bench):
+        tasks = test_bench.tasks(Scenario.USER_CENTRIC, "PGPR", 2)
+        assert set(tasks) <= set(test_bench.eval_users)
+
+    def test_item_centric_k_grows_audience(self, test_bench):
+        small = test_bench.tasks(Scenario.ITEM_CENTRIC, "PGPR", 1)
+        large = test_bench.tasks(Scenario.ITEM_CENTRIC, "PGPR",
+                                 test_bench.config.k_max)
+        total_small = sum(len(t.paths) for t in small.values())
+        total_large = sum(len(t.paths) for t in large.values())
+        assert total_large >= total_small
+
+
+class TestExplanations:
+    def test_baseline_is_path_set(self, test_bench):
+        subject = test_bench.eval_users[0]
+        explanation = test_bench.explanation(
+            BASELINE, Scenario.USER_CENTRIC, "PGPR", 2, subject
+        )
+        assert isinstance(explanation, PathSetExplanation)
+
+    def test_summary_is_subgraph(self, test_bench):
+        subject = test_bench.eval_users[0]
+        explanation = test_bench.explanation(
+            "PCST", Scenario.USER_CENTRIC, "PGPR", 2, subject
+        )
+        assert isinstance(explanation, SubgraphExplanation)
+
+    def test_unknown_subject_returns_none(self, test_bench):
+        assert (
+            test_bench.explanation(
+                BASELINE, Scenario.USER_CENTRIC, "PGPR", 2, "u:999999"
+            )
+            is None
+        )
+
+    def test_method_labels_order(self, test_bench):
+        labels = test_bench.method_labels()
+        assert labels[0] == BASELINE
+        assert labels[-1] == "PCST"
+        assert len(labels) == 2 + len(test_bench.config.lambdas)
+
+    def test_unknown_method_label_raises(self, test_bench):
+        with pytest.raises(ValueError):
+            test_bench.summarizer("MAGIC")
+
+    def test_explanations_batch(self, test_bench):
+        explanations = test_bench.explanations(
+            BASELINE, Scenario.USER_CENTRIC, "PGPR", 2
+        )
+        assert len(explanations) == len(
+            test_bench.tasks(Scenario.USER_CENTRIC, "PGPR", 2)
+        )

@@ -1,0 +1,85 @@
+"""Building G_M and the extended knowledge graph from ratings."""
+
+import pytest
+
+from repro.data.ratings import RatingMatrix
+from repro.graph.build import build_interaction_graph, extend_with_external
+from repro.graph.weights import InteractionWeights
+
+
+@pytest.fixture
+def tiny_ratings() -> RatingMatrix:
+    return RatingMatrix.from_records(
+        num_users=2,
+        num_items=3,
+        records=[
+            (0, 0, 5.0, 100.0),
+            (0, 1, 3.0, 200.0),
+            (1, 1, 4.0, 300.0),
+            (1, 2, 2.0, 400.0),
+        ],
+    )
+
+
+class TestBuildInteractionGraph:
+    def test_one_edge_per_rating(self, tiny_ratings):
+        graph = build_interaction_graph(tiny_ratings)
+        assert graph.num_edges == 4
+        assert graph.num_nodes == 5
+
+    def test_weights_follow_beta_rating(self, tiny_ratings):
+        graph = build_interaction_graph(
+            tiny_ratings, weights=InteractionWeights(beta_rating=2.0)
+        )
+        assert graph.weight("u:0", "i:0") == 10.0
+
+    def test_recency_component(self, tiny_ratings):
+        weights = InteractionWeights(
+            beta_rating=0.0 if False else 1.0,
+            beta_recency=1.0,
+            gamma=0.001,
+            now=tiny_ratings.max_timestamp,
+        )
+        graph = build_interaction_graph(tiny_ratings, weights=weights)
+        # Most recent rating (t=400) gets the full recency bonus.
+        assert graph.weight("u:1", "i:2") == pytest.approx(2.0 + 1.0)
+        # Older rating decayed.
+        assert graph.weight("u:0", "i:0") < 5.0 + 1.0
+
+    def test_isolated_users_and_items_are_nodes(self):
+        ratings = RatingMatrix.from_records(3, 3, [(0, 0, 5.0, 0.0)])
+        graph = build_interaction_graph(ratings)
+        assert graph.num_nodes == 6
+        assert graph.degree("u:2") == 0
+
+
+class TestExtendWithExternal:
+    def test_links_added_with_zero_weight(self, tiny_ratings):
+        graph = build_interaction_graph(tiny_ratings)
+        extend_with_external(
+            graph,
+            [("i:0", "e:genre:0", "genre"), ("i:1", "e:genre:0", "genre")],
+        )
+        assert graph.weight("i:0", "e:genre:0") == 0.0
+        assert graph.relation("i:1", "e:genre:0") == "genre"
+
+    def test_unknown_endpoint_raises(self, tiny_ratings):
+        graph = build_interaction_graph(tiny_ratings)
+        with pytest.raises(KeyError):
+            extend_with_external(graph, [("i:9", "e:genre:0", "genre")])
+
+    def test_names_applied(self, tiny_ratings):
+        graph = build_interaction_graph(tiny_ratings)
+        extend_with_external(
+            graph,
+            [("i:0", "e:genre:0", "genre")],
+            names={"e:genre:0": "Drama"},
+        )
+        assert graph.name("e:genre:0") == "Drama"
+
+    def test_custom_external_weight(self, tiny_ratings):
+        graph = build_interaction_graph(tiny_ratings)
+        extend_with_external(
+            graph, [("i:0", "e:genre:0", "genre")], external_weight=0.5
+        )
+        assert graph.weight("i:0", "e:genre:0") == 0.5

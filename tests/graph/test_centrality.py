@@ -1,0 +1,107 @@
+"""Centrality measures, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.graph.centrality import (
+    closeness_centrality,
+    degree_centrality,
+    harmonic_centrality,
+    pagerank,
+)
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+
+def to_networkx(graph):
+    g = nx.Graph()
+    for node in graph.nodes():
+        g.add_node(node)
+    for edge in graph.edges():
+        g.add_edge(edge.source, edge.target)
+    return g
+
+
+class TestDegreeCentrality:
+    def test_hub_has_max(self, toy_graph):
+        scores = degree_centrality(toy_graph)
+        assert scores["i:1"] == 1.0  # degree 3 is the max
+
+    def test_proportional_to_networkx(self, small_kg):
+        ours = degree_centrality(small_kg)
+        theirs = nx.degree_centrality(to_networkx(small_kg))
+        top = max(theirs.values())
+        for node in list(ours)[:50]:
+            assert ours[node] == pytest.approx(theirs[node] / top)
+
+
+class TestCloseness:
+    def test_matches_networkx_ordering(self, toy_graph):
+        ours = closeness_centrality(toy_graph)
+        theirs = nx.closeness_centrality(to_networkx(toy_graph))
+        best_ours = max(ours, key=ours.get)
+        best_theirs = max(theirs, key=theirs.get)
+        assert best_ours == best_theirs
+
+    def test_exact_proportional_to_networkx(self, toy_graph):
+        ours = closeness_centrality(toy_graph)
+        theirs = nx.closeness_centrality(to_networkx(toy_graph))
+        top = max(theirs.values())
+        for node, value in ours.items():
+            assert value == pytest.approx(theirs[node] / top)
+
+    def test_sampled_close_to_exact(self, small_kg):
+        import numpy as np
+
+        exact = closeness_centrality(small_kg)
+        sampled = closeness_centrality(
+            small_kg, sample_sources=80, rng=np.random.default_rng(1)
+        )
+        # Top-decile nodes should substantially overlap.
+        k = max(5, len(exact) // 10)
+        top_exact = set(sorted(exact, key=exact.get, reverse=True)[:k])
+        top_sampled = set(sorted(sampled, key=sampled.get, reverse=True)[:k])
+        assert len(top_exact & top_sampled) >= k // 2
+
+    def test_empty_graph(self):
+        assert closeness_centrality(KnowledgeGraph()) == {}
+
+
+class TestHarmonic:
+    def test_proportional_to_networkx(self, toy_graph):
+        ours = harmonic_centrality(toy_graph)
+        theirs = nx.harmonic_centrality(to_networkx(toy_graph))
+        top = max(theirs.values())
+        for node, value in ours.items():
+            assert value == pytest.approx(theirs[node] / top)
+
+
+class TestPageRank:
+    def test_matches_networkx(self, toy_graph):
+        ours = pagerank(toy_graph)
+        theirs = nx.pagerank(to_networkx(toy_graph), alpha=0.85)
+        top = max(theirs.values())
+        for node, value in ours.items():
+            assert value == pytest.approx(theirs[node] / top, abs=0.02)
+
+    def test_matches_networkx_on_generated_graph(self, small_kg):
+        ours = pagerank(small_kg)
+        theirs = nx.pagerank(to_networkx(small_kg), alpha=0.85)
+        top = max(theirs.values())
+        mismatches = sum(
+            1
+            for node, value in ours.items()
+            if abs(value - theirs[node] / top) > 0.03
+        )
+        assert mismatches <= len(ours) * 0.02
+
+    def test_isolated_node_handled(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("u:0", "i:0")
+        graph.add_node("i:9")
+        scores = pagerank(graph)
+        assert scores["i:9"] > 0.0
+        assert max(scores.values()) == 1.0
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            pagerank(KnowledgeGraph())

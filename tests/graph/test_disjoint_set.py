@@ -1,0 +1,60 @@
+"""Union-find behaviour."""
+
+from repro.graph.disjoint_set import DisjointSet
+
+
+class TestDisjointSet:
+    def test_singletons_on_init(self):
+        ds = DisjointSet(["a", "b", "c"])
+        assert ds.num_sets == 3
+        assert not ds.connected("a", "b")
+
+    def test_union_merges(self):
+        ds = DisjointSet(["a", "b"])
+        assert ds.union("a", "b") is True
+        assert ds.connected("a", "b")
+        assert ds.num_sets == 1
+
+    def test_union_idempotent(self):
+        ds = DisjointSet(["a", "b"])
+        ds.union("a", "b")
+        assert ds.union("a", "b") is False
+        assert ds.num_sets == 1
+
+    def test_lazy_registration(self):
+        ds = DisjointSet()
+        assert ds.find("x") == "x"
+        assert "x" in ds
+        assert ds.num_sets == 1
+
+    def test_transitive_connectivity(self):
+        ds = DisjointSet()
+        ds.union("a", "b")
+        ds.union("b", "c")
+        assert ds.connected("a", "c")
+
+    def test_set_size_tracks_merges(self):
+        ds = DisjointSet(["a", "b", "c", "d"])
+        ds.union("a", "b")
+        ds.union("c", "d")
+        assert ds.set_size("a") == 2
+        ds.union("a", "c")
+        assert ds.set_size("d") == 4
+
+    def test_sets_materialization(self):
+        ds = DisjointSet(["a", "b", "c"])
+        ds.union("a", "b")
+        groups = sorted(ds.sets(), key=len)
+        assert groups == [{"c"}, {"a", "b"}]
+
+    def test_len_counts_elements(self):
+        ds = DisjointSet(["a", "b"])
+        ds.find("c")
+        assert len(ds) == 3
+
+    def test_path_compression_keeps_answers_stable(self):
+        ds = DisjointSet()
+        for i in range(50):
+            ds.union(i, i + 1)
+        root = ds.find(0)
+        assert all(ds.find(i) == root for i in range(51))

@@ -1,0 +1,99 @@
+"""Synthetic KG generator (Table III shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    EDGES_PER_NODE,
+    SyntheticSpec,
+    generate_random_kg,
+    random_three_hop_paths,
+    table3_specs,
+)
+from repro.graph.types import NodeType
+
+
+class TestSpecs:
+    def test_table3_five_sizes(self):
+        specs = table3_specs()
+        assert len(specs) == 5
+        assert [s.total_nodes for s in specs] == [
+            10_000, 15_000, 20_000, 25_000, 30_000,
+        ]
+
+    def test_scaling(self):
+        specs = table3_specs(scale=0.01)
+        assert [s.total_nodes for s in specs] == [100, 150, 200, 250, 300]
+
+    def test_population_split_matches_paper_ratios(self):
+        spec = SyntheticSpec(10_000)
+        # Table III G1: 3,043 / 1,956 / 5,452 (rounded by our fractions).
+        assert spec.num_users == 3043
+        assert spec.num_items == 1956
+        assert spec.num_external == 5001 or spec.num_external > 4900
+
+    def test_edges_follow_density(self):
+        spec = SyntheticSpec(1000)
+        assert spec.num_edges == round(1000 * EDGES_PER_NODE)
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def generated(self):
+        spec = SyntheticSpec(300, edges_per_node=10.0)
+        return spec, generate_random_kg(spec, np.random.default_rng(0))
+
+    def test_population_counts(self, generated):
+        spec, graph = generated
+        users = sum(1 for _ in graph.nodes_of_type(NodeType.USER))
+        items = sum(1 for _ in graph.nodes_of_type(NodeType.ITEM))
+        assert users == spec.num_users
+        assert items == spec.num_items
+        assert graph.num_nodes == spec.total_nodes
+
+    def test_edge_count_near_target(self, generated):
+        spec, graph = generated
+        # Duplicate draws collapse, so we land at or below the target.
+        assert graph.num_edges <= spec.num_edges
+        assert graph.num_edges >= 0.5 * spec.num_edges
+
+    def test_interaction_weights_are_ratings(self, generated):
+        _, graph = generated
+        from repro.graph.types import EdgeType
+
+        for edge in graph.edges():
+            if edge.type is EdgeType.INTERACTION:
+                assert 1.0 <= edge.weight <= 5.0
+            else:
+                assert edge.weight == 0.0
+
+    def test_deterministic_given_seed(self):
+        spec = SyntheticSpec(120, edges_per_node=8.0)
+        a = generate_random_kg(spec, np.random.default_rng(42))
+        b = generate_random_kg(spec, np.random.default_rng(42))
+        assert sorted(e.key() for e in a.edges()) == sorted(
+            e.key() for e in b.edges()
+        )
+
+
+class TestRandomPaths:
+    def test_paths_are_three_hops_to_items(self):
+        spec = SyntheticSpec(300, edges_per_node=12.0)
+        rng = np.random.default_rng(1)
+        graph = generate_random_kg(spec, rng)
+        users = [f"u:{i}" for i in range(5)]
+        paths = random_three_hop_paths(graph, users, paths_per_user=4, rng=rng)
+        assert paths
+        for path in paths:
+            assert path.num_hops == 3
+            assert NodeType.of(path.nodes[-1]) is NodeType.ITEM
+            assert path.is_valid_in(graph)
+
+    def test_paths_unique_per_user(self):
+        spec = SyntheticSpec(300, edges_per_node=12.0)
+        rng = np.random.default_rng(2)
+        graph = generate_random_kg(spec, rng)
+        paths = random_three_hop_paths(
+            graph, ["u:0"], paths_per_user=6, rng=rng
+        )
+        assert len({p.nodes for p in paths}) == len(paths)

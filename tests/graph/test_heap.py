@@ -1,0 +1,89 @@
+"""Addressable heap behaviour."""
+
+import pytest
+
+from repro.graph.heap import AddressableHeap
+
+
+class TestAddressableHeap:
+    def test_pop_order(self):
+        heap = AddressableHeap()
+        for key, priority in [("a", 3.0), ("b", 1.0), ("c", 2.0)]:
+            heap.push(key, priority)
+        assert heap.pop_min() == ("b", 1.0)
+        assert heap.pop_min() == ("c", 2.0)
+        assert heap.pop_min() == ("a", 3.0)
+
+    def test_duplicate_push_rejected(self):
+        heap = AddressableHeap()
+        heap.push("a", 1.0)
+        with pytest.raises(KeyError):
+            heap.push("a", 2.0)
+
+    def test_update_decreases(self):
+        heap = AddressableHeap()
+        heap.push("a", 5.0)
+        heap.push("b", 1.0)
+        assert heap.update("a", 0.5) is True
+        assert heap.pop_min() == ("a", 0.5)
+
+    def test_update_increases(self):
+        heap = AddressableHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        heap.update("a", 3.0)
+        assert heap.pop_min() == ("b", 2.0)
+
+    def test_update_noop_on_equal(self):
+        heap = AddressableHeap()
+        heap.push("a", 1.0)
+        assert heap.update("a", 1.0) is False
+
+    def test_update_inserts_missing(self):
+        heap = AddressableHeap()
+        assert heap.update("a", 1.0) is True
+        assert "a" in heap
+
+    def test_decrease_if_lower(self):
+        heap = AddressableHeap()
+        heap.push("a", 2.0)
+        assert heap.decrease_if_lower("a", 3.0) is False
+        assert heap.decrease_if_lower("a", 1.0) is True
+        assert heap.priority("a") == 1.0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            AddressableHeap().pop_min()
+
+    def test_peek_does_not_remove(self):
+        heap = AddressableHeap()
+        heap.push("a", 1.0)
+        assert heap.peek_min() == ("a", 1.0)
+        assert len(heap) == 1
+
+    def test_contains_and_len(self):
+        heap = AddressableHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        assert "a" in heap
+        assert len(heap) == 2
+        heap.pop_min()
+        assert "a" not in heap
+        assert bool(heap)
+
+    def test_priority_missing_raises(self):
+        with pytest.raises(KeyError):
+            AddressableHeap().priority("nope")
+
+    def test_many_operations_stay_sorted(self):
+        heap = AddressableHeap()
+        values = [(f"k{i}", float((i * 37) % 101)) for i in range(100)]
+        for key, priority in values:
+            heap.push(key, priority)
+        for key, _ in values[:30]:
+            heap.update(key, heap.priority(key) / 2.0)
+        drained = []
+        while heap:
+            drained.append(heap.pop_min()[1])
+        assert drained == sorted(drained)
+        assert len(drained) == 100

@@ -1,0 +1,88 @@
+"""Graph / path serialization round trips."""
+
+import pytest
+
+from repro.graph.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph_json,
+    load_graph_tsv,
+    load_paths_jsonl,
+    save_graph_json,
+    save_graph_tsv,
+    save_paths_jsonl,
+)
+from repro.graph.paths import Path
+
+
+def graphs_equal(a, b) -> bool:
+    if set(a.nodes()) != set(b.nodes()):
+        return False
+    edges_a = {(e.key(), e.weight, e.relation) for e in a.edges()}
+    edges_b = {(e.key(), e.weight, e.relation) for e in b.edges()}
+    return edges_a == edges_b
+
+
+class TestJsonRoundTrip:
+    def test_dict_round_trip(self, toy_graph):
+        toy_graph.set_name("u:0", "Alice")
+        clone = graph_from_dict(graph_to_dict(toy_graph))
+        assert graphs_equal(toy_graph, clone)
+        assert clone.name("u:0") == "Alice"
+
+    def test_file_round_trip(self, toy_graph, tmp_path):
+        target = tmp_path / "graph.json"
+        save_graph_json(toy_graph, target)
+        assert graphs_equal(toy_graph, load_graph_json(target))
+
+    def test_isolated_nodes_preserved(self, tmp_path):
+        from repro.graph.knowledge_graph import KnowledgeGraph
+
+        graph = KnowledgeGraph()
+        graph.add_edge("u:0", "i:0")
+        graph.add_node("i:9")
+        target = tmp_path / "graph.json"
+        save_graph_json(graph, target)
+        assert "i:9" in load_graph_json(target)
+
+    def test_version_checked(self):
+        with pytest.raises(ValueError):
+            graph_from_dict({"version": 999, "nodes": [], "edges": []})
+
+
+class TestTsvRoundTrip:
+    def test_file_round_trip(self, toy_graph, tmp_path):
+        target = tmp_path / "graph.tsv"
+        save_graph_tsv(toy_graph, target)
+        assert graphs_equal(toy_graph, load_graph_tsv(target))
+
+    def test_header_required(self, tmp_path):
+        target = tmp_path / "bad.tsv"
+        target.write_text("u:0\ti:0\t1.0\t\n")
+        with pytest.raises(ValueError):
+            load_graph_tsv(target)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        target = tmp_path / "bad.tsv"
+        target.write_text(
+            "source\ttarget\tweight\trelation\nu:0\ti:0\n"
+        )
+        with pytest.raises(ValueError):
+            load_graph_tsv(target)
+
+
+class TestPathsJsonl:
+    def test_round_trip(self, tmp_path):
+        paths = [
+            Path(nodes=("u:0", "i:0", "e:g:0", "i:1"), score=0.7),
+            Path(nodes=("u:1", "i:2"), score=0.2),
+        ]
+        target = tmp_path / "paths.jsonl"
+        save_paths_jsonl(paths, target)
+        loaded = load_paths_jsonl(target)
+        assert loaded == paths
+
+    def test_empty_list(self, tmp_path):
+        target = tmp_path / "paths.jsonl"
+        save_paths_jsonl([], target)
+        assert load_paths_jsonl(target) == []

@@ -1,0 +1,148 @@
+"""KnowledgeGraph structure, mutation and statistics."""
+
+import math
+
+import pytest
+
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.types import NodeType
+
+
+class TestConstruction:
+    def test_add_edge_creates_nodes(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("u:0", "i:0", 2.0)
+        assert "u:0" in graph
+        assert "i:0" in graph
+        assert graph.num_nodes == 2
+        assert graph.num_edges == 1
+
+    def test_edge_is_symmetric(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("u:0", "i:0", 2.0)
+        assert graph.weight("u:0", "i:0") == 2.0
+        assert graph.weight("i:0", "u:0") == 2.0
+
+    def test_overwrite_edge_does_not_double_count(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("u:0", "i:0", 2.0)
+        graph.add_edge("u:0", "i:0", 4.0)
+        assert graph.num_edges == 1
+        assert graph.weight("u:0", "i:0") == 4.0
+
+    def test_self_loop_rejected(self):
+        graph = KnowledgeGraph()
+        with pytest.raises(ValueError):
+            graph.add_edge("u:0", "u:0")
+
+    def test_incompatible_populations_rejected(self):
+        graph = KnowledgeGraph()
+        with pytest.raises(ValueError):
+            graph.add_edge("u:0", "u:1")
+
+    def test_relation_stored_for_knowledge_edge(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("i:0", "e:genre:0", 0.0, "genre")
+        assert graph.relation("i:0", "e:genre:0") == "genre"
+        assert graph.relation("e:genre:0", "i:0") == "genre"
+
+    def test_from_edges(self):
+        graph = KnowledgeGraph.from_edges(
+            [("u:0", "i:0", 1.0), ("i:0", "e:genre:0", 0.0, "genre")]
+        )
+        assert graph.num_edges == 2
+
+
+class TestMutation:
+    def test_remove_edge(self, toy_graph):
+        toy_graph.remove_edge("u:0", "i:0")
+        assert not toy_graph.has_edge("u:0", "i:0")
+        assert toy_graph.num_edges == 6
+
+    def test_remove_missing_edge_raises(self, toy_graph):
+        with pytest.raises(KeyError):
+            toy_graph.remove_edge("u:0", "i:1")
+
+    def test_remove_node_drops_incident_edges(self, toy_graph):
+        toy_graph.remove_node("i:1")
+        assert "i:1" not in toy_graph
+        assert not toy_graph.has_edge("u:1", "i:1")
+        assert toy_graph.num_edges == 4
+
+    def test_set_weight(self, toy_graph):
+        toy_graph.set_weight("u:0", "i:0", 1.5)
+        assert toy_graph.weight("i:0", "u:0") == 1.5
+
+    def test_set_weight_missing_edge_raises(self, toy_graph):
+        with pytest.raises(KeyError):
+            toy_graph.set_weight("u:0", "i:1", 1.0)
+
+
+class TestQueries:
+    def test_nodes_of_type(self, toy_graph):
+        users = set(toy_graph.nodes_of_type(NodeType.USER))
+        assert users == {"u:0", "u:1"}
+
+    def test_edges_iterates_each_once(self, toy_graph):
+        edges = list(toy_graph.edges())
+        assert len(edges) == toy_graph.num_edges
+        keys = {e.key() for e in edges}
+        assert len(keys) == len(edges)
+
+    def test_degree(self, toy_graph):
+        assert toy_graph.degree("i:1") == 3  # u:1, genre, director
+
+    def test_names_default_to_id(self, toy_graph):
+        assert toy_graph.name("u:0") == "u:0"
+        toy_graph.set_name("u:0", "Alice")
+        assert toy_graph.name("u:0") == "Alice"
+
+    def test_set_name_unknown_node_raises(self, toy_graph):
+        with pytest.raises(KeyError):
+            toy_graph.set_name("u:99", "ghost")
+
+
+class TestDerivedViews:
+    def test_copy_is_independent(self, toy_graph):
+        clone = toy_graph.copy()
+        clone.remove_edge("u:0", "i:0")
+        assert toy_graph.has_edge("u:0", "i:0")
+        assert not clone.has_edge("u:0", "i:0")
+
+    def test_reweighted_applies_function(self, toy_graph):
+        doubled = toy_graph.reweighted(lambda e: e.weight * 2)
+        assert doubled.weight("u:0", "i:0") == 10.0
+        assert toy_graph.weight("u:0", "i:0") == 5.0
+
+    def test_stats_counts_populations(self, toy_graph):
+        stats = toy_graph.stats()
+        assert stats.num_users == 2
+        assert stats.num_items == 3
+        assert stats.num_external == 2
+        assert stats.num_interaction_edges == 3
+        assert stats.num_knowledge_edges == 4
+
+    def test_stats_path_metrics(self, toy_graph):
+        stats = toy_graph.stats()
+        assert stats.diameter == 4  # u:0 .. u:1 via genre
+        assert stats.average_path_length > 1.0
+        assert not math.isnan(stats.average_path_length)
+
+    def test_stats_density(self, toy_graph):
+        stats = toy_graph.stats()
+        n = toy_graph.num_nodes
+        assert stats.density == pytest.approx(
+            2 * toy_graph.num_edges / (n * (n - 1))
+        )
+
+    def test_sampled_stats_close_to_exact(self, small_kg):
+        import numpy as np
+
+        exact = small_kg.stats()
+        sampled = small_kg.stats(
+            approx_pairs=64, rng=np.random.default_rng(0)
+        )
+        assert sampled.diameter <= exact.diameter
+        assert sampled.average_path_length == pytest.approx(
+            exact.average_path_length, rel=0.2
+        )

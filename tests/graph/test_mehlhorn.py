@@ -1,0 +1,93 @@
+"""Mehlhorn Steiner variant: same guarantees as Algorithm 1, one sweep."""
+
+import numpy as np
+import pytest
+
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.mehlhorn import mehlhorn_steiner_tree
+from repro.graph.steiner import steiner_tree
+from repro.graph.subgraph import is_tree
+
+
+def unit_cost(_u, _v, _w):
+    return 1.0
+
+
+class TestMehlhorn:
+    def test_spans_terminals(self, toy_graph):
+        tree = mehlhorn_steiner_tree(
+            toy_graph, ["u:0", "i:1"], cost_fn=unit_cost
+        )
+        assert is_tree(tree)
+        assert "u:0" in tree
+        assert "i:1" in tree
+
+    def test_single_terminal(self, toy_graph):
+        tree = mehlhorn_steiner_tree(toy_graph, ["u:0"])
+        assert tree.num_nodes == 1
+
+    def test_empty_terminals(self, toy_graph):
+        assert mehlhorn_steiner_tree(toy_graph, []).num_nodes == 0
+
+    def test_unknown_terminal_raises(self, toy_graph):
+        with pytest.raises(KeyError):
+            mehlhorn_steiner_tree(toy_graph, ["u:0", "i:77"])
+
+    def test_disconnected_terminals_raise(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("u:0", "i:0")
+        graph.add_edge("u:1", "i:1")
+        with pytest.raises(ValueError):
+            mehlhorn_steiner_tree(graph, ["u:0", "u:1"], cost_fn=unit_cost)
+
+    def test_leaves_are_terminals(self, small_kg):
+        terminals = ["u:0", "i:1", "i:3", "i:5"]
+        tree = mehlhorn_steiner_tree(small_kg, terminals, cost_fn=unit_cost)
+        for node in tree.nodes():
+            if tree.degree(node) <= 1:
+                assert node in terminals
+
+    def test_cost_within_2x_of_kmb(self, small_kg):
+        """Both are 2-approximations of the same optimum, so each is
+        within 2x of the other."""
+        rng = np.random.default_rng(17)
+        nodes = sorted(small_kg.nodes())
+        for _ in range(4):
+            picks = rng.choice(len(nodes), size=6, replace=False)
+            terminals = [nodes[int(p)] for p in picks]
+            ours = mehlhorn_steiner_tree(
+                small_kg, terminals, cost_fn=unit_cost
+            )
+            kmb = steiner_tree(small_kg, terminals, cost_fn=unit_cost)
+            assert ours.num_edges <= 2 * max(1, kmb.num_edges)
+            assert kmb.num_edges <= 2 * max(1, ours.num_edges)
+
+    def test_faster_than_kmb_on_many_terminals(self, small_kg):
+        """The reason it exists: one sweep beats |T| sweeps."""
+        import time
+
+        terminals = [
+            n for n in sorted(small_kg.nodes()) if n.startswith("i:")
+        ][:40]
+
+        start = time.perf_counter()
+        mehlhorn_steiner_tree(small_kg, terminals, cost_fn=unit_cost)
+        mehlhorn_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        steiner_tree(small_kg, terminals, cost_fn=unit_cost)
+        kmb_time = time.perf_counter() - start
+        assert mehlhorn_time < kmb_time
+
+    def test_via_summarizer_st_fast(self, small_kg, test_bench):
+        from repro.core.scenarios import user_centric_task
+        from repro.core.summarizer import Summarizer
+
+        per_user = test_bench.recommendations("PGPR")
+        user = test_bench.eval_users[0]
+        task = user_centric_task(per_user[user], 4)
+        summary = Summarizer(test_bench.graph, method="ST-fast").summarize(
+            task
+        )
+        assert summary.params["algorithm"] == "mehlhorn"
+        assert summary.terminal_coverage == 1.0

@@ -1,0 +1,79 @@
+"""Kruskal / Prim MSTs, cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.mst import kruskal_mst, prim_mst, total_weight
+
+
+def random_edge_list(rng, num_nodes=12, num_edges=30):
+    nodes = [f"n{i}" for i in range(num_nodes)]
+    edges = []
+    seen = set()
+    # Ring first so the graph is connected.
+    for i in range(num_nodes):
+        a, b = nodes[i], nodes[(i + 1) % num_nodes]
+        edges.append((a, b, float(rng.uniform(0.1, 10.0))))
+        seen.add(frozenset((a, b)))
+    while len(edges) < num_edges:
+        a, b = rng.choice(num_nodes, size=2, replace=False)
+        key = frozenset((nodes[a], nodes[b]))
+        if key in seen:
+            continue
+        seen.add(key)
+        edges.append((nodes[a], nodes[b], float(rng.uniform(0.1, 10.0))))
+    return nodes, edges
+
+
+class TestMST:
+    def test_simple_triangle(self):
+        nodes = ["a", "b", "c"]
+        edges = [("a", "b", 1.0), ("b", "c", 2.0), ("a", "c", 3.0)]
+        mst = kruskal_mst(nodes, edges)
+        assert total_weight(mst) == 3.0
+        assert len(mst) == 2
+
+    def test_kruskal_matches_networkx_weight(self):
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            nodes, edges = random_edge_list(rng)
+            ours = total_weight(kruskal_mst(nodes, edges))
+            g = nx.Graph()
+            for u, v, w in edges:
+                g.add_edge(u, v, weight=w)
+            theirs = sum(
+                d["weight"]
+                for _, _, d in nx.minimum_spanning_tree(g).edges(data=True)
+            )
+            assert ours == pytest.approx(theirs)
+
+    def test_prim_matches_kruskal_weight(self):
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            nodes, edges = random_edge_list(rng)
+            assert total_weight(prim_mst(nodes, edges)) == pytest.approx(
+                total_weight(kruskal_mst(nodes, edges))
+            )
+
+    def test_disconnected_yields_forest(self):
+        nodes = ["a", "b", "c", "d"]
+        edges = [("a", "b", 1.0), ("c", "d", 2.0)]
+        assert len(kruskal_mst(nodes, edges)) == 2
+        assert len(prim_mst(nodes, edges)) == 2
+
+    def test_empty_input(self):
+        assert kruskal_mst([], []) == []
+        assert prim_mst([], []) == []
+
+    def test_single_node(self):
+        assert kruskal_mst(["a"], []) == []
+        assert prim_mst(["a"], []) == []
+
+    def test_spanning_property(self):
+        rng = np.random.default_rng(9)
+        nodes, edges = random_edge_list(rng)
+        mst = kruskal_mst(nodes, edges)
+        assert len(mst) == len(nodes) - 1
+        touched = {n for u, v, _ in mst for n in (u, v)}
+        assert touched == set(nodes)

@@ -1,0 +1,89 @@
+"""Path record semantics."""
+
+import pytest
+
+from repro.graph.paths import Path, paths_edge_frequency, paths_node_multiset
+from repro.graph.types import NodeType
+
+
+class TestPathConstruction:
+    def test_defaults_user_and_item_from_endpoints(self):
+        path = Path(nodes=("u:0", "i:0"))
+        assert path.user == "u:0"
+        assert path.item == "i:0"
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            Path(nodes=("u:0",))
+
+    def test_revisit_rejected(self):
+        with pytest.raises(ValueError):
+            Path(nodes=("u:0", "i:0", "u:0"))
+
+    def test_from_nodes(self):
+        path = Path.from_nodes(["u:0", "i:0", "e:genre:0", "i:1"], score=0.5)
+        assert path.score == 0.5
+        assert path.num_hops == 3
+
+
+class TestPathViews:
+    def test_len_is_hops(self):
+        path = Path(nodes=("u:0", "i:0", "e:genre:0", "i:1"))
+        assert len(path) == 3
+
+    def test_edges_in_order(self):
+        path = Path(nodes=("u:0", "i:0", "e:genre:0"))
+        assert list(path.edges()) == [("u:0", "i:0"), ("i:0", "e:genre:0")]
+
+    def test_edge_keys_normalized(self):
+        path = Path(nodes=("u:0", "i:0"))
+        assert list(path.edge_keys()) == [("i:0", "u:0")]
+
+    def test_intermediate_nodes(self):
+        path = Path(nodes=("u:0", "i:0", "e:genre:0", "i:1"))
+        assert path.intermediate_nodes() == ("i:0", "e:genre:0")
+
+    def test_node_types(self):
+        path = Path(nodes=("u:0", "i:0", "e:genre:0", "i:1"))
+        assert path.node_types() == (
+            NodeType.USER,
+            NodeType.ITEM,
+            NodeType.EXTERNAL,
+            NodeType.ITEM,
+        )
+
+
+class TestPathValidation:
+    def test_valid_in_graph(self, toy_graph):
+        path = Path(nodes=("u:0", "i:0", "e:genre:0", "i:1"))
+        assert path.is_valid_in(toy_graph)
+        assert path.invalid_edges(toy_graph) == []
+
+    def test_hallucinated_edge_detected(self, toy_graph):
+        path = Path(nodes=("u:0", "i:1"))  # no such edge
+        assert not path.is_valid_in(toy_graph)
+        assert path.invalid_edges(toy_graph) == [("u:0", "i:1")]
+
+    def test_total_weight_skips_missing_edges(self, toy_graph):
+        path = Path(nodes=("u:0", "i:0", "e:genre:0", "i:1"))
+        assert path.total_weight(toy_graph) == 5.0  # only u:0-i:0 weighted
+
+
+class TestAggregations:
+    def test_node_multiset_counts_repeats(self):
+        paths = [
+            Path(nodes=("u:0", "i:0", "e:genre:0", "i:1")),
+            Path(nodes=("u:0", "i:2", "e:genre:0", "i:3")),
+        ]
+        counts = paths_node_multiset(paths)
+        assert counts["u:0"] == 2
+        assert counts["e:genre:0"] == 2
+        assert counts["i:1"] == 1
+
+    def test_edge_frequency_is_direction_insensitive(self):
+        paths = [
+            Path(nodes=("u:0", "i:0")),
+            Path(nodes=("u:1", "i:0", "u:0"), user="u:1", item="u:0"),
+        ]
+        frequency = paths_edge_frequency(paths)
+        assert frequency[("i:0", "u:0")] == 2

@@ -1,0 +1,100 @@
+"""Prize-collecting Steiner tree: growth, pruning, relaxation."""
+
+import pytest
+
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.pcst import grow_prune_pcst, paper_pcst
+from repro.graph.subgraph import is_forest, is_weakly_connected
+
+
+class TestPaperPCST:
+    def test_connects_reachable_terminals(self, toy_graph):
+        prizes = {"u:0": 1.0, "i:1": 1.0}
+        forest = paper_pcst(toy_graph, prizes)
+        assert "u:0" in forest
+        assert "i:1" in forest
+        assert is_weakly_connected(forest)
+        assert is_forest(forest)
+
+    def test_empty_prizes(self, toy_graph):
+        forest = paper_pcst(toy_graph, {})
+        assert forest.num_nodes == 0
+
+    def test_unknown_terminal_ignored(self, toy_graph):
+        forest = paper_pcst(toy_graph, {"u:99": 1.0, "u:0": 1.0})
+        assert "u:0" in forest
+        assert "u:99" not in forest
+
+    def test_single_terminal(self, toy_graph):
+        forest = paper_pcst(toy_graph, {"u:0": 1.0})
+        assert "u:0" in forest
+        assert forest.num_edges == 0
+
+    def test_disconnected_terminal_forfeited(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("u:0", "i:0")
+        graph.add_edge("u:1", "i:1")
+        forest = paper_pcst(graph, {"u:0": 1.0, "u:1": 1.0, "i:0": 1.0})
+        # Both components contain a seed, so both survive; the relaxation
+        # just never connects them.
+        assert is_forest(forest)
+        assert not is_weakly_connected(forest) or forest.num_nodes <= 2
+
+    def test_leaf_pruning_removes_non_terminal_leaves(self, small_kg):
+        terminals = ["u:0", "i:1", "i:3"]
+        pruned = paper_pcst(
+            small_kg,
+            {t: 1.0 for t in terminals},
+            prune_zero_prize_leaves=True,
+        )
+        for node in pruned.nodes():
+            if pruned.degree(node) <= 1:
+                assert node in terminals
+
+    def test_unpruned_is_superset_of_pruned(self, small_kg):
+        terminals = ["u:0", "i:1", "i:3"]
+        prizes = {t: 1.0 for t in terminals}
+        full = paper_pcst(small_kg, prizes)
+        pruned = paper_pcst(small_kg, prizes, prune_zero_prize_leaves=True)
+        assert set(pruned.nodes()) <= set(full.nodes())
+
+    def test_explicit_seeds_override_prizes(self, toy_graph):
+        # Everything has a small prize, but only u:0/i:1 seed the growth.
+        prizes = {n: 0.1 for n in toy_graph.nodes()}
+        prizes["u:0"] = prizes["i:1"] = 1.0
+        forest = paper_pcst(toy_graph, prizes, seeds=["u:0", "i:1"])
+        assert "u:0" in forest
+        assert "i:1" in forest
+
+    def test_scales_with_terminals(self, small_kg):
+        terminals = [f"i:{i}" for i in range(10) if f"i:{i}" in small_kg]
+        forest = paper_pcst(small_kg, {t: 1.0 for t in terminals})
+        present = [t for t in terminals if t in forest]
+        assert len(present) == len(terminals)
+        assert is_forest(forest)
+
+
+class TestGrowPrune:
+    def test_strong_pruning_shrinks(self, small_kg):
+        terminals = ["u:0", "i:1", "i:3", "i:5"]
+        prizes = {t: 1.0 for t in terminals}
+        grown = paper_pcst(small_kg, prizes)
+        pruned = grow_prune_pcst(small_kg, prizes)
+        assert pruned.num_nodes <= grown.num_nodes
+
+    def test_unit_prizes_unit_costs_collapse(self, small_kg):
+        """With p=1 terminals and unit costs, connecting any two terminals
+        through >=1 hops never pays; strong pruning keeps singletons."""
+        terminals = ["u:0", "i:1"]
+        pruned = grow_prune_pcst(small_kg, {t: 1.0 for t in terminals})
+        assert pruned.num_edges <= 1
+
+    def test_generous_prizes_keep_connections(self, toy_graph):
+        prizes = {"u:0": 10.0, "i:1": 10.0}
+        pruned = grow_prune_pcst(toy_graph, prizes)
+        assert "u:0" in pruned
+        assert "i:1" in pruned
+        assert is_weakly_connected(pruned)
+
+    def test_empty_prizes(self, toy_graph):
+        assert grow_prune_pcst(toy_graph, {}).num_nodes == 0

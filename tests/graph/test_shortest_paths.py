@@ -1,0 +1,163 @@
+"""Dijkstra / BFS, cross-checked against networkx on random graphs."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.shortest_paths import (
+    bfs_distances,
+    bfs_eccentricity,
+    bfs_shortest_path,
+    dijkstra,
+    dijkstra_multi_source,
+    reconstruct_path,
+    shortest_path_between,
+)
+
+
+def random_kg(rng, num_users=8, num_items=10, num_edges=40):
+    """Random bipartite-ish KG with positive weights."""
+    graph = KnowledgeGraph()
+    for _ in range(num_edges):
+        u = f"u:{rng.integers(0, num_users)}"
+        i = f"i:{rng.integers(0, num_items)}"
+        graph.add_edge(u, i, float(rng.uniform(0.5, 5.0)))
+    # Sprinkle knowledge edges.
+    for _ in range(num_edges // 3):
+        i = f"i:{rng.integers(0, num_items)}"
+        e = f"e:x:{rng.integers(0, 5)}"
+        if i in graph:
+            graph.add_edge(i, e, float(rng.uniform(0.1, 1.0)), "x")
+    return graph
+
+
+def to_networkx(graph: KnowledgeGraph) -> nx.Graph:
+    g = nx.Graph()
+    for edge in graph.edges():
+        g.add_edge(edge.source, edge.target, weight=edge.weight)
+    return g
+
+
+class TestDijkstra:
+    def test_distances_on_toy(self, toy_graph):
+        dist, _prev = dijkstra(toy_graph, "u:0")
+        assert dist["u:0"] == 0.0
+        # Cheapest route to i:0 is u:0 -> i:2 (3) then free knowledge
+        # edges i:2 - director - i:1 - genre - i:0, total 3.
+        assert dist["i:0"] == 3.0
+        assert dist["e:genre:0"] == 3.0
+
+    def test_unknown_source_raises(self, toy_graph):
+        with pytest.raises(KeyError):
+            dijkstra(toy_graph, "u:99")
+
+    def test_negative_cost_rejected(self, toy_graph):
+        with pytest.raises(ValueError):
+            dijkstra(toy_graph, "u:0", cost_fn=lambda u, v, w: -1.0)
+
+    def test_early_exit_covers_targets(self, toy_graph):
+        dist, prev = dijkstra(toy_graph, "u:0", targets={"i:1"})
+        assert "i:1" in dist
+        nodes = reconstruct_path(prev, "u:0", "i:1")
+        assert nodes[0] == "u:0"
+        assert nodes[-1] == "i:1"
+
+    def test_matches_networkx_on_random_graphs(self):
+        rng = np.random.default_rng(11)
+        for _ in range(5):
+            graph = random_kg(rng)
+            nx_graph = to_networkx(graph)
+            source = next(iter(graph.nodes()))
+            dist, _ = dijkstra(graph, source)
+            nx_dist = nx.single_source_dijkstra_path_length(
+                nx_graph, source
+            )
+            assert set(dist) == set(nx_dist)
+            for node, value in nx_dist.items():
+                assert dist[node] == pytest.approx(value)
+
+    def test_custom_cost_fn(self, toy_graph):
+        dist, _ = dijkstra(toy_graph, "u:0", cost_fn=lambda u, v, w: 1.0)
+        assert dist["i:1"] == 3.0  # u:0 -> i:0 -> genre -> i:1 in hops
+
+
+class TestPairShortestPath:
+    def test_path_between(self, toy_graph):
+        nodes, cost = shortest_path_between(
+            toy_graph, "u:0", "i:1", cost_fn=lambda u, v, w: 1.0
+        )
+        assert nodes[0] == "u:0"
+        assert nodes[-1] == "i:1"
+        assert cost == 3.0
+
+    def test_disconnected_raises(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("u:0", "i:0")
+        graph.add_edge("u:1", "i:1")
+        with pytest.raises(ValueError):
+            shortest_path_between(graph, "u:0", "i:1")
+
+    def test_reconstruct_requires_recorded_target(self):
+        with pytest.raises(KeyError):
+            reconstruct_path({}, "a", "b")
+
+    def test_reconstruct_source_is_trivial(self):
+        assert reconstruct_path({}, "a", "a") == ["a"]
+
+
+class TestMultiSource:
+    def test_origin_assignment(self, toy_graph):
+        dist, _prev, origin = dijkstra_multi_source(
+            toy_graph, ["u:0", "u:1"], cost_fn=lambda u, v, w: 1.0
+        )
+        assert origin["u:0"] == "u:0"
+        assert origin["u:1"] == "u:1"
+        assert dist["i:1"] == 1.0
+        assert origin["i:1"] == "u:1"
+
+    def test_matches_min_of_single_sources(self):
+        rng = np.random.default_rng(7)
+        graph = random_kg(rng)
+        sources = list(graph.nodes())[:3]
+        multi, _, _ = dijkstra_multi_source(graph, sources)
+        singles = [dijkstra(graph, s)[0] for s in sources]
+        for node in multi:
+            best = min(d.get(node, float("inf")) for d in singles)
+            assert multi[node] == pytest.approx(best)
+
+
+class TestBFS:
+    def test_bfs_shortest_path_hops(self, toy_graph):
+        nodes = bfs_shortest_path(toy_graph, "u:0", "u:1")
+        assert nodes is not None
+        assert nodes[0] == "u:0"
+        assert nodes[-1] == "u:1"
+        assert len(nodes) == 5
+
+    def test_bfs_same_node(self, toy_graph):
+        assert bfs_shortest_path(toy_graph, "u:0", "u:0") == ["u:0"]
+
+    def test_bfs_disconnected_returns_none(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("u:0", "i:0")
+        graph.add_node("i:9")
+        assert bfs_shortest_path(graph, "u:0", "i:9") is None
+
+    def test_bfs_missing_node_returns_none(self, toy_graph):
+        assert bfs_shortest_path(toy_graph, "u:0", "i:99") is None
+
+    def test_bfs_distances_match_networkx(self, small_kg):
+        source = next(iter(small_kg.nodes()))
+        ours = bfs_distances(small_kg, source)
+        theirs = nx.single_source_shortest_path_length(
+            to_networkx(small_kg), source
+        )
+        assert ours == dict(theirs)
+
+    def test_eccentricity_consistent_with_distances(self, toy_graph):
+        ecc, total, reached = bfs_eccentricity(toy_graph, "u:0")
+        dist = bfs_distances(toy_graph, "u:0")
+        assert ecc == max(dist.values())
+        assert total == sum(dist.values())
+        assert reached == len(dist) - 1

@@ -1,0 +1,122 @@
+"""Steiner tree: correctness, approximation quality, edge cases."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.steiner import steiner_tree
+from repro.graph.subgraph import is_tree
+
+
+def unit_cost(_u, _v, _w):
+    return 1.0
+
+
+class TestSteinerBasics:
+    def test_spans_terminals(self, toy_graph):
+        tree = steiner_tree(toy_graph, ["u:0", "i:1"], cost_fn=unit_cost)
+        assert "u:0" in tree
+        assert "i:1" in tree
+        assert is_tree(tree)
+
+    def test_single_terminal(self, toy_graph):
+        tree = steiner_tree(toy_graph, ["u:0"])
+        assert tree.num_nodes == 1
+        assert tree.num_edges == 0
+
+    def test_duplicate_terminals_collapse(self, toy_graph):
+        tree = steiner_tree(
+            toy_graph, ["u:0", "i:0", "u:0"], cost_fn=unit_cost
+        )
+        assert is_tree(tree)
+        assert tree.num_edges == 1
+
+    def test_empty_terminals(self, toy_graph):
+        tree = steiner_tree(toy_graph, [])
+        assert tree.num_nodes == 0
+
+    def test_unknown_terminal_raises(self, toy_graph):
+        with pytest.raises(KeyError):
+            steiner_tree(toy_graph, ["u:0", "i:77"])
+
+    def test_disconnected_terminals_raise(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("u:0", "i:0")
+        graph.add_edge("u:1", "i:1")
+        with pytest.raises(ValueError):
+            steiner_tree(graph, ["u:0", "u:1"], cost_fn=unit_cost)
+
+    def test_adjacent_terminals_use_direct_edge(self, toy_graph):
+        tree = steiner_tree(toy_graph, ["u:0", "i:0"], cost_fn=unit_cost)
+        assert tree.num_edges == 1
+        assert tree.has_edge("u:0", "i:0")
+
+    def test_no_non_terminal_leaves(self, small_kg):
+        terminals = ["u:0", "i:1", "i:3", "i:5"]
+        tree = steiner_tree(small_kg, terminals, cost_fn=unit_cost)
+        for node in tree.nodes():
+            if tree.degree(node) == 1:
+                assert node in terminals
+
+
+class TestSteinerQuality:
+    def _random_terminals(self, graph, rng, count):
+        nodes = sorted(graph.nodes())
+        picks = rng.choice(len(nodes), size=count, replace=False)
+        return [nodes[int(p)] for p in picks]
+
+    def test_within_2x_of_networkx_steiner(self, small_kg):
+        """networkx's steiner_tree is the same 2-approximation family;
+        weights should agree within a 2x band both ways."""
+        from networkx.algorithms.approximation import steiner_tree as nx_st
+
+        rng = np.random.default_rng(21)
+        nx_graph = nx.Graph()
+        for edge in small_kg.edges():
+            nx_graph.add_edge(edge.source, edge.target, weight=1.0)
+
+        for _ in range(3):
+            terminals = self._random_terminals(small_kg, rng, 5)
+            ours = steiner_tree(small_kg, terminals, cost_fn=unit_cost)
+            theirs = nx_st(nx_graph, terminals, weight="weight")
+            ours_cost = ours.num_edges
+            theirs_cost = theirs.number_of_edges()
+            assert ours_cost <= 2 * max(1, theirs_cost)
+            assert theirs_cost <= 2 * max(1, ours_cost)
+
+    def test_weighted_cost_prefers_cheap_edges(self):
+        # Two routes u:0 -> i:1: direct heavy edge vs 2-hop cheap route.
+        graph = KnowledgeGraph()
+        graph.add_edge("u:0", "i:1", 1.0)  # direct, cost 10 below
+        graph.add_edge("u:0", "i:0", 1.0)
+        graph.add_edge("i:0", "e:g:0", 1.0, "g")
+        graph.add_edge("e:g:0", "i:1", 1.0, "g")
+
+        def costs(u, v, _w):
+            if {u, v} == {"u:0", "i:1"}:
+                return 10.0
+            return 1.0
+
+        tree = steiner_tree(graph, ["u:0", "i:1"], cost_fn=costs)
+        assert not tree.has_edge("u:0", "i:1")
+        assert tree.num_edges == 3
+
+    def test_terminal_only_graph_is_path_or_star(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("u:0", "i:0", 1.0)
+        graph.add_edge("u:1", "i:0", 1.0)
+        graph.add_edge("u:2", "i:0", 1.0)
+        tree = steiner_tree(
+            graph, ["u:0", "u:1", "u:2"], cost_fn=unit_cost
+        )
+        assert is_tree(tree)
+        assert tree.num_edges == 3  # star through i:0
+
+    def test_deterministic(self, small_kg):
+        terminals = ["u:1", "i:2", "i:4"]
+        a = steiner_tree(small_kg, terminals, cost_fn=unit_cost)
+        b = steiner_tree(small_kg, terminals, cost_fn=unit_cost)
+        assert sorted(e.key() for e in a.edges()) == sorted(
+            e.key() for e in b.edges()
+        )

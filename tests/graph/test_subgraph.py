@@ -1,0 +1,93 @@
+"""Subgraph extraction and connectivity predicates."""
+
+import pytest
+
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.subgraph import (
+    edge_subgraph,
+    induced_subgraph,
+    is_forest,
+    is_tree,
+    is_weakly_connected,
+    weakly_connected_components,
+)
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self, toy_graph):
+        sub = induced_subgraph(toy_graph, ["u:0", "i:0", "i:2"])
+        assert sub.num_nodes == 3
+        assert sub.has_edge("u:0", "i:0")
+        assert sub.has_edge("u:0", "i:2")
+        assert sub.num_edges == 2
+
+    def test_unknown_node_raises(self, toy_graph):
+        with pytest.raises(KeyError):
+            induced_subgraph(toy_graph, ["u:0", "i:77"])
+
+    def test_preserves_relations(self, toy_graph):
+        sub = induced_subgraph(toy_graph, ["i:0", "e:genre:0"])
+        assert sub.relation("i:0", "e:genre:0") == "genre"
+
+
+class TestEdgeSubgraph:
+    def test_exact_edges(self, toy_graph):
+        sub = edge_subgraph(toy_graph, [("u:0", "i:0"), ("i:0", "e:genre:0")])
+        assert sub.num_edges == 2
+        assert sub.num_nodes == 3
+        assert sub.weight("u:0", "i:0") == 5.0
+
+    def test_missing_edge_raises(self, toy_graph):
+        with pytest.raises(KeyError):
+            edge_subgraph(toy_graph, [("u:0", "i:1")])
+
+
+class TestConnectivity:
+    def test_toy_graph_connected(self, toy_graph):
+        assert is_weakly_connected(toy_graph)
+        assert len(weakly_connected_components(toy_graph)) == 1
+
+    def test_two_components(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("u:0", "i:0")
+        graph.add_edge("u:1", "i:1")
+        components = weakly_connected_components(graph)
+        assert len(components) == 2
+        assert not is_weakly_connected(graph)
+
+    def test_empty_graph_is_connected(self):
+        assert is_weakly_connected(KnowledgeGraph())
+
+    def test_isolated_node_counts(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("u:0", "i:0")
+        graph.add_node("i:9")
+        assert len(weakly_connected_components(graph)) == 2
+
+
+class TestTreePredicates:
+    def test_path_is_tree(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("u:0", "i:0")
+        graph.add_edge("i:0", "e:g:0", 0.0, "g")
+        assert is_tree(graph)
+        assert is_forest(graph)
+
+    def test_cycle_is_not_tree(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("u:0", "i:0")
+        graph.add_edge("i:0", "e:g:0", 0.0, "g")
+        graph.add_edge("e:g:0", "i:1", 0.0, "g")
+        graph.add_edge("i:1", "u:0")
+        assert not is_tree(graph)
+        assert not is_forest(graph)
+
+    def test_forest_not_tree(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("u:0", "i:0")
+        graph.add_edge("u:1", "i:1")
+        assert not is_tree(graph)
+        assert is_forest(graph)
+
+    def test_empty_is_tree(self):
+        assert is_tree(KnowledgeGraph())

@@ -1,0 +1,104 @@
+"""Node/edge typing rules."""
+
+import pytest
+
+from repro.graph.types import (
+    Edge,
+    EdgeType,
+    GraphStats,
+    Node,
+    NodeType,
+    external_id,
+    item_id,
+    undirected_key,
+    user_id,
+)
+
+
+class TestNodeType:
+    def test_user_prefix(self):
+        assert NodeType.of("u:0") is NodeType.USER
+
+    def test_item_prefix(self):
+        assert NodeType.of("i:42") is NodeType.ITEM
+
+    def test_external_prefix(self):
+        assert NodeType.of("e:genre:3") is NodeType.EXTERNAL
+
+    def test_unknown_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            NodeType.of("x:1")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            NodeType.of("")
+
+
+class TestIdBuilders:
+    def test_round_trip_user(self):
+        assert NodeType.of(user_id(7)) is NodeType.USER
+
+    def test_round_trip_item(self):
+        assert NodeType.of(item_id(7)) is NodeType.ITEM
+
+    def test_round_trip_external(self):
+        assert NodeType.of(external_id("genre", 7)) is NodeType.EXTERNAL
+
+    def test_external_id_embeds_relation(self):
+        assert external_id("director", 3) == "e:director:3"
+
+
+class TestEdgeType:
+    def test_user_item_is_interaction(self):
+        assert EdgeType.of("u:0", "i:0") is EdgeType.INTERACTION
+
+    def test_item_user_is_interaction(self):
+        assert EdgeType.of("i:0", "u:0") is EdgeType.INTERACTION
+
+    def test_item_external_is_knowledge(self):
+        assert EdgeType.of("i:0", "e:genre:0") is EdgeType.KNOWLEDGE
+
+    def test_user_external_is_knowledge(self):
+        assert EdgeType.of("u:0", "e:age:1") is EdgeType.KNOWLEDGE
+
+    def test_user_user_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeType.of("u:0", "u:1")
+
+    def test_item_item_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeType.of("i:0", "i:1")
+
+
+class TestRecords:
+    def test_node_display_prefers_name(self):
+        assert Node("i:0", name="Casablanca").display == "Casablanca"
+
+    def test_node_display_falls_back_to_id(self):
+        assert Node("i:0").display == "i:0"
+
+    def test_node_type_property(self):
+        assert Node("e:genre:0").type is NodeType.EXTERNAL
+
+    def test_edge_key_is_direction_insensitive(self):
+        assert Edge("u:0", "i:0").key() == Edge("i:0", "u:0").key()
+
+    def test_edge_type_property(self):
+        assert Edge("i:0", "e:genre:0").type is EdgeType.KNOWLEDGE
+
+    def test_undirected_key_orders_endpoints(self):
+        assert undirected_key("u:9", "i:1") == ("i:1", "u:9")
+        assert undirected_key("i:1", "u:9") == ("i:1", "u:9")
+
+
+class TestGraphStats:
+    def test_totals(self):
+        stats = GraphStats(
+            num_users=2,
+            num_items=3,
+            num_external=4,
+            num_interaction_edges=5,
+            num_knowledge_edges=6,
+        )
+        assert stats.num_nodes == 9
+        assert stats.num_edges == 11

@@ -1,0 +1,67 @@
+"""Interaction weight function w_M and the recency decay."""
+
+import math
+
+import pytest
+
+from repro.graph.weights import InteractionWeights, recency_score
+
+
+class TestRecencyScore:
+    def test_now_scores_one(self):
+        assert recency_score(100.0, now=100.0, gamma=0.1) == 1.0
+
+    def test_decays_with_age(self):
+        newer = recency_score(90.0, now=100.0, gamma=0.1)
+        older = recency_score(50.0, now=100.0, gamma=0.1)
+        assert 0 < older < newer < 1
+
+    def test_exact_exponential(self):
+        assert recency_score(0.0, now=10.0, gamma=0.2) == pytest.approx(
+            math.exp(-2.0)
+        )
+
+    def test_future_timestamp_clamped(self):
+        assert recency_score(200.0, now=100.0, gamma=0.1) == 1.0
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            recency_score(0.0, now=1.0, gamma=-0.1)
+
+    def test_zero_gamma_ignores_age(self):
+        assert recency_score(0.0, now=1e9, gamma=0.0) == 1.0
+
+
+class TestInteractionWeights:
+    def test_rating_only(self):
+        weights = InteractionWeights.rating_only()
+        assert weights.weight(4.0, 123.0) == 4.0
+
+    def test_beta_rating_scales(self):
+        weights = InteractionWeights.rating_only(beta_rating=0.5)
+        assert weights.weight(4.0, 0.0) == 2.0
+
+    def test_mix_combines_terms(self):
+        weights = InteractionWeights.mix(
+            beta_rating=1.0, beta_recency=2.0, gamma=0.0, now=0.0
+        )
+        assert weights.weight(3.0, 0.0) == 3.0 + 2.0
+
+    def test_recency_dominant(self):
+        weights = InteractionWeights.mix(
+            beta_rating=0.0, beta_recency=1.0, gamma=0.1, now=10.0
+        )
+        assert weights.weight(5.0, 10.0) == pytest.approx(1.0)
+        assert weights.weight(5.0, 0.0) == pytest.approx(math.exp(-1.0))
+
+    def test_negative_betas_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionWeights(beta_rating=-1.0)
+
+    def test_all_zero_betas_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionWeights(beta_rating=0.0, beta_recency=0.0)
+
+    def test_higher_rating_heavier(self):
+        weights = InteractionWeights.rating_only()
+        assert weights.weight(5.0, 0.0) > weights.weight(1.0, 0.0)

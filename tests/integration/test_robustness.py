@@ -1,0 +1,151 @@
+"""Failure injection and adversarial-topology robustness.
+
+The summarizers and metrics must behave sensibly on degenerate graphs:
+stars, chains, all-zero weights, near-disconnected topologies, and
+pathological parameter values.
+"""
+
+import pytest
+
+from repro.core.explanation import PathSetExplanation
+from repro.core.scenarios import Scenario, SummaryTask
+from repro.core.summarizer import Summarizer
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.paths import Path
+from repro.metrics import evaluate_explanation
+
+
+def star_graph(num_items: int = 8) -> KnowledgeGraph:
+    """One user, one hub genre, items hanging off both."""
+    graph = KnowledgeGraph()
+    for index in range(num_items):
+        graph.add_edge("u:0", f"i:{index}", 3.0)
+        graph.add_edge(f"i:{index}", "e:g:0", 0.0, "g")
+    return graph
+
+
+def chain_graph(length: int = 12) -> KnowledgeGraph:
+    """user - item - entity - item - entity - ... chain."""
+    graph = KnowledgeGraph()
+    previous = "u:0"
+    for index in range(length):
+        item = f"i:{index}"
+        if previous.startswith("u:"):
+            graph.add_edge(previous, item, 2.0)
+        else:
+            graph.add_edge(item, previous, 0.0, "g")
+        entity = f"e:g:{index}"
+        graph.add_edge(item, entity, 0.0, "g")
+        previous = entity
+    return graph
+
+
+def task_over(graph, terminals, paths=()) -> SummaryTask:
+    return SummaryTask(
+        scenario=Scenario.USER_CENTRIC,
+        terminals=tuple(terminals),
+        paths=tuple(paths),
+        anchors=tuple(t for t in terminals[1:]),
+        focus=(terminals[0],),
+    )
+
+
+class TestAdversarialTopologies:
+    @pytest.mark.parametrize("method", ["ST", "ST-fast", "PCST", "Union"])
+    def test_star_graph(self, method):
+        graph = star_graph()
+        paths = [
+            Path(nodes=("u:0", f"i:{i}"))
+            for i in range(4)
+        ]
+        task = task_over(graph, ["u:0", "i:0", "i:1", "i:2", "i:3"], paths)
+        summary = Summarizer(graph, method=method).summarize(task)
+        report = evaluate_explanation(summary, graph)
+        assert 0 <= report.privacy <= 1
+        assert summary.subgraph.num_nodes >= 1
+
+    @pytest.mark.parametrize("method", ["ST", "ST-fast", "PCST"])
+    def test_long_chain(self, method):
+        graph = chain_graph()
+        task = task_over(graph, ["u:0", "i:11"])
+        summary = Summarizer(graph, method=method).summarize(task)
+        # The only route is the full chain.
+        assert "u:0" in summary.subgraph
+        assert "i:11" in summary.subgraph
+
+    @pytest.mark.parametrize("method", ["ST", "PCST"])
+    def test_all_zero_weights(self, method):
+        graph = KnowledgeGraph()
+        graph.add_edge("u:0", "i:0", 0.0 + 1e-12)
+        graph.add_edge("i:0", "e:g:0", 0.0, "g")
+        graph.add_edge("e:g:0", "i:1", 0.0, "g")
+        task = task_over(graph, ["u:0", "i:1"])
+        summary = Summarizer(graph, method=method).summarize(task)
+        assert summary.terminal_coverage == 1.0
+
+    def test_terminal_equal_to_focus_only(self):
+        graph = star_graph(2)
+        task = SummaryTask(
+            scenario=Scenario.USER_CENTRIC,
+            terminals=("u:0",),
+            paths=(),
+            anchors=(),
+            focus=("u:0",),
+        )
+        summary = Summarizer(graph, method="ST").summarize(task)
+        assert summary.subgraph.num_nodes == 1
+
+
+class TestParameterEdges:
+    def test_huge_lambda(self, test_bench):
+        from repro.core.scenarios import user_centric_task
+
+        per_user = test_bench.recommendations("PGPR")
+        user = test_bench.eval_users[0]
+        task = user_centric_task(per_user[user], 3)
+        summary = Summarizer(
+            test_bench.graph, method="ST", lam=1e9
+        ).summarize(task)
+        assert summary.terminal_coverage == 1.0
+
+    def test_weight_influence_zero(self, test_bench):
+        from repro.core.scenarios import user_centric_task
+
+        per_user = test_bench.recommendations("PGPR")
+        user = test_bench.eval_users[0]
+        task = user_centric_task(per_user[user], 3)
+        summary = Summarizer(
+            test_bench.graph, method="ST", weight_influence=0.0
+        ).summarize(task)
+        assert summary.terminal_coverage == 1.0
+
+    def test_metrics_on_single_hop_explanations(self, test_bench):
+        explanation = PathSetExplanation(
+            paths=(Path(nodes=("u:0", "i:0")),)
+        )
+        report = evaluate_explanation(explanation, test_bench.graph)
+        assert report.comprehensibility == 1.0
+        assert report.diversity == 0.0
+        assert report.redundancy == 0.0
+
+
+class TestScenarioEdgeCases:
+    def test_group_of_one_equals_user_centric_terminals(self, test_bench):
+        from repro.core.scenarios import (
+            user_centric_task,
+            user_group_task,
+        )
+
+        per_user = test_bench.recommendations("PGPR")
+        user = test_bench.eval_users[0]
+        single = user_group_task([user], per_user, 3)
+        centric = user_centric_task(per_user[user], 3)
+        assert set(single.terminals) == set(centric.terminals)
+
+    def test_duplicate_group_members_collapse(self, test_bench):
+        from repro.core.scenarios import user_group_task
+
+        per_user = test_bench.recommendations("PGPR")
+        user = test_bench.eval_users[0]
+        task = user_group_task([user, user, user], per_user, 2)
+        assert task.terminals.count(user) == 1

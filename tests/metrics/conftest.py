@@ -1,0 +1,46 @@
+"""Metric-suite fixtures: canned explanations of both forms."""
+
+import pytest
+
+from repro.core.explanation import PathSetExplanation
+from repro.core.scenarios import Scenario, SummaryTask
+from repro.core.steiner_summary import SteinerSummarizer
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.paths import Path
+
+
+@pytest.fixture
+def metric_graph() -> KnowledgeGraph:
+    """Small graph with named weights for metric arithmetic."""
+    graph = KnowledgeGraph()
+    graph.add_edge("u:0", "i:0", 5.0)
+    graph.add_edge("u:0", "i:2", 3.0)
+    graph.add_edge("u:1", "i:1", 4.0)
+    graph.add_edge("i:0", "e:g:0", 0.0, "g")
+    graph.add_edge("i:1", "e:g:0", 0.0, "g")
+    graph.add_edge("i:2", "e:d:0", 0.0, "d")
+    graph.add_edge("i:1", "e:d:0", 0.0, "d")
+    graph.add_edge("i:3", "e:d:0", 0.0, "d")
+    return graph
+
+
+@pytest.fixture
+def path_explanation() -> PathSetExplanation:
+    return PathSetExplanation(
+        paths=(
+            Path(nodes=("u:0", "i:0", "e:g:0", "i:1")),
+            Path(nodes=("u:0", "i:2", "e:d:0", "i:3")),
+        )
+    )
+
+
+@pytest.fixture
+def summary_explanation(metric_graph, path_explanation):
+    task = SummaryTask(
+        scenario=Scenario.USER_CENTRIC,
+        terminals=("u:0", "i:1", "i:3"),
+        paths=path_explanation.paths,
+        anchors=("i:1", "i:3"),
+        focus=("u:0",),
+    )
+    return SteinerSummarizer(metric_graph, lam=1.0).summarize(task)

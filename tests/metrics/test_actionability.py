@@ -1,0 +1,36 @@
+"""A(S) = item nodes / total nodes."""
+
+import pytest
+
+from repro.core.explanation import PathSetExplanation
+from repro.graph.paths import Path
+from repro.metrics import actionability
+
+
+class TestActionability:
+    def test_path_multiset_share(self, path_explanation):
+        # 8 mentions, items: i:0, i:1, i:2, i:3 -> 4/8.
+        assert actionability(path_explanation) == pytest.approx(0.5)
+
+    def test_summary_unique_share(self, summary_explanation):
+        mentions = summary_explanation.node_mentions()
+        items = sum(1 for n in mentions if n.startswith("i:"))
+        assert actionability(summary_explanation) == pytest.approx(
+            items / len(mentions)
+        )
+
+    def test_all_item_path(self):
+        explanation = PathSetExplanation(
+            paths=(Path(nodes=("i:0", "i:1"), user="i:0", item="i:1"),)
+        )
+        assert actionability(explanation) == 1.0
+
+    def test_no_items(self):
+        explanation = PathSetExplanation(
+            paths=(Path(nodes=("u:0", "e:g:0"), user="u:0", item="e:g:0"),)
+        )
+        assert actionability(explanation) == 0.0
+
+    def test_range(self, path_explanation, summary_explanation):
+        for explanation in (path_explanation, summary_explanation):
+            assert 0.0 <= actionability(explanation) <= 1.0

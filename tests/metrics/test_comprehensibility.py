@@ -1,0 +1,36 @@
+"""C(S) = 1/|E_S|."""
+
+import pytest
+
+from repro.core.explanation import PathSetExplanation
+from repro.graph.paths import Path
+from repro.metrics import comprehensibility
+
+
+class TestComprehensibility:
+    def test_inverse_of_total_path_length(self, path_explanation):
+        assert comprehensibility(path_explanation) == pytest.approx(1 / 6)
+
+    def test_summary_value(self, summary_explanation):
+        assert comprehensibility(summary_explanation) == pytest.approx(
+            1 / summary_explanation.subgraph.num_edges
+        )
+
+    def test_repeated_edges_count_for_paths(self):
+        explanation = PathSetExplanation(
+            paths=(Path(nodes=("u:0", "i:0")), Path(nodes=("u:0", "i:0")))
+        )
+        assert comprehensibility(explanation) == pytest.approx(0.5)
+
+    def test_shorter_is_more_comprehensible(self, path_explanation):
+        shorter = PathSetExplanation(paths=(Path(nodes=("u:0", "i:0")),))
+        assert comprehensibility(shorter) > comprehensibility(
+            path_explanation
+        )
+
+    def test_summary_beats_paths_here(
+        self, path_explanation, summary_explanation
+    ):
+        assert comprehensibility(summary_explanation) > comprehensibility(
+            path_explanation
+        )

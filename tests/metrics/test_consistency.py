@@ -1,0 +1,63 @@
+"""Consistency across k."""
+
+import pytest
+
+from repro.core.explanation import PathSetExplanation
+from repro.graph.paths import Path
+from repro.metrics import consistency
+from repro.metrics.consistency import jaccard_nodes
+
+
+def paths_explanation(*node_tuples):
+    return PathSetExplanation(
+        paths=tuple(
+            Path(nodes=t, user=t[0], item=t[-1]) for t in node_tuples
+        )
+    )
+
+
+class TestJaccardNodes:
+    def test_identical(self):
+        a = paths_explanation(("u:0", "i:0"))
+        assert jaccard_nodes(a, a) == 1.0
+
+    def test_disjoint(self):
+        a = paths_explanation(("u:0", "i:0"))
+        b = paths_explanation(("u:1", "i:1"))
+        assert jaccard_nodes(a, b) == 0.0
+
+    def test_partial_overlap(self):
+        a = paths_explanation(("u:0", "i:0"))
+        b = paths_explanation(("u:0", "i:1"))
+        assert jaccard_nodes(a, b) == pytest.approx(1 / 3)
+
+
+class TestConsistency:
+    def test_incremental_growth_is_consistent(self):
+        sequence = [
+            paths_explanation(("u:0", "i:0")),
+            paths_explanation(("u:0", "i:0"), ("u:0", "i:1")),
+            paths_explanation(
+                ("u:0", "i:0"), ("u:0", "i:1"), ("u:0", "i:2")
+            ),
+        ]
+        value = consistency(sequence)
+        assert value == pytest.approx((2 / 3 + 3 / 4) / 2)
+
+    def test_identical_sequence_is_one(self):
+        explanation = paths_explanation(("u:0", "i:0"))
+        assert consistency([explanation] * 4) == 1.0
+
+    def test_single_entry_is_one(self):
+        assert consistency([paths_explanation(("u:0", "i:0"))]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            consistency([])
+
+    def test_total_churn_is_zero(self):
+        sequence = [
+            paths_explanation(("u:0", "i:0")),
+            paths_explanation(("u:1", "i:1")),
+        ]
+        assert consistency(sequence) == 0.0

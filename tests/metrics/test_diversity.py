@@ -1,0 +1,89 @@
+"""D(S): mean pairwise edge dissimilarity, incl. the fast-path formula."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.core.explanation import PathSetExplanation
+from repro.graph.paths import Path
+from repro.graph.types import undirected_key
+from repro.metrics import diversity
+
+
+def naive_diversity(edges) -> float:
+    """Direct O(n^2) implementation of the paper's formula (oracle)."""
+    keys = [undirected_key(u, v) for u, v in edges]
+    pairs = list(combinations(range(len(keys)), 2))
+    if not pairs:
+        return 0.0
+    total = 0.0
+    for i, j in pairs:
+        set_i, set_j = set(keys[i]), set(keys[j])
+        jaccard = len(set_i & set_j) / len(set_i | set_j)
+        total += 1.0 - jaccard
+    return total / len(pairs)
+
+
+class TestDiversity:
+    def test_single_edge_is_zero(self):
+        explanation = PathSetExplanation(paths=(Path(nodes=("u:0", "i:0")),))
+        assert diversity(explanation) == 0.0
+
+    def test_disjoint_edges_fully_diverse(self):
+        explanation = PathSetExplanation(
+            paths=(
+                Path(nodes=("u:0", "i:0")),
+                Path(nodes=("u:1", "i:1")),
+            )
+        )
+        assert diversity(explanation) == pytest.approx(1.0)
+
+    def test_repeated_edge_zero_diversity(self):
+        explanation = PathSetExplanation(
+            paths=(Path(nodes=("u:0", "i:0")), Path(nodes=("u:0", "i:0")))
+        )
+        assert diversity(explanation) == pytest.approx(0.0)
+
+    def test_shared_endpoint_two_thirds(self):
+        explanation = PathSetExplanation(
+            paths=(
+                Path(nodes=("u:0", "i:0")),
+                Path(nodes=("u:0", "i:1")),
+            )
+        )
+        assert diversity(explanation) == pytest.approx(2.0 / 3.0)
+
+    def test_fast_formula_matches_naive(
+        self, path_explanation, summary_explanation
+    ):
+        for explanation in (path_explanation, summary_explanation):
+            assert diversity(explanation) == pytest.approx(
+                naive_diversity(explanation.edge_mentions())
+            )
+
+    def test_fast_formula_matches_naive_on_random_paths(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            paths = []
+            for p in range(4):
+                nodes = [f"u:{rng.integers(0, 3)}"]
+                nodes.append(f"i:{rng.integers(0, 6)}")
+                nodes.append(f"e:g:{rng.integers(0, 3)}")
+                nodes.append(f"i:{rng.integers(6, 12)}")
+                paths.append(
+                    Path(
+                        nodes=tuple(nodes),
+                        user=nodes[0],
+                        item=nodes[-1],
+                    )
+                )
+            explanation = PathSetExplanation(paths=tuple(paths))
+            assert diversity(explanation) == pytest.approx(
+                naive_diversity(explanation.edge_mentions())
+            )
+
+    def test_range(self, path_explanation, summary_explanation):
+        for explanation in (path_explanation, summary_explanation):
+            assert 0.0 <= diversity(explanation) <= 1.0

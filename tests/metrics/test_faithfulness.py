@@ -1,0 +1,59 @@
+"""Faithfulness metric (PLM hallucination axis)."""
+
+import pytest
+
+from repro.core.explanation import PathSetExplanation
+from repro.graph.paths import Path
+from repro.metrics.faithfulness import faithfulness, hallucination_rate
+
+
+class TestFaithfulness:
+    def test_fully_faithful_path_set(self, metric_graph):
+        explanation = PathSetExplanation(
+            paths=(Path(nodes=("u:0", "i:0", "e:g:0", "i:1")),)
+        )
+        assert faithfulness(explanation, metric_graph) == 1.0
+
+    def test_hallucinated_edges_counted(self, metric_graph):
+        explanation = PathSetExplanation(
+            paths=(
+                Path(nodes=("u:0", "i:0")),  # real
+                Path(nodes=("u:0", "i:3")),  # invented
+            )
+        )
+        assert faithfulness(explanation, metric_graph) == pytest.approx(0.5)
+
+    def test_summary_always_faithful(
+        self, metric_graph, summary_explanation
+    ):
+        assert faithfulness(summary_explanation, metric_graph) == 1.0
+
+    def test_plm_vs_pearlm_contrast(self, test_bench):
+        """The PLM family's defining contrast, measured end to end."""
+        from repro.recommenders import PLMRecommender
+
+        plm = PLMRecommender(hallucination_rate=0.8, seed=5).fit(
+            test_bench.graph, test_bench.dataset.ratings
+        )
+        pearlm = test_bench.recommender("PEARLM")
+        users = test_bench.eval_users[:4]
+        plm_paths = [
+            rec.path for u in users for rec in plm.recommend(u, 6)
+        ]
+        pearlm_paths = [
+            rec.path for u in users for rec in pearlm.recommend(u, 6)
+        ]
+        assert hallucination_rate(plm_paths, test_bench.graph) > 0.0
+        assert hallucination_rate(pearlm_paths, test_bench.graph) == 0.0
+
+
+class TestHallucinationRate:
+    def test_empty_paths(self, metric_graph):
+        assert hallucination_rate([], metric_graph) == 0.0
+
+    def test_per_path_granularity(self, metric_graph):
+        paths = [
+            Path(nodes=("u:0", "i:0", "e:g:0", "i:1")),  # all hops real
+            Path(nodes=("u:0", "i:0", "e:d:0", "i:1"), item="i:1"),  # 1 bad hop
+        ]
+        assert hallucination_rate(paths, metric_graph) == pytest.approx(0.5)

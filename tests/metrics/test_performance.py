@@ -1,0 +1,55 @@
+"""Timing and memory instrumentation."""
+
+import time
+
+import pytest
+
+from repro.metrics.performance import PerformanceProbe, measure
+
+
+class TestMeasure:
+    def test_returns_result(self):
+        measurement = measure(lambda x: x * 2, 21)
+        assert measurement.result == 42
+
+    def test_records_elapsed_time(self):
+        measurement = measure(time.sleep, 0.02)
+        assert measurement.seconds >= 0.015
+
+    def test_tracks_peak_memory(self):
+        measurement = measure(lambda: bytearray(4 * 1024 * 1024))
+        assert measurement.peak_bytes >= 4 * 1024 * 1024
+
+    def test_memory_tracking_optional(self):
+        measurement = measure(lambda: 1, track_memory=False)
+        assert measurement.peak_bytes == 0
+
+    def test_kwargs_forwarded(self):
+        measurement = measure(lambda *, x: x, x=3)
+        assert measurement.result == 3
+
+    def test_exception_stops_tracemalloc(self):
+        import tracemalloc
+
+        with pytest.raises(RuntimeError):
+            measure(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        assert not tracemalloc.is_tracing()
+
+
+class TestPerformanceProbe:
+    def test_accumulates_by_key(self):
+        probe = PerformanceProbe(label="test")
+        probe.run(1, lambda: None)
+        probe.run(1, lambda: None)
+        probe.run(2, lambda: None)
+        seconds = probe.mean_seconds()
+        assert set(seconds) == {1, 2}
+
+    def test_run_returns_value(self):
+        probe = PerformanceProbe()
+        assert probe.run("k", lambda: "value") == "value"
+
+    def test_mean_peak_in_mib(self):
+        probe = PerformanceProbe()
+        probe.run("k", lambda: bytearray(2 * 1024 * 1024))
+        assert probe.mean_peak_mb()["k"] >= 2.0

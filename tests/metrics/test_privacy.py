@@ -1,0 +1,40 @@
+"""Privacy: 1 - user-node share."""
+
+import pytest
+
+from repro.core.explanation import PathSetExplanation
+from repro.graph.paths import Path
+from repro.metrics import privacy
+
+
+class TestPrivacy:
+    def test_path_multiset_share(self, path_explanation):
+        # 8 mentions, u:0 twice -> 1 - 2/8.
+        assert privacy(path_explanation) == pytest.approx(0.75)
+
+    def test_no_users_is_private(self):
+        explanation = PathSetExplanation(
+            paths=(Path(nodes=("i:0", "e:g:0"), user="i:0", item="e:g:0"),)
+        )
+        assert privacy(explanation) == 1.0
+
+    def test_user_heavy_path_is_exposed(self):
+        explanation = PathSetExplanation(
+            paths=(
+                Path(
+                    nodes=("u:0", "i:0", "u:1", "i:1"),
+                ),
+            )
+        )
+        assert privacy(explanation) == pytest.approx(0.5)
+
+    def test_summary_share(self, summary_explanation):
+        mentions = summary_explanation.node_mentions()
+        users = sum(1 for n in mentions if n.startswith("u:"))
+        assert privacy(summary_explanation) == pytest.approx(
+            1 - users / len(mentions)
+        )
+
+    def test_range(self, path_explanation, summary_explanation):
+        for explanation in (path_explanation, summary_explanation):
+            assert 0.0 <= privacy(explanation) <= 1.0

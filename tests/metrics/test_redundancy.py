@@ -1,0 +1,43 @@
+"""R(S): duplicate node appearances over explanation edges."""
+
+import pytest
+
+from repro.core.explanation import PathSetExplanation
+from repro.graph.paths import Path
+from repro.metrics import redundancy
+
+
+class TestRedundancy:
+    def test_single_edge_no_duplicates(self):
+        explanation = PathSetExplanation(paths=(Path(nodes=("u:0", "i:0")),))
+        assert redundancy(explanation) == 0.0
+
+    def test_chain_interior_duplicated(self):
+        # u-i-e: i appears in both edges -> 4 appearances, 3 unique.
+        explanation = PathSetExplanation(
+            paths=(Path(nodes=("u:0", "i:0", "e:g:0"), item="e:g:0"),)
+        )
+        assert redundancy(explanation) == pytest.approx(1 / 4)
+
+    def test_repeated_paths_highly_redundant(self):
+        explanation = PathSetExplanation(
+            paths=(Path(nodes=("u:0", "i:0")), Path(nodes=("u:0", "i:0")))
+        )
+        assert redundancy(explanation) == pytest.approx(0.5)
+
+    def test_shared_user_across_paths(self, path_explanation):
+        # 12 appearances (2 paths x 3 edges x 2 endpoints), u:0 twice,
+        # interior nodes twice each within their chains.
+        value = redundancy(path_explanation)
+        assert 0.0 < value < 1.0
+
+    def test_summary_less_redundant_than_paths(
+        self, path_explanation, summary_explanation
+    ):
+        assert redundancy(summary_explanation) <= redundancy(
+            path_explanation
+        )
+
+    def test_range(self, path_explanation, summary_explanation):
+        for explanation in (path_explanation, summary_explanation):
+            assert 0.0 <= redundancy(explanation) < 1.0

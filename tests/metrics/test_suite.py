@@ -1,0 +1,35 @@
+"""Evaluate-everything helper."""
+
+import pytest
+
+from repro.metrics.suite import STATIC_METRICS, evaluate_explanation
+
+
+class TestEvaluateExplanation:
+    def test_all_metrics_present(self, metric_graph, path_explanation):
+        report = evaluate_explanation(path_explanation, metric_graph)
+        values = report.as_dict()
+        assert set(values) == set(STATIC_METRICS)
+
+    def test_values_match_individual_metrics(
+        self, metric_graph, summary_explanation
+    ):
+        from repro.metrics import comprehensibility, privacy, relevance
+
+        report = evaluate_explanation(summary_explanation, metric_graph)
+        assert report.comprehensibility == comprehensibility(
+            summary_explanation
+        )
+        assert report.privacy == privacy(summary_explanation)
+        assert report.relevance == relevance(
+            summary_explanation, metric_graph
+        )
+
+    def test_getitem(self, metric_graph, path_explanation):
+        report = evaluate_explanation(path_explanation, metric_graph)
+        assert report["diversity"] == report.diversity
+
+    def test_getitem_unknown_raises(self, metric_graph, path_explanation):
+        report = evaluate_explanation(path_explanation, metric_graph)
+        with pytest.raises(KeyError):
+            report["sparkles"]

@@ -1,0 +1,48 @@
+"""Property-based tests: union-find is an equivalence relation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.disjoint_set import DisjointSet
+
+unions = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=30),
+    ),
+    max_size=60,
+)
+
+
+class TestDisjointSetProperties:
+    @given(unions)
+    def test_connectivity_matches_reference_partition(self, pairs):
+        ds = DisjointSet(range(31))
+        reference = {i: {i} for i in range(31)}
+        for a, b in pairs:
+            ds.union(a, b)
+            if reference[a] is not reference[b]:
+                merged = reference[a] | reference[b]
+                for member in merged:
+                    reference[member] = merged
+        for a in range(31):
+            for b in (0, 7, 30):
+                assert ds.connected(a, b) == (b in reference[a])
+
+    @given(unions)
+    def test_num_sets_consistent_with_partition(self, pairs):
+        ds = DisjointSet(range(31))
+        for a, b in pairs:
+            ds.union(a, b)
+        distinct = {frozenset(s) for s in ds.sets()}
+        assert ds.num_sets == len(distinct)
+        assert sum(len(s) for s in distinct) == 31
+
+    @given(unions)
+    def test_set_size_matches_materialized_sets(self, pairs):
+        ds = DisjointSet(range(31))
+        for a, b in pairs:
+            ds.union(a, b)
+        for group in ds.sets():
+            for member in group:
+                assert ds.set_size(member) == len(group)

@@ -1,0 +1,86 @@
+"""Property-based tests: KnowledgeGraph mutation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+
+@st.composite
+def edge_ops(draw):
+    """A sequence of add/remove operations over a small typed vocabulary."""
+    ops = []
+    num_ops = draw(st.integers(1, 40))
+    for _ in range(num_ops):
+        kind = draw(st.sampled_from(["add", "remove", "reweight"]))
+        u = f"u:{draw(st.integers(0, 4))}"
+        i = f"i:{draw(st.integers(0, 6))}"
+        weight = draw(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+        )
+        ops.append((kind, u, i, weight))
+    return ops
+
+
+class TestGraphInvariants:
+    @given(edge_ops())
+    @settings(max_examples=60, deadline=None)
+    def test_edge_count_matches_iteration(self, ops):
+        graph = KnowledgeGraph()
+        reference: dict[tuple[str, str], float] = {}
+        for kind, u, i, weight in ops:
+            key = (u, i)
+            if kind == "add":
+                graph.add_edge(u, i, weight)
+                reference[key] = weight
+            elif kind == "remove" and key in reference:
+                graph.remove_edge(u, i)
+                del reference[key]
+            elif kind == "reweight" and key in reference:
+                graph.set_weight(u, i, weight)
+                reference[key] = weight
+        assert graph.num_edges == len(reference)
+        assert sum(1 for _ in graph.edges()) == len(reference)
+        for (u, i), weight in reference.items():
+            assert graph.weight(u, i) == weight
+            assert graph.weight(i, u) == weight
+
+    @given(edge_ops())
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry_of_adjacency(self, ops):
+        graph = KnowledgeGraph()
+        for kind, u, i, weight in ops:
+            if kind == "add":
+                graph.add_edge(u, i, weight)
+        for node in graph.nodes():
+            for neighbor in graph.neighbors(node):
+                assert graph.has_edge(neighbor, node)
+
+    @given(edge_ops())
+    @settings(max_examples=40, deadline=None)
+    def test_copy_equivalence(self, ops):
+        graph = KnowledgeGraph()
+        for kind, u, i, weight in ops:
+            if kind == "add":
+                graph.add_edge(u, i, weight)
+        clone = graph.copy()
+        assert set(clone.nodes()) == set(graph.nodes())
+        assert sorted(e.key() for e in clone.edges()) == sorted(
+            e.key() for e in graph.edges()
+        )
+
+    @given(edge_ops())
+    @settings(max_examples=40, deadline=None)
+    def test_remove_node_leaves_no_dangling_edges(self, ops):
+        graph = KnowledgeGraph()
+        for kind, u, i, weight in ops:
+            if kind == "add":
+                graph.add_edge(u, i, weight)
+        nodes = list(graph.nodes())
+        if not nodes:
+            return
+        victim = nodes[0]
+        graph.remove_node(victim)
+        assert victim not in graph
+        for node in graph.nodes():
+            assert victim not in graph.neighbors(node)

@@ -1,0 +1,60 @@
+"""Property-based tests: the addressable heap behaves like a sorted map."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.heap import AddressableHeap
+
+entries = st.dictionaries(
+    st.integers(min_value=0, max_value=200),
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestHeapProperties:
+    @given(entries)
+    def test_drains_in_sorted_order(self, mapping):
+        heap = AddressableHeap()
+        for key, priority in mapping.items():
+            heap.push(key, priority)
+        drained = []
+        while heap:
+            drained.append(heap.pop_min()[1])
+        assert drained == sorted(drained)
+
+    @given(entries, entries)
+    def test_updates_respected(self, initial, updates):
+        heap = AddressableHeap()
+        expected = dict(initial)
+        for key, priority in initial.items():
+            heap.push(key, priority)
+        for key, priority in updates.items():
+            heap.update(key, priority)
+            expected[key] = priority
+        drained = {}
+        while heap:
+            key, priority = heap.pop_min()
+            drained[key] = priority
+        assert drained == expected
+
+    @given(entries)
+    def test_decrease_if_lower_never_raises_priority(self, mapping):
+        heap = AddressableHeap()
+        for key, priority in mapping.items():
+            heap.push(key, priority)
+        for key, priority in mapping.items():
+            heap.decrease_if_lower(key, priority + 1.0)
+            assert heap.priority(key) <= priority
+
+    @given(entries)
+    def test_len_tracks_membership(self, mapping):
+        heap = AddressableHeap()
+        for key, priority in mapping.items():
+            heap.update(key, priority)
+        assert len(heap) == len(mapping)
+        heap.pop_min()
+        assert len(heap) == len(mapping) - 1

@@ -1,0 +1,85 @@
+"""Property-based tests: metric ranges and monotonicity on random paths."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.explanation import PathSetExplanation
+from repro.graph.paths import Path
+from repro.metrics import (
+    actionability,
+    comprehensibility,
+    diversity,
+    privacy,
+    redundancy,
+)
+
+
+@st.composite
+def random_path(draw):
+    """A 2-3 hop path over a small typed vocabulary, no revisits."""
+    user = f"u:{draw(st.integers(0, 4))}"
+    first = f"i:{draw(st.integers(0, 9))}"
+    mid_kind = draw(st.sampled_from(["u", "e:g", "e:d"]))
+    mid = f"{mid_kind}:{draw(st.integers(5, 9))}"
+    last = f"i:{draw(st.integers(10, 19))}"
+    nodes = (user, first, mid, last)
+    if len(set(nodes)) != 4:
+        nodes = (user, first, f"e:x:{draw(st.integers(0, 3))}", last)
+    return Path(nodes=nodes, user=user, item=last)
+
+
+path_sets = st.lists(random_path(), min_size=1, max_size=8).map(
+    lambda ps: PathSetExplanation(paths=tuple(ps))
+)
+
+
+class TestMetricRanges:
+    @given(path_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_unit_interval_metrics(self, explanation):
+        assert 0.0 <= actionability(explanation) <= 1.0
+        assert 0.0 <= diversity(explanation) <= 1.0
+        assert 0.0 <= redundancy(explanation) < 1.0
+        assert 0.0 <= privacy(explanation) <= 1.0
+        assert 0.0 < comprehensibility(explanation) <= 1.0
+
+    @given(path_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_comprehensibility_is_exact_inverse(self, explanation):
+        assert comprehensibility(explanation) == 1.0 / sum(
+            len(p) for p in explanation.paths
+        )
+
+    @given(path_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_adding_a_path_never_raises_comprehensibility(self, explanation):
+        extra = Path(nodes=("u:0", "i:0", "e:g:0", "i:19"))
+        bigger = PathSetExplanation(paths=(*explanation.paths, extra))
+        assert comprehensibility(bigger) < comprehensibility(explanation)
+
+    @given(path_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_duplicating_paths_increases_redundancy(self, explanation):
+        doubled = PathSetExplanation(
+            paths=(*explanation.paths, *explanation.paths)
+        )
+        assert redundancy(doubled) >= redundancy(explanation)
+
+    @given(path_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_duplicating_paths_decreases_diversity(self, explanation):
+        doubled = PathSetExplanation(
+            paths=(*explanation.paths, *explanation.paths)
+        )
+        if len(explanation.paths) >= 2:
+            assert diversity(doubled) <= diversity(explanation) + 1e-9
+
+    @given(path_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_privacy_complements_user_share(self, explanation):
+        mentions = explanation.node_mentions()
+        users = sum(
+            count for n, count in mentions.items() if n.startswith("u:")
+        )
+        total = sum(mentions.values())
+        assert privacy(explanation) == 1.0 - users / total

@@ -1,0 +1,75 @@
+"""Property-based tests: PCST invariants on random graphs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.pcst import paper_pcst
+from repro.graph.shortest_paths import bfs_shortest_path
+from repro.graph.subgraph import is_forest
+
+from tests.properties.test_steiner_properties import build_connected_kg
+
+graph_params = st.tuples(
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=3, max_value=12),
+    st.integers(min_value=1, max_value=6),
+)
+
+
+class TestPCSTProperties:
+    @given(graph_params)
+    @settings(max_examples=30, deadline=None)
+    def test_forest_containing_all_reachable_seeds(self, params):
+        seed, num_users, num_items, num_terminals = params
+        graph = build_connected_kg(seed, num_users, num_items)
+        rng = np.random.default_rng(seed + 4)
+        nodes = sorted(graph.nodes())
+        picks = rng.choice(
+            len(nodes), size=min(num_terminals, len(nodes)), replace=False
+        )
+        terminals = [nodes[int(p)] for p in picks]
+        forest = paper_pcst(graph, {t: 1.0 for t in terminals})
+        assert is_forest(forest)
+        for terminal in terminals:
+            assert terminal in forest
+
+    @given(graph_params)
+    @settings(max_examples=30, deadline=None)
+    def test_terminals_mutually_connected_in_connected_graph(self, params):
+        seed, num_users, num_items, num_terminals = params
+        graph = build_connected_kg(seed, num_users, num_items)
+        rng = np.random.default_rng(seed + 5)
+        nodes = sorted(graph.nodes())
+        picks = rng.choice(
+            len(nodes), size=min(num_terminals, len(nodes)), replace=False
+        )
+        terminals = [nodes[int(p)] for p in picks]
+        forest = paper_pcst(graph, {t: 1.0 for t in terminals})
+        # build_connected_kg is connected, so PCST must link all seeds.
+        for other in terminals[1:]:
+            assert (
+                bfs_shortest_path(forest, terminals[0], other) is not None
+            )
+
+    @given(graph_params)
+    @settings(max_examples=20, deadline=None)
+    def test_pruning_preserves_terminal_connectivity(self, params):
+        seed, num_users, num_items, num_terminals = params
+        graph = build_connected_kg(seed, num_users, num_items)
+        rng = np.random.default_rng(seed + 6)
+        nodes = sorted(graph.nodes())
+        picks = rng.choice(
+            len(nodes), size=min(num_terminals, len(nodes)), replace=False
+        )
+        terminals = [nodes[int(p)] for p in picks]
+        pruned = paper_pcst(
+            graph,
+            {t: 1.0 for t in terminals},
+            prune_zero_prize_leaves=True,
+        )
+        for other in terminals[1:]:
+            assert (
+                bfs_shortest_path(pruned, terminals[0], other) is not None
+            )

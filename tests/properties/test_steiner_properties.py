@@ -1,0 +1,94 @@
+"""Property-based tests: Steiner tree invariants on random graphs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.steiner import steiner_tree
+from repro.graph.subgraph import is_tree
+
+
+def build_connected_kg(seed: int, num_users: int, num_items: int):
+    """Random connected user-item-entity KG."""
+    rng = np.random.default_rng(seed)
+    graph = KnowledgeGraph()
+    # Spine: every item rated by some user; chain users via shared items.
+    for i in range(num_items):
+        u = i % num_users
+        graph.add_edge(f"u:{u}", f"i:{i}", float(rng.integers(1, 6)))
+        graph.add_edge(
+            f"u:{(u + 1) % num_users}", f"i:{i}", float(rng.integers(1, 6))
+        )
+    for i in range(num_items):
+        graph.add_edge(f"i:{i}", f"e:g:{i % 3}", 0.0, "g")
+    # Random extra edges.
+    for _ in range(num_items):
+        u = int(rng.integers(0, num_users))
+        i = int(rng.integers(0, num_items))
+        graph.add_edge(f"u:{u}", f"i:{i}", float(rng.integers(1, 6)))
+    return graph
+
+
+graph_params = st.tuples(
+    st.integers(min_value=0, max_value=1000),  # seed
+    st.integers(min_value=2, max_value=6),  # users
+    st.integers(min_value=3, max_value=12),  # items
+    st.integers(min_value=2, max_value=6),  # terminals
+)
+
+
+class TestSteinerProperties:
+    @given(graph_params)
+    @settings(max_examples=30, deadline=None)
+    def test_result_is_tree_containing_terminals(self, params):
+        seed, num_users, num_items, num_terminals = params
+        graph = build_connected_kg(seed, num_users, num_items)
+        rng = np.random.default_rng(seed + 1)
+        nodes = sorted(graph.nodes())
+        picks = rng.choice(
+            len(nodes), size=min(num_terminals, len(nodes)), replace=False
+        )
+        terminals = [nodes[int(p)] for p in picks]
+        tree = steiner_tree(graph, terminals, cost_fn=lambda u, v, w: 1.0)
+        assert is_tree(tree)
+        for terminal in terminals:
+            assert terminal in tree
+
+    @given(graph_params)
+    @settings(max_examples=30, deadline=None)
+    def test_leaves_are_terminals(self, params):
+        seed, num_users, num_items, num_terminals = params
+        graph = build_connected_kg(seed, num_users, num_items)
+        rng = np.random.default_rng(seed + 2)
+        nodes = sorted(graph.nodes())
+        picks = rng.choice(
+            len(nodes), size=min(num_terminals, len(nodes)), replace=False
+        )
+        terminals = {nodes[int(p)] for p in picks}
+        tree = steiner_tree(
+            graph, sorted(terminals), cost_fn=lambda u, v, w: 1.0
+        )
+        for node in tree.nodes():
+            if tree.degree(node) <= 1 and tree.num_nodes > 1:
+                assert node in terminals
+
+    @given(graph_params)
+    @settings(max_examples=20, deadline=None)
+    def test_edge_count_bounded_by_pairwise_paths(self, params):
+        """|tree edges| never exceeds the sum of pairwise hop distances
+        from the first terminal (a loose sanity bound on the 2-approx)."""
+        from repro.graph.shortest_paths import bfs_distances
+
+        seed, num_users, num_items, num_terminals = params
+        graph = build_connected_kg(seed, num_users, num_items)
+        rng = np.random.default_rng(seed + 3)
+        nodes = sorted(graph.nodes())
+        picks = rng.choice(
+            len(nodes), size=min(num_terminals, len(nodes)), replace=False
+        )
+        terminals = [nodes[int(p)] for p in picks]
+        tree = steiner_tree(graph, terminals, cost_fn=lambda u, v, w: 1.0)
+        dist = bfs_distances(graph, terminals[0])
+        star_bound = sum(dist[t] for t in terminals[1:])
+        assert tree.num_edges <= star_bound or star_bound == 0

@@ -1,0 +1,83 @@
+"""Property-based tests: Eq. (1) cost transform invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scenarios import Scenario, SummaryTask
+from repro.core.weighting import ExplanationWeighting
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.paths import Path
+
+
+def make_setup(ratings):
+    """Graph + task from a list of (item_index, rating) for user u:0."""
+    graph = KnowledgeGraph()
+    paths = []
+    items = []
+    for index, rating in enumerate(ratings):
+        rated = f"i:{2 * index}"
+        target = f"i:{2 * index + 1}"
+        graph.add_edge("u:0", rated, rating)
+        graph.add_edge(rated, f"e:g:{index}", 0.0, "g")
+        graph.add_edge(f"e:g:{index}", target, 0.0, "g")
+        paths.append(Path(nodes=("u:0", rated, f"e:g:{index}", target)))
+        items.append(target)
+    task = SummaryTask(
+        scenario=Scenario.USER_CENTRIC,
+        terminals=("u:0", *items),
+        paths=tuple(paths),
+        anchors=tuple(items),
+        focus=("u:0",),
+    )
+    return graph, task
+
+
+ratings_lists = st.lists(
+    st.floats(min_value=1.0, max_value=5.0, allow_nan=False),
+    min_size=1,
+    max_size=6,
+)
+lambdas = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+
+
+class TestWeightingProperties:
+    @given(ratings_lists, lambdas)
+    @settings(max_examples=60, deadline=None)
+    def test_costs_always_in_unit_band(self, ratings, lam):
+        graph, task = make_setup(ratings)
+        weighting = ExplanationWeighting(
+            graph, task, lam=lam, weight_influence=0.7
+        )
+        for edge in graph.edges():
+            cost = weighting.cost(edge.source, edge.target, edge.weight)
+            assert 0.3 - 1e-9 <= cost <= 1.0
+
+    @given(ratings_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_lambda_monotone_decreasing_cost(self, ratings):
+        graph, task = make_setup(ratings)
+        edge = next(iter(graph.edges()))
+        previous = 1.1
+        for lam in (0.0, 0.01, 1.0, 100.0):
+            weighting = ExplanationWeighting(graph, task, lam=lam)
+            cost = weighting.cost(edge.source, edge.target, edge.weight)
+            assert cost <= previous + 1e-12
+            previous = cost
+
+    @given(ratings_lists, lambdas)
+    @settings(max_examples=40, deadline=None)
+    def test_off_path_edges_cost_one(self, ratings, lam):
+        graph, task = make_setup(ratings)
+        graph.add_edge("u:1", "i:0", 5.0)  # not on any path
+        weighting = ExplanationWeighting(graph, task, lam=lam)
+        assert weighting.cost("u:1", "i:0", 5.0) == 1.0
+
+    @given(ratings_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_boosted_weight_matches_formula(self, ratings):
+        graph, task = make_setup(ratings)
+        weighting = ExplanationWeighting(graph, task, lam=2.0)
+        anchors = len(task.anchors)
+        stored = graph.weight("u:0", "i:0")
+        expected = stored * (1.0 + 2.0 * 1 / anchors)
+        assert weighting.boosted_weight("u:0", "i:0", stored) == expected

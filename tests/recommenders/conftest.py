@@ -1,0 +1,12 @@
+"""Recommender-suite fixtures: a fitted MF model shared by all simulators."""
+
+import pytest
+
+from repro.recommenders.mf import MatrixFactorizationModel
+
+
+@pytest.fixture(scope="session")
+def fitted_mf(small_dataset) -> MatrixFactorizationModel:
+    return MatrixFactorizationModel(num_iterations=5, seed=2).fit(
+        small_dataset.ratings
+    )

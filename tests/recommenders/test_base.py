@@ -1,0 +1,84 @@
+"""Recommendation records and list slicing."""
+
+import pytest
+
+from repro.graph.paths import Path
+from repro.recommenders.base import (
+    Recommendation,
+    RecommendationList,
+    invert_recommendations,
+)
+
+
+def rec(user: str, item: str, score: float = 1.0) -> Recommendation:
+    return Recommendation(
+        user=user,
+        item=item,
+        score=score,
+        path=Path(nodes=(user, item)),
+    )
+
+
+class TestRecommendation:
+    def test_path_must_start_at_user(self):
+        with pytest.raises(ValueError):
+            Recommendation(
+                user="u:0",
+                item="i:0",
+                score=1.0,
+                path=Path(nodes=("u:1", "i:0")),
+            )
+
+    def test_path_must_end_at_item(self):
+        with pytest.raises(ValueError):
+            Recommendation(
+                user="u:0",
+                item="i:0",
+                score=1.0,
+                path=Path(nodes=("u:0", "i:1")),
+            )
+
+
+class TestRecommendationList:
+    @pytest.fixture
+    def rec_list(self):
+        return RecommendationList(
+            user="u:0",
+            recommendations=[rec("u:0", f"i:{i}", 10.0 - i) for i in range(5)],
+        )
+
+    def test_top_slices(self, rec_list):
+        assert [r.item for r in rec_list.top(2)] == ["i:0", "i:1"]
+
+    def test_top_beyond_length(self, rec_list):
+        assert len(rec_list.top(99)) == 5
+
+    def test_negative_k_rejected(self, rec_list):
+        with pytest.raises(ValueError):
+            rec_list.top(-1)
+
+    def test_items_and_paths(self, rec_list):
+        assert rec_list.items(3) == ["i:0", "i:1", "i:2"]
+        assert len(rec_list.paths(3)) == 3
+        assert rec_list.items() == [f"i:{i}" for i in range(5)]
+
+    def test_len_and_iter(self, rec_list):
+        assert len(rec_list) == 5
+        assert sum(1 for _ in rec_list) == 5
+
+
+class TestInversion:
+    def test_groups_by_item_with_k_cutoff(self):
+        per_user = {
+            "u:0": RecommendationList(
+                "u:0", [rec("u:0", "i:0"), rec("u:0", "i:1")]
+            ),
+            "u:1": RecommendationList(
+                "u:1", [rec("u:1", "i:1"), rec("u:1", "i:0")]
+            ),
+        }
+        by_item = invert_recommendations(per_user, k=1)
+        assert {r.user for r in by_item["i:0"]} == {"u:0"}
+        assert {r.user for r in by_item["i:1"]} == {"u:1"}
+        by_item_full = invert_recommendations(per_user, k=2)
+        assert {r.user for r in by_item_full["i:0"]} == {"u:0", "u:1"}

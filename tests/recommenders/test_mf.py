@@ -1,0 +1,88 @@
+"""Matrix factorization relevance model."""
+
+import numpy as np
+import pytest
+
+from repro.data.ratings import RatingMatrix
+from repro.recommenders.mf import MatrixFactorizationModel
+
+
+@pytest.fixture
+def block_ratings() -> RatingMatrix:
+    """Two taste clusters: users 0-2 love items 0-2, users 3-5 love 3-5."""
+    records = []
+    t = 0.0
+    for user in range(6):
+        for item in range(6):
+            same_block = (user < 3) == (item < 3)
+            if (user + item) % 2 == 0:  # hold some pairs out
+                records.append(
+                    (user, item, 5.0 if same_block else 1.0, t)
+                )
+                t += 1.0
+    return RatingMatrix.from_records(6, 6, records)
+
+
+class TestFitting:
+    def test_predictions_approach_training_data(self, block_ratings):
+        model = MatrixFactorizationModel(
+            num_factors=4, num_iterations=20, seed=0
+        ).fit(block_ratings)
+        assert model.rmse() < 1.0
+
+    def test_block_structure_recovered(self, block_ratings):
+        model = MatrixFactorizationModel(
+            num_factors=4, num_iterations=20, seed=0
+        ).fit(block_ratings)
+        # Held-out same-block pair should outscore held-out cross-block.
+        assert model.predict(0, 2) > model.predict(0, 5)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            MatrixFactorizationModel().predict(0, 0)
+
+    def test_empty_matrix_fits(self):
+        empty = RatingMatrix.from_records(2, 2, [])
+        model = MatrixFactorizationModel().fit(empty)
+        assert model.global_mean == 0.0
+
+    def test_invalid_factors_rejected(self):
+        with pytest.raises(ValueError):
+            MatrixFactorizationModel(num_factors=0)
+
+    def test_deterministic_for_seed(self, block_ratings):
+        a = MatrixFactorizationModel(seed=7).fit(block_ratings)
+        b = MatrixFactorizationModel(seed=7).fit(block_ratings)
+        assert np.allclose(a.user_factors, b.user_factors)
+
+
+class TestScoring:
+    def test_score_items_matches_predict(self, block_ratings):
+        model = MatrixFactorizationModel(num_iterations=5, seed=1).fit(
+            block_ratings
+        )
+        scores = model.score_items(0)
+        for item in range(6):
+            assert scores[item] == pytest.approx(model.predict(0, item))
+
+    def test_top_unrated_excludes_rated(self, block_ratings):
+        model = MatrixFactorizationModel(num_iterations=5, seed=1).fit(
+            block_ratings
+        )
+        rated = set(block_ratings.user_items(0))
+        for item, _score in model.top_unrated_items(0, 3):
+            assert item not in rated
+
+    def test_top_unrated_sorted_descending(self, block_ratings):
+        model = MatrixFactorizationModel(num_iterations=5, seed=1).fit(
+            block_ratings
+        )
+        picks = model.top_unrated_items(0, 3)
+        scores = [s for _, s in picks]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_unrated_respects_k(self, block_ratings):
+        model = MatrixFactorizationModel(num_iterations=5, seed=1).fit(
+            block_ratings
+        )
+        assert len(model.top_unrated_items(0, 2)) == 2

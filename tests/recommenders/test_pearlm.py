@@ -1,0 +1,34 @@
+"""PEARLM simulator: the faithfulness constraint."""
+
+import pytest
+
+from repro.recommenders.pearlm import PEARLMRecommender
+
+
+@pytest.fixture(scope="module")
+def pearlm(small_kg, small_dataset, fitted_mf):
+    return PEARLMRecommender(mf=fitted_mf, seed=19).fit(
+        small_kg, small_dataset.ratings
+    )
+
+
+class TestPEARLMContract:
+    def test_every_path_is_faithful(self, pearlm, small_kg):
+        """The whole point of PEARLM: no hallucinated hops, ever."""
+        for user in ("u:0", "u:1", "u:2", "u:3", "u:4"):
+            for rec in pearlm.recommend(user, 8):
+                assert rec.path.is_valid_in(small_kg)
+
+    def test_returns_recommendations(self, pearlm):
+        assert len(pearlm.recommend("u:0", 5)) == 5
+
+    def test_hallucination_rate_forced_to_zero(self, pearlm):
+        assert pearlm.hallucination_rate == 0.0
+
+    def test_name(self, pearlm):
+        assert pearlm.name == "PEARLM"
+
+    def test_no_rated_items(self, pearlm, small_dataset):
+        rated = set(small_dataset.ratings.user_items(1))
+        for rec in pearlm.recommend("u:1", 6):
+            assert int(rec.item.split(":")[1]) not in rated

@@ -1,0 +1,65 @@
+"""PGPR simulator contract."""
+
+import pytest
+
+from repro.graph.types import NodeType
+from repro.recommenders.base import MAX_HOPS
+from repro.recommenders.pgpr import PGPRRecommender
+
+
+@pytest.fixture(scope="module")
+def pgpr(small_kg, small_dataset, fitted_mf):
+    return PGPRRecommender(mf=fitted_mf).fit(small_kg, small_dataset.ratings)
+
+
+class TestPGPRContract:
+    def test_returns_k_recommendations(self, pgpr):
+        recs = pgpr.recommend("u:0", 5)
+        assert len(recs) == 5
+
+    def test_paths_start_at_user_end_at_item(self, pgpr):
+        for rec in pgpr.recommend("u:1", 5):
+            assert rec.path.nodes[0] == "u:1"
+            assert NodeType.of(rec.path.nodes[-1]) is NodeType.ITEM
+
+    def test_paths_within_hop_budget(self, pgpr):
+        for rec in pgpr.recommend("u:2", 8):
+            assert rec.path.num_hops <= MAX_HOPS
+
+    def test_paths_are_faithful_to_graph(self, pgpr, small_kg):
+        for rec in pgpr.recommend("u:3", 8):
+            assert rec.path.is_valid_in(small_kg)
+
+    def test_no_rated_items_recommended(self, pgpr, small_dataset):
+        rated = set(small_dataset.ratings.user_items(4))
+        for rec in pgpr.recommend("u:4", 8):
+            assert int(rec.item.split(":")[1]) not in rated
+
+    def test_items_unique(self, pgpr):
+        recs = pgpr.recommend("u:5", 10)
+        items = [r.item for r in recs]
+        assert len(set(items)) == len(items)
+
+    def test_scores_descending(self, pgpr):
+        scores = [r.score for r in pgpr.recommend("u:6", 10)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unknown_user_raises(self, pgpr):
+        with pytest.raises(KeyError):
+            pgpr.recommend("u:999999", 5)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PGPRRecommender().recommend("u:0", 5)
+
+    def test_deterministic(self, small_kg, small_dataset, fitted_mf):
+        a = PGPRRecommender(mf=fitted_mf).fit(small_kg, small_dataset.ratings)
+        b = PGPRRecommender(mf=fitted_mf).fit(small_kg, small_dataset.ratings)
+        assert [r.item for r in a.recommend("u:7", 6)] == [
+            r.item for r in b.recommend("u:7", 6)
+        ]
+
+    def test_recommend_many(self, pgpr):
+        result = pgpr.recommend_many(["u:0", "u:1"], 3)
+        assert set(result) == {"u:0", "u:1"}
+        assert all(len(v) <= 3 for v in result.values())

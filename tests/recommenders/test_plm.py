@@ -1,0 +1,58 @@
+"""PLM simulator: language-model decoding, including hallucination."""
+
+import pytest
+
+from repro.graph.types import NodeType
+from repro.recommenders.base import MAX_HOPS
+from repro.recommenders.plm import PLMRecommender
+
+
+@pytest.fixture(scope="module")
+def plm(small_kg, small_dataset, fitted_mf):
+    return PLMRecommender(mf=fitted_mf, seed=17).fit(
+        small_kg, small_dataset.ratings
+    )
+
+
+class TestPLMContract:
+    def test_returns_recommendations(self, plm):
+        assert len(plm.recommend("u:0", 5)) == 5
+
+    def test_paths_end_at_items_within_budget(self, plm):
+        for rec in plm.recommend("u:1", 8):
+            assert NodeType.of(rec.path.nodes[-1]) is NodeType.ITEM
+            assert 2 <= rec.path.num_hops <= MAX_HOPS
+
+    def test_hallucination_possible(self, small_kg, small_dataset, fitted_mf):
+        """With a high hallucination rate some emitted hops must not be
+        real KG edges — PLM's defining behaviour."""
+        plm = PLMRecommender(
+            mf=fitted_mf, hallucination_rate=0.9, seed=3
+        ).fit(small_kg, small_dataset.ratings)
+        invalid = 0
+        for user in ("u:0", "u:1", "u:2", "u:3"):
+            for rec in plm.recommend(user, 8):
+                if not rec.path.is_valid_in(small_kg):
+                    invalid += 1
+        assert invalid > 0
+
+    def test_zero_hallucination_faithful(self, small_kg, small_dataset, fitted_mf):
+        plm = PLMRecommender(
+            mf=fitted_mf, hallucination_rate=0.0, seed=3
+        ).fit(small_kg, small_dataset.ratings)
+        for rec in plm.recommend("u:0", 6):
+            # Bigram corpus only contains real edges, so all hops exist.
+            assert rec.path.is_valid_in(small_kg)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PLMRecommender(hallucination_rate=1.5)
+
+    def test_no_rated_items(self, plm, small_dataset):
+        rated = set(small_dataset.ratings.user_items(2))
+        for rec in plm.recommend("u:2", 6):
+            assert int(rec.item.split(":")[1]) not in rated
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PLMRecommender().recommend("u:0", 3)

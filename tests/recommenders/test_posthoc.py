@@ -1,0 +1,42 @@
+"""Post-hoc path adapter for path-less recommenders."""
+
+import pytest
+
+from repro.recommenders.base import MAX_HOPS
+from repro.recommenders.posthoc import PostHocPathRecommender
+
+
+@pytest.fixture(scope="module")
+def posthoc(small_kg, small_dataset, fitted_mf):
+    return PostHocPathRecommender(mf=fitted_mf).fit(
+        small_kg, small_dataset.ratings
+    )
+
+
+class TestPostHoc:
+    def test_paths_are_shortest_in_hops(self, posthoc, small_kg):
+        from repro.graph.shortest_paths import bfs_shortest_path
+
+        for rec in posthoc.recommend("u:0", 5):
+            shortest = bfs_shortest_path(small_kg, rec.user, rec.item)
+            assert rec.path.num_hops == len(shortest) - 1
+
+    def test_hop_budget(self, posthoc):
+        for rec in posthoc.recommend("u:1", 8):
+            assert rec.path.num_hops <= MAX_HOPS
+
+    def test_faithful(self, posthoc, small_kg):
+        for rec in posthoc.recommend("u:2", 8):
+            assert rec.path.is_valid_in(small_kg)
+
+    def test_ranked_by_mf_score(self, posthoc):
+        scores = [r.score for r in posthoc.recommend("u:3", 8)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PostHocPathRecommender().recommend("u:0", 3)
+
+    def test_unknown_user_raises(self, posthoc):
+        with pytest.raises(KeyError):
+            posthoc.recommend("u:12345678", 3)

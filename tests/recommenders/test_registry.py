@@ -1,0 +1,26 @@
+"""Recommender registry."""
+
+import pytest
+
+from repro.recommenders.registry import available_recommenders, make_recommender
+
+
+class TestRegistry:
+    def test_all_paper_methods_available(self):
+        names = available_recommenders()
+        for expected in ("PGPR", "CAFE", "PLM", "PEARLM"):
+            assert expected in names
+
+    def test_case_insensitive(self):
+        assert make_recommender("pgpr").name == "PGPR"
+
+    def test_kwargs_forwarded(self):
+        rec = make_recommender("PGPR", beam_width=7)
+        assert rec.beam_width == 7
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_recommender("SVD++")
+
+    def test_posthoc_adapter_registered(self):
+        assert make_recommender("MF+posthoc").name == "MF+posthoc"
