@@ -47,12 +47,6 @@ def emit():
     return _emit
 
 
-def render_panels(title: str, panels) -> str:
-    """Join per-panel series tables into one report."""
-    from repro.experiments.report import format_series_table
-
-    blocks = [
-        format_series_table(f"{title} [{panel}]", series)
-        for panel, series in panels.items()
-    ]
-    return "\n\n".join(blocks)
+# render_panels moved to benchmarks/reporting.py — a bare
+# `from conftest import ...` resolves against whichever conftest pytest
+# loaded first, which breaks whole-repo collection runs.

@@ -1,0 +1,19 @@
+"""Benchmark report rendering helpers.
+
+Lives outside conftest.py on purpose: bare ``from conftest import ...``
+resolves against whichever conftest module pytest loaded first, so the
+figure benches import this uniquely-named module instead.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_series_table
+
+
+def render_panels(title: str, panels) -> str:
+    """Join per-panel series tables into one report."""
+    blocks = [
+        format_series_table(f"{title} [{panel}]", series)
+        for panel, series in panels.items()
+    ]
+    return "\n\n".join(blocks)

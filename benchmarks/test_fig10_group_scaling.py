@@ -3,7 +3,7 @@
 Paper shape: ST time climbs rapidly with group size (|T| Dijkstras);
 PCST grows gently (terminal-count independent)."""
 
-from conftest import render_panels
+from reporting import render_panels
 
 from repro.experiments import figures
 

@@ -3,7 +3,7 @@
 Paper shape: both methods slow down as the graph grows; PCST's rate of
 increase is lower, especially for groups on the larger graphs."""
 
-from conftest import render_panels
+from reporting import render_panels
 
 from repro.experiments import figures
 

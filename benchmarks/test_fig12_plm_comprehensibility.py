@@ -3,7 +3,7 @@
 Paper shape: consistent with Fig 2 — ST improves on both language-model
 baselines; PCST competitive at high k in user-group."""
 
-from conftest import render_panels
+from reporting import render_panels
 
 from repro.experiments import figures
 from repro.experiments.workbench import BASELINE

@@ -5,7 +5,7 @@ PCST still enhances diversity further."""
 
 from statistics import mean
 
-from conftest import render_panels
+from reporting import render_panels
 
 from repro.experiments import figures
 from repro.experiments.workbench import BASELINE

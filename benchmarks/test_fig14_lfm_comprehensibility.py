@@ -2,7 +2,7 @@
 
 Paper shape: the ML1M conclusions (Fig 2) carry over unchanged."""
 
-from conftest import render_panels
+from reporting import render_panels
 
 from repro.experiments import figures
 from repro.experiments.workbench import BASELINE

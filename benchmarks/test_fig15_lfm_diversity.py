@@ -2,7 +2,7 @@
 
 Paper shape: same ordering as Fig 4 (summaries above raw paths)."""
 
-from conftest import render_panels
+from reporting import render_panels
 
 from repro.experiments import figures
 from repro.experiments.workbench import BASELINE

@@ -3,7 +3,7 @@
 Paper shape: rating-dominant weighting maximizes comprehensibility;
 recency-dominant weighting maximizes diversity."""
 
-from conftest import render_panels
+from reporting import render_panels
 
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig

@@ -3,7 +3,7 @@
 Paper shape: ST beats everything; PCST beats baselines only in
 user-group scenarios; baselines decay ~1/(3k)."""
 
-from conftest import render_panels
+from reporting import render_panels
 
 from repro.experiments import figures
 from repro.experiments.workbench import BASELINE

@@ -2,7 +2,7 @@
 
 Paper shape: ST λ=100 highest (prioritizes rated items), PCST least."""
 
-from conftest import render_panels
+from reporting import render_panels
 
 from repro.experiments import figures
 from repro.experiments.workbench import BASELINE

@@ -2,7 +2,7 @@
 
 Paper shape: baselines lowest (fixed 3-hop repetition), PCST highest."""
 
-from conftest import render_panels
+from reporting import render_panels
 
 from repro.experiments import figures
 from repro.experiments.workbench import BASELINE

@@ -2,7 +2,7 @@
 
 Paper shape: PGPR/CAFE most redundant; ST least; PCST in between."""
 
-from conftest import render_panels
+from reporting import render_panels
 
 from repro.experiments import figures
 from repro.experiments.workbench import BASELINE

@@ -3,7 +3,7 @@
 Paper shape: baselines most consistent in user-centric (incremental path
 sets barely change); ST/PCST high and stable across scenarios."""
 
-from conftest import render_panels
+from reporting import render_panels
 
 from repro.experiments import figures
 from repro.experiments.workbench import BASELINE

@@ -3,7 +3,7 @@
 Paper shape: baselines most relevant in user-centric; ST relevance grows
 with λ (more user-item interaction edges pulled into the tree)."""
 
-from conftest import render_panels
+from reporting import render_panels
 
 from repro.experiments import figures
 from repro.experiments.workbench import BASELINE

@@ -3,7 +3,7 @@
 Paper shape: PCST best (terminal-prize growth leans on items/entities);
 ST below the baselines (weighted user-item edges pull user nodes in)."""
 
-from conftest import render_panels
+from reporting import render_panels
 
 from repro.experiments import figures
 from repro.experiments.workbench import BASELINE

@@ -6,7 +6,16 @@ Usage::
     repro-xsum table2
     repro-xsum fig2 --scale ci
     repro-xsum userstudy
+    repro-xsum batch --tasks tasks.jsonl --method ST
+    repro-xsum batch --demo 100 --method ST --workers 4
     repro-xsum list
+
+The ``batch`` subcommand runs the freeze-then-batch pipeline
+(:class:`repro.core.batch.BatchSummarizer`) over a JSONL task file (one
+:class:`SummaryTask` per line, see ``repro.core.batch.task_to_json`` for
+the schema) — or over ``--demo N`` user-centric tasks drawn from the
+workbench recommender when no file is given — and prints per-batch
+timing and closure-cache statistics.
 """
 
 from __future__ import annotations
@@ -44,6 +53,36 @@ def _print_panels(name: str, panels) -> None:
         print()
 
 
+def _run_batch(parser: argparse.ArgumentParser, args) -> int:
+    """The ``batch`` subcommand: freeze once, summarize many tasks."""
+    from repro.core.batch import BatchSummarizer, load_tasks_jsonl
+    from repro.core.scenarios import Scenario
+
+    bench = Workbench.get(_config(args))
+    if args.tasks:
+        try:
+            tasks = load_tasks_jsonl(args.tasks)
+        except OSError as error:
+            parser.error(f"cannot read task file: {error}")
+        except ValueError as error:
+            parser.error(str(error))
+    elif args.demo > 0:
+        pool = list(
+            bench.tasks(Scenario.USER_CENTRIC, "PGPR", args.k).values()
+        )
+        if not pool:
+            parser.error("workbench produced no demo tasks")
+        tasks = [pool[i % len(pool)] for i in range(args.demo)]
+    else:
+        parser.error("batch needs --tasks FILE or --demo N")
+    engine = BatchSummarizer(
+        bench.graph, method=args.method, workers=args.workers
+    )
+    report = engine.run(tasks)
+    print(report.summary())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and regenerate the requested experiment."""
     parser = argparse.ArgumentParser(
@@ -53,18 +92,40 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="table1|table2|table3|fig2..fig17|userstudy|list",
+        help="table1|table2|table3|fig2..fig17|userstudy|batch|list",
     )
     parser.add_argument(
         "--scale", choices=("test", "ci", "paper"), default="ci"
     )
     parser.add_argument("--dataset", choices=("ml1m", "lfm1m"), default="")
+    batch_group = parser.add_argument_group("batch")
+    batch_group.add_argument(
+        "--tasks", default="", help="JSONL task file (one task per line)"
+    )
+    batch_group.add_argument(
+        "--demo",
+        type=int,
+        default=0,
+        help="generate N user-centric demo tasks from the workbench",
+    )
+    batch_group.add_argument(
+        "--method",
+        choices=("ST", "ST-fast", "PCST", "Union"),
+        default="ST",
+    )
+    batch_group.add_argument("--workers", type=int, default=0)
+    batch_group.add_argument(
+        "--k", type=int, default=5, help="top-k for --demo tasks"
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
-        names = ["table1", "table2", "table3", *_FIGURES, "userstudy"]
+        names = ["table1", "table2", "table3", *_FIGURES, "userstudy", "batch"]
         print("\n".join(names))
         return 0
+
+    if args.experiment == "batch":
+        return _run_batch(parser, args)
 
     if args.experiment == "table1":
         result = table1_example()

@@ -20,6 +20,14 @@ from repro.core.explanation import (
     SubgraphExplanation,
 )
 from repro.core.weighting import ExplanationWeighting
+from repro.core.batch import (
+    BatchReport,
+    BatchResult,
+    BatchSummarizer,
+    TerminalClosureCache,
+    dump_tasks_jsonl,
+    load_tasks_jsonl,
+)
 from repro.core.incremental import IncrementalSteinerSummarizer
 from repro.core.steiner_summary import SteinerSummarizer
 from repro.core.pcst_summary import PCSTSummarizer, PrizePolicy
@@ -28,6 +36,9 @@ from repro.core.summarizer import Summarizer, summarize
 from repro.core.verbalize import verbalize_path, verbalize_summary
 
 __all__ = [
+    "BatchReport",
+    "BatchResult",
+    "BatchSummarizer",
     "Explanation",
     "ExplanationWeighting",
     "IncrementalSteinerSummarizer",
@@ -39,9 +50,12 @@ __all__ = [
     "SubgraphExplanation",
     "Summarizer",
     "SummaryTask",
+    "TerminalClosureCache",
     "UnionSummarizer",
+    "dump_tasks_jsonl",
     "item_centric_task",
     "item_group_task",
+    "load_tasks_jsonl",
     "summarize",
     "user_centric_task",
     "user_group_task",

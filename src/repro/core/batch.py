@@ -1,0 +1,336 @@
+"""Batch summarization engine: freeze once, memoize closures, time everything.
+
+Serving summary explanations to many users means answering many
+:class:`SummaryTask`s over the *same* knowledge graph. Running the
+facade :class:`~repro.core.summarizer.Summarizer` in a loop repeats work
+that is identical across tasks:
+
+- the CSR compilation of the graph (``graph.freeze()`` — shared here,
+  computed once up front and version-checked);
+- the terminal-to-terminal Dijkstra runs of the ST metric closure —
+  popular items appear as terminals in many users' tasks, and every
+  λ=0 task shares one uniform cost surface, so
+  :class:`TerminalClosureCache` memoizes ``(source, cost-signature) ->
+  (dist, prev)`` in an LRU and reuses a run whenever its settled set
+  covers the targets a new task needs.
+
+Cache reuse is exact, not approximate: a Dijkstra's settle sequence does
+not depend on its early-exit target set (targets only decide when the
+loop *stops*), so a longer run's ``(dist, prev)`` agrees with a fresh
+shorter run on every entry the Steiner construction reads. Predecessor
+chains are safe because Eq. (1) costs are bounded below by ``1 - ρ > 0``
+— every node on a shortest path settles strictly before its target.
+
+:class:`BatchSummarizer` wraps all of it: accepts many tasks, dispatches
+them across an optional thread pool (pure-Python summarization is
+GIL-bound, so ``workers`` mainly helps when tasks block elsewhere;
+results are deterministic and ordered either way), and returns per-task
+timings plus cache statistics in a :class:`BatchReport`.
+
+JSONL (de)serialization for task files lives here too — the CLI
+``batch`` subcommand reads one task per line.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path as FilePath
+
+from repro.core.explanation import SubgraphExplanation
+from repro.core.scenarios import Scenario, SummaryTask
+from repro.core.summarizer import METHODS, Summarizer
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.paths import Path
+from repro.graph.shortest_paths import dijkstra_frozen
+
+
+class TerminalClosureCache:
+    """LRU memo of single-source Dijkstra runs over a frozen view.
+
+    Keyed by ``(source id, cost signature)``. An entry is reusable for a
+    request whenever every requested target is in its settled set; on a
+    miss the fresh run replaces the entry if it settled more nodes.
+    Thread-safe (the batch engine shares one cache across workers); the
+    Dijkstra itself runs outside the lock, so concurrent misses on the
+    same key merely duplicate work, never corrupt results.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self._frozen = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._frozen = None
+
+    def pair_fn(self, frozen, costs):
+        """``(source, rest) -> (dist, prev)`` hook bound to one frozen view.
+
+        Entries from an older frozen view (a re-freeze after graph
+        mutation) are discarded wholesale — version-keyed staleness is
+        handled here so callers never see distances from a dead graph.
+        """
+        with self._lock:
+            if frozen is not self._frozen:
+                self._entries.clear()
+                self._frozen = frozen
+        signature = costs.signature
+
+        def pairs(source: str, rest: set[str]):
+            key = (source, signature)
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None and rest <= entry[0].keys():
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return entry
+            dist, prev = dijkstra_frozen(
+                frozen, source, costs=costs, targets=rest
+            )
+            with self._lock:
+                self.misses += 1
+                # The cache may have been rebound to a newer frozen view
+                # while this Dijkstra ran; our result is still valid for
+                # our caller, but must not repopulate the new view's
+                # cache with pre-mutation distances.
+                if frozen is self._frozen:
+                    current = self._entries.get(key)
+                    if current is None or len(current[0]) < len(dist):
+                        self._entries[key] = (dist, prev)
+                        self._entries.move_to_end(key)
+                        while len(self._entries) > self.maxsize:
+                            self._entries.popitem(last=False)
+            return dist, prev
+
+        return pairs
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """One task's outcome inside a batch."""
+
+    index: int
+    task: SummaryTask
+    explanation: SubgraphExplanation
+    seconds: float
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Everything a batch run measured."""
+
+    method: str
+    results: tuple[BatchResult, ...]
+    freeze_seconds: float
+    total_seconds: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+    workers: int = 0
+
+    @property
+    def explanations(self) -> list[SubgraphExplanation]:
+        """Per-task explanations, in input order."""
+        return [r.explanation for r in self.results]
+
+    @property
+    def task_seconds(self) -> list[float]:
+        """Per-task wall-clock seconds, in input order."""
+        return [r.seconds for r in self.results]
+
+    @property
+    def throughput(self) -> float:
+        """Tasks per second over the whole run (freeze included)."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return len(self.results) / self.total_seconds
+
+    def summary(self) -> str:
+        """Human-readable one-screen report."""
+        seconds = self.task_seconds
+        lines = [
+            f"batch method={self.method} tasks={len(self.results)} "
+            f"workers={self.workers}",
+            f"  total      {self.total_seconds * 1000.0:10.1f} ms",
+            f"  freeze     {self.freeze_seconds * 1000.0:10.1f} ms",
+            f"  throughput {self.throughput:10.1f} tasks/s",
+        ]
+        if seconds:
+            ordered = sorted(seconds)
+            p50 = ordered[len(ordered) // 2]
+            p95 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.95))]
+            lines.append(
+                f"  per-task   mean {sum(seconds) / len(seconds) * 1000.0:.2f} ms"
+                f" | p50 {p50 * 1000.0:.2f} ms | p95 {p95 * 1000.0:.2f} ms"
+                f" | max {max(seconds) * 1000.0:.2f} ms"
+            )
+        if self.cache_hits or self.cache_misses:
+            total = self.cache_hits + self.cache_misses
+            lines.append(
+                f"  closures   {self.cache_hits}/{total} cache hits "
+                f"({self.cache_hits / total:.0%})"
+            )
+        return "\n".join(lines)
+
+
+class BatchSummarizer:
+    """Many-task summarization over one knowledge graph.
+
+    Parameters
+    ----------
+    graph:
+        The shared knowledge graph. Frozen once per run (re-frozen
+        automatically if mutated between runs).
+    method:
+        Any of the facade's methods ("ST", "ST-fast", "PCST", "Union").
+        Only "ST" uses the frozen view and the closure cache; the other
+        methods run their per-task algorithms unchanged (``freeze_seconds``
+        is 0.0 for them) and get the dispatch/timing plumbing, with
+        output identical to a per-task :class:`Summarizer` either way.
+    workers:
+        Thread-pool size; 0 or 1 runs tasks sequentially. Results are
+        identical and ordered regardless.
+    closure_cache_size:
+        LRU capacity of the shared :class:`TerminalClosureCache`.
+    **params:
+        Forwarded to :class:`Summarizer` (lam, weight_influence,
+        prize_policy, ...).
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        method: str = "ST",
+        workers: int = 0,
+        closure_cache_size: int = 4096,
+        **params,
+    ) -> None:
+        if method not in METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; expected one of {METHODS}"
+            )
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.graph = graph
+        self.method = method
+        self.workers = workers
+        self.closure_cache = (
+            TerminalClosureCache(closure_cache_size) if method == "ST" else None
+        )
+        self._summarizer = Summarizer(
+            graph, method=method, closure_cache=self.closure_cache, **params
+        )
+
+    def run(self, tasks: Iterable[SummaryTask]) -> BatchReport:
+        """Summarize every task; per-task timings in the report."""
+        task_list = list(tasks)
+        start = time.perf_counter()
+        freeze_seconds = 0.0
+        if self.method == "ST":
+            freeze_start = time.perf_counter()
+            self.graph.freeze()
+            freeze_seconds = time.perf_counter() - freeze_start
+        hits0 = self.closure_cache.hits if self.closure_cache else 0
+        misses0 = self.closure_cache.misses if self.closure_cache else 0
+
+        def one(indexed: tuple[int, SummaryTask]) -> BatchResult:
+            index, task = indexed
+            task_start = time.perf_counter()
+            explanation = self._summarizer.summarize(task)
+            return BatchResult(
+                index=index,
+                task=task,
+                explanation=explanation,
+                seconds=time.perf_counter() - task_start,
+            )
+
+        if self.workers > 1 and len(task_list) > 1:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                results = list(pool.map(one, enumerate(task_list)))
+        else:
+            results = [one(pair) for pair in enumerate(task_list)]
+
+        return BatchReport(
+            method=self.method,
+            results=tuple(results),
+            freeze_seconds=freeze_seconds,
+            total_seconds=time.perf_counter() - start,
+            cache_hits=(self.closure_cache.hits - hits0)
+            if self.closure_cache
+            else 0,
+            cache_misses=(self.closure_cache.misses - misses0)
+            if self.closure_cache
+            else 0,
+            workers=self.workers,
+        )
+
+
+# ----------------------------------------------------------------------
+# JSONL task files (one task per line) for the CLI `batch` subcommand
+# ----------------------------------------------------------------------
+def task_to_json(task: SummaryTask) -> dict:
+    """Plain-JSON form of a task (inverse of :func:`task_from_json`)."""
+    return {
+        "scenario": task.scenario.value,
+        "terminals": list(task.terminals),
+        "paths": [list(p.nodes) for p in task.paths],
+        "anchors": list(task.anchors),
+        "focus": list(task.focus),
+        "k": task.k,
+    }
+
+
+def task_from_json(data: dict) -> SummaryTask:
+    """Build a task from its JSON form; raises on malformed input."""
+    return SummaryTask(
+        scenario=Scenario(data["scenario"]),
+        terminals=tuple(data["terminals"]),
+        paths=tuple(
+            Path(nodes=tuple(nodes)) for nodes in data.get("paths", [])
+        ),
+        anchors=tuple(data.get("anchors", [])),
+        focus=tuple(data.get("focus", [])),
+        k=int(data.get("k", 0)),
+    )
+
+
+def load_tasks_jsonl(path: str | FilePath) -> list[SummaryTask]:
+    """Read tasks from a JSONL file, skipping blank lines."""
+    tasks = []
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                tasks.append(task_from_json(json.loads(line)))
+            except (KeyError, TypeError, ValueError) as error:
+                raise ValueError(
+                    f"{path}:{line_number}: bad task line ({error})"
+                ) from error
+    return tasks
+
+
+def dump_tasks_jsonl(
+    tasks: Sequence[SummaryTask], path: str | FilePath
+) -> None:
+    """Write tasks to a JSONL file (one task per line)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for task in tasks:
+            handle.write(json.dumps(task_to_json(task)) + "\n")

@@ -27,7 +27,11 @@ from repro.core.scenarios import SummaryTask, user_centric_task
 from repro.core.weighting import ExplanationWeighting
 from repro.graph.knowledge_graph import KnowledgeGraph
 from repro.graph.mst import kruskal_mst
-from repro.graph.shortest_paths import dijkstra, reconstruct_path
+from repro.graph.shortest_paths import (
+    dijkstra,
+    dijkstra_frozen,
+    reconstruct_path,
+)
 from repro.graph.steiner import _prune_non_terminal_leaves
 from repro.graph.subgraph import edge_subgraph
 from repro.graph.types import undirected_key
@@ -66,7 +70,11 @@ class IncrementalSteinerSummarizer:
         cost_fn = weighting.cost_fn()
 
         terminals = list(full_task.terminals)
-        closure, shortest = self._metric_closure(terminals, cost_fn)
+        frozen = self.graph.freeze()
+        slot_costs = weighting.slot_costs(frozen)
+        closure, shortest = self._metric_closure(
+            terminals, cost_fn, frozen, slot_costs
+        )
 
         summaries = []
         for k in range(1, k_max + 1):
@@ -89,18 +97,29 @@ class IncrementalSteinerSummarizer:
         return summaries
 
     # ------------------------------------------------------------------
-    def _metric_closure(self, terminals, cost_fn):
-        """All-pairs terminal distances + paths, one Dijkstra per terminal."""
+    def _metric_closure(self, terminals, cost_fn, frozen=None, slot_costs=None):
+        """All-pairs terminal distances + paths, one Dijkstra per terminal.
+
+        Runs on the frozen CSR view when given one (identical results,
+        see :mod:`repro.graph.csr`); falls back to the dict traversal.
+        """
         closure: dict[tuple[str, str], float] = {}
         shortest: dict[tuple[str, str], list[str]] = {}
         for index, source in enumerate(terminals):
-            rest = set(terminals[index + 1 :])
-            if not rest:
+            later = terminals[index + 1 :]
+            if not later:
                 break
-            dist, prev = dijkstra(
-                self.graph, source, cost_fn=cost_fn, targets=rest
-            )
-            for target in rest:
+            if frozen is not None:
+                dist, prev = dijkstra_frozen(
+                    frozen, source, costs=slot_costs, targets=set(later)
+                )
+            else:
+                dist, prev = dijkstra(
+                    self.graph, source, cost_fn=cost_fn, targets=set(later)
+                )
+            # List order, not set order: see steiner_tree — closure edge
+            # order feeds stable MST tie-breaking.
+            for target in later:
                 if target not in dist:
                     raise ValueError(
                         f"terminals {source!r}, {target!r} disconnected"

@@ -90,9 +90,21 @@ class PCSTSummarizer:
         self.strong_pruning = strong_pruning
         self.prune_leaves = prune_leaves
         self.side_prize = side_prize
-        self._max_degree = max(
-            (graph.degree(n) for n in graph.nodes()), default=1
-        )
+        # Version-keyed derived state: recomputed if the graph mutates.
+        self._max_degree_cache: tuple[int, int] | None = None
+        self._pagerank_cache: tuple[int, dict[str, float]] | None = None
+
+    @property
+    def _max_degree(self) -> int:
+        version = self.graph.version
+        if self._max_degree_cache is None or (
+            self._max_degree_cache[0] != version
+        ):
+            value = max(
+                (self.graph.degree(n) for n in self.graph.nodes()), default=1
+            )
+            self._max_degree_cache = (version, value)
+        return self._max_degree_cache[1]
 
     def summarize(self, task: SummaryTask) -> SubgraphExplanation:
         """Compute the PCST summary for one task."""
@@ -177,11 +189,10 @@ class PCSTSummarizer:
         raise ValueError(f"unhandled prize policy {self.prize_policy}")
 
     def _pagerank_scores(self) -> dict[str, float]:
-        """PageRank centrality, computed once per summarizer instance."""
-        cached = getattr(self, "_pagerank_cache", None)
-        if cached is None:
+        """PageRank centrality, computed once per graph version."""
+        version = self.graph.version
+        if self._pagerank_cache is None or self._pagerank_cache[0] != version:
             from repro.graph.centrality import pagerank
 
-            cached = pagerank(self.graph)
-            self._pagerank_cache = cached
-        return cached
+            self._pagerank_cache = (version, pagerank(self.graph))
+        return self._pagerank_cache[1]

@@ -33,9 +33,23 @@ class SteinerSummarizer:
         "kmb" — the paper's Algorithm 1 (Kou-Markowsky-Berman,
         O(|T|·(|E| + |V| log |V|))) — or "mehlhorn", the single-sweep
         2-approximation offered as the §VII "refinement" ablation.
+    engine:
+        "frozen" (default) runs the KMB metric closure on the graph's
+        cached CSR view (see :meth:`KnowledgeGraph.freeze`), re-freezing
+        automatically when the graph has been mutated. "dict" forces
+        the original dict-of-dicts traversal. Both produce identical
+        trees (tie-breaking included); "dict" exists as the parity
+        oracle and escape hatch. Mehlhorn always runs "dict".
+    closure_cache:
+        Optional terminal-closure memoizer (duck-typed; see
+        :class:`repro.core.batch.TerminalClosureCache`). Shared across
+        tasks by the batch engine; None (default) computes every
+        closure fresh.
     """
 
     method = "ST"
+
+    ENGINES = ("frozen", "dict")
 
     def __init__(
         self,
@@ -43,15 +57,23 @@ class SteinerSummarizer:
         lam: float = 1.0,
         weight_influence: float = 0.7,
         algorithm: str = "kmb",
+        engine: str = "frozen",
+        closure_cache=None,
     ) -> None:
         if algorithm not in ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {algorithm!r}; expected {ALGORITHMS}"
             )
+        if engine not in self.ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected {self.ENGINES}"
+            )
         self.graph = graph
         self.lam = lam
         self.weight_influence = weight_influence
         self.algorithm = algorithm
+        self.engine = engine
+        self.closure_cache = closure_cache
 
     def summarize(self, task: SummaryTask) -> SubgraphExplanation:
         """Compute the ST summary for one task.
@@ -68,12 +90,28 @@ class SteinerSummarizer:
             lam=self.lam,
             weight_influence=self.weight_influence,
         )
-        solver = (
-            steiner_tree if self.algorithm == "kmb" else mehlhorn_steiner_tree
-        )
-        tree = solver(
-            self.graph, list(task.terminals), cost_fn=weighting.cost_fn()
-        )
+        if self.algorithm == "mehlhorn":
+            tree = mehlhorn_steiner_tree(
+                self.graph, list(task.terminals), cost_fn=weighting.cost_fn()
+            )
+        elif self.engine == "frozen":
+            frozen = self.graph.freeze()
+            slot_costs = weighting.slot_costs(frozen)
+            pair_fn = None
+            if self.closure_cache is not None:
+                pair_fn = self.closure_cache.pair_fn(frozen, slot_costs)
+            tree = steiner_tree(
+                self.graph,
+                list(task.terminals),
+                cost_fn=weighting.cost_fn(),
+                frozen=frozen,
+                slot_costs=slot_costs,
+                pair_fn=pair_fn,
+            )
+        else:
+            tree = steiner_tree(
+                self.graph, list(task.terminals), cost_fn=weighting.cost_fn()
+            )
         return SubgraphExplanation(
             subgraph=tree,
             task=task,

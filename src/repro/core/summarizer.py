@@ -34,6 +34,13 @@ class Summarizer:
         ST parameters (Eq. 1 λ and cost transform ρ).
     prize_policy, use_edge_weights, strong_pruning:
         PCST parameters.
+    engine:
+        ST traversal backend: "frozen" (CSR fast path, default) or
+        "dict" (the original adjacency walk). Identical outputs; see
+        :class:`~repro.core.steiner_summary.SteinerSummarizer`.
+    closure_cache:
+        Optional shared terminal-closure memoizer for ST (used by
+        :class:`~repro.core.batch.BatchSummarizer`).
     """
 
     def __init__(
@@ -45,12 +52,18 @@ class Summarizer:
         prize_policy: PrizePolicy = PrizePolicy.BINARY,
         use_edge_weights: bool = False,
         strong_pruning: bool = False,
+        engine: str = "frozen",
+        closure_cache=None,
     ) -> None:
         self.graph = graph
         self.method = method
         if method == "ST":
             self._impl = SteinerSummarizer(
-                graph, lam=lam, weight_influence=weight_influence
+                graph,
+                lam=lam,
+                weight_influence=weight_influence,
+                engine=engine,
+                closure_cache=closure_cache,
             )
         elif method == "ST-fast":
             self._impl = SteinerSummarizer(

@@ -42,18 +42,22 @@ from repro.graph.paths import paths_edge_frequency
 from repro.graph.types import undirected_key
 
 # Per-graph stored-weight maxima; summaries over the same graph are created
-# thousands of times per experiment, so the O(|E|) scan runs once per graph.
-_STORED_MAX_CACHE: "weakref.WeakKeyDictionary[KnowledgeGraph, float]" = (
-    weakref.WeakKeyDictionary()
-)
+# thousands of times per experiment, so the O(|E|) scan runs once per graph
+# *version* — mutating the graph (e.g. reweighting an edge) invalidates the
+# cached maximum along with every other frozen view.
+_STORED_MAX_CACHE: (
+    "weakref.WeakKeyDictionary[KnowledgeGraph, tuple[int, float]]"
+) = weakref.WeakKeyDictionary()
 
 
 def _stored_weight_max(graph: KnowledgeGraph) -> float:
+    version = graph.version
     cached = _STORED_MAX_CACHE.get(graph)
-    if cached is None:
-        cached = max((edge.weight for edge in graph.edges()), default=0.0)
-        _STORED_MAX_CACHE[graph] = cached
-    return cached
+    if cached is None or cached[0] != version:
+        value = max((edge.weight for edge in graph.edges()), default=0.0)
+        _STORED_MAX_CACHE[graph] = (version, value)
+        return value
+    return cached[1]
 
 
 @dataclass(frozen=True)
@@ -117,6 +121,39 @@ class ExplanationWeighting:
     def cost_fn(self):
         """The ``(u, v, stored) -> cost`` callable the algorithms expect."""
         return self.cost
+
+    def slot_costs(self, frozen):
+        """Per-slot costs over a frozen CSR view of the graph.
+
+        Exploits the cost structure: every edge off the explanation
+        paths costs exactly 1.0, so the array is the unit base with a
+        handful of patched entries (both directed slots per boosted
+        edge). The returned :class:`~repro.graph.csr.FrozenCosts`
+        signature is the sorted override list — tasks with identical
+        boosts (notably every λ=0 task) share a signature, which is what
+        lets the batch engine's closure cache cut across tasks.
+        """
+        from repro.graph.csr import FrozenCosts
+
+        costs = frozen.unit_costs()
+        overrides: list[tuple[int, float]] = []
+        if self.lam > 0 and self._max_weight > 0:
+            for u, v in self._frequency:
+                for a, b in ((u, v), (v, u)):
+                    slot = frozen.edge_slot(a, b)
+                    if slot is None:
+                        continue
+                    value = self.cost(a, b, frozen.weights[slot])
+                    if value < 0.0:
+                        raise ValueError(
+                            f"negative cost {value} on edge ({a!r}, {b!r});"
+                            " cost() must stay non-negative"
+                        )
+                    if value != 1.0:  # zero-weight edges boost to no-op
+                        costs[slot] = value
+                        overrides.append((slot, value))
+        overrides.sort()
+        return FrozenCosts(costs, signature=tuple(overrides))
 
     # ------------------------------------------------------------------
     def _compute_max_weight(self) -> float:

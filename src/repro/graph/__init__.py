@@ -7,12 +7,16 @@ Everything here is implemented from scratch on plain Python data structures;
 
 from repro.graph.types import Edge, EdgeType, Node, NodeType
 from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.csr import FrozenCosts, FrozenGraph
 from repro.graph.paths import Path
 from repro.graph.disjoint_set import DisjointSet
-from repro.graph.heap import AddressableHeap
+from repro.graph.heap import AddressableHeap, IndexedHeap
 from repro.graph.shortest_paths import (
+    bfs_distances_indexed,
     bfs_shortest_path,
     dijkstra,
+    dijkstra_frozen,
+    dijkstra_indexed,
     dijkstra_multi_source,
     shortest_path_between,
 )
@@ -40,11 +44,15 @@ __all__ = [
     "DisjointSet",
     "Edge",
     "EdgeType",
+    "FrozenCosts",
+    "FrozenGraph",
+    "IndexedHeap",
     "InteractionWeights",
     "KnowledgeGraph",
     "Node",
     "NodeType",
     "Path",
+    "bfs_distances_indexed",
     "bfs_shortest_path",
     "build_interaction_graph",
     "closeness_centrality",
@@ -53,6 +61,8 @@ __all__ = [
     "mehlhorn_steiner_tree",
     "pagerank",
     "dijkstra",
+    "dijkstra_frozen",
+    "dijkstra_indexed",
     "dijkstra_multi_source",
     "extend_with_external",
     "generate_random_kg",

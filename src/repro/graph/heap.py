@@ -1,12 +1,21 @@
-"""Addressable binary min-heap with decrease-key.
+"""Addressable binary min-heaps with decrease-key.
 
 Dijkstra, Prim and the PCST growth loop all need ``decrease_key``; Python's
 ``heapq`` does not support it without lazy-deletion bookkeeping, so this is a
 classic array-backed binary heap that tracks each key's slot.
+
+Two variants live here: :class:`AddressableHeap` over arbitrary hashable
+keys (the dict-based algorithms) and :class:`IndexedHeap` specialized to
+dense int keys in ``[0, n)``. The two run the *same* sift algorithm
+comparing only priorities, so given identical operation sequences they
+pop keys in identical order. The CSR Dijkstra inlines this exact
+algorithm for speed; ``IndexedHeap`` is its readable reference and the
+tie-breaking oracle the heap property tests pin both against.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections.abc import Hashable
 from typing import Generic, TypeVar
 
@@ -123,3 +132,127 @@ class AddressableHeap(Generic[K]):
             index = child
         entries[index] = entry
         slot[entry[1]] = index
+
+class IndexedHeap:
+    """Binary min-heap over dense int keys ``0 .. num_keys - 1``.
+
+    Functionally identical to :class:`AddressableHeap` (same sift logic,
+    same tie behaviour) with array-index slot lookup instead of a dict
+    probe. ``dijkstra_indexed`` inlines this algorithm rather than
+    calling it (method-call overhead dominates the inner loop); this
+    class is the standalone reference for that inlined code and is
+    pinned op-for-op against AddressableHeap by the property tests.
+    """
+
+    __slots__ = ("_prios", "_keys", "_slot")
+
+    def __init__(self, num_keys: int) -> None:
+        self._prios: list[float] = []
+        self._keys: list[int] = []
+        self._slot = array("q", [-1]) * num_keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __bool__(self) -> bool:
+        return bool(self._keys)
+
+    def __contains__(self, key: int) -> bool:
+        return self._slot[key] != -1
+
+    def priority(self, key: int) -> float:
+        """Current priority of ``key`` (KeyError if absent)."""
+        index = self._slot[key]
+        if index == -1:
+            raise KeyError(f"key {key!r} not in heap")
+        return self._prios[index]
+
+    def push(self, key: int, priority: float) -> None:
+        """Insert ``key``; raises if it is already queued."""
+        if self._slot[key] != -1:
+            raise KeyError(f"key {key!r} already in heap")
+        self._prios.append(priority)
+        self._keys.append(key)
+        self._slot[key] = len(self._keys) - 1
+        self._sift_up(len(self._keys) - 1)
+
+    def update(self, key: int, priority: float) -> bool:
+        """Insert ``key`` or change its priority (see AddressableHeap)."""
+        index = self._slot[key]
+        if index == -1:
+            self.push(key, priority)
+            return True
+        current = self._prios[index]
+        if priority == current:
+            return False
+        self._prios[index] = priority
+        if priority < current:
+            self._sift_up(index)
+        else:
+            self._sift_down(index)
+        return True
+
+    def decrease_if_lower(self, key: int, priority: float) -> bool:
+        """Set ``key``'s priority only if ``priority`` improves on it."""
+        index = self._slot[key]
+        if index != -1 and self._prios[index] <= priority:
+            return False
+        return self.update(key, priority)
+
+    def pop_min(self) -> tuple[int, float]:
+        """Remove and return ``(key, priority)`` with smallest priority."""
+        if not self._keys:
+            raise IndexError("pop from empty heap")
+        priority = self._prios[0]
+        key = self._keys[0]
+        last_prio = self._prios.pop()
+        last_key = self._keys.pop()
+        self._slot[key] = -1
+        if self._keys:
+            self._prios[0] = last_prio
+            self._keys[0] = last_key
+            self._slot[last_key] = 0
+            self._sift_down(0)
+        return key, priority
+
+    def peek_min(self) -> tuple[int, float]:
+        """Return (but do not remove) the minimum entry."""
+        if not self._keys:
+            raise IndexError("peek at empty heap")
+        return self._keys[0], self._prios[0]
+
+    def _sift_up(self, index: int) -> None:
+        prios, keys, slot = self._prios, self._keys, self._slot
+        prio, key = prios[index], keys[index]
+        while index > 0:
+            parent = (index - 1) >> 1
+            if prios[parent] <= prio:
+                break
+            prios[index] = prios[parent]
+            keys[index] = keys[parent]
+            slot[keys[index]] = index
+            index = parent
+        prios[index] = prio
+        keys[index] = key
+        slot[key] = index
+
+    def _sift_down(self, index: int) -> None:
+        prios, keys, slot = self._prios, self._keys, self._slot
+        size = len(keys)
+        prio, key = prios[index], keys[index]
+        while True:
+            child = 2 * index + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and prios[right] < prios[child]:
+                child = right
+            if prios[child] >= prio:
+                break
+            prios[index] = prios[child]
+            keys[index] = keys[child]
+            slot[keys[index]] = index
+            index = child
+        prios[index] = prio
+        keys[index] = key
+        slot[key] = index

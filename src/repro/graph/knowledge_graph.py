@@ -38,6 +38,12 @@ class KnowledgeGraph:
         self._relations: dict[tuple[str, str], str] = {}
         self._names: dict[str, str] = {}
         self._num_edges = 0
+        # Monotonic mutation counter. Every structural or weight change
+        # bumps it; derived caches (the frozen CSR view, the stored-weight
+        # maximum, centrality prizes) key on it so they can never serve
+        # results for a graph that has since changed.
+        self._version = 0
+        self._frozen = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -47,6 +53,7 @@ class KnowledgeGraph:
         NodeType.of(node_id)  # raises on malformed ids
         if node_id not in self._adjacency:
             self._adjacency[node_id] = {}
+            self._version += 1
         if name:
             self._names[node_id] = name
 
@@ -72,6 +79,7 @@ class KnowledgeGraph:
             self._num_edges += 1
         self._adjacency[source][target] = weight
         self._adjacency[target][source] = weight
+        self._version += 1
         if relation:
             self._relations[undirected_key(source, target)] = relation
 
@@ -81,6 +89,7 @@ class KnowledgeGraph:
         del self._adjacency[target][source]
         self._relations.pop(undirected_key(source, target), None)
         self._num_edges -= 1
+        self._version += 1
 
     def remove_node(self, node_id: str) -> None:
         """Remove a node and all its incident edges; KeyError if absent."""
@@ -89,6 +98,7 @@ class KnowledgeGraph:
             self.remove_edge(node_id, neighbor)
         del self._adjacency[node_id]
         self._names.pop(node_id, None)
+        self._version += 1
 
     def set_weight(self, source: str, target: str, weight: float) -> None:
         """Reassign an existing edge's weight; KeyError if absent."""
@@ -96,6 +106,7 @@ class KnowledgeGraph:
             raise KeyError(f"no edge ({source!r}, {target!r})")
         self._adjacency[source][target] = weight
         self._adjacency[target][source] = weight
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Queries
@@ -109,6 +120,11 @@ class KnowledgeGraph:
     def num_edges(self) -> int:
         """Number of edges."""
         return self._num_edges
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumps on any structural or weight change."""
+        return self._version
 
     def __contains__(self, node_id: str) -> bool:
         return node_id in self._adjacency
@@ -169,6 +185,19 @@ class KnowledgeGraph:
     # ------------------------------------------------------------------
     # Derived views
     # ------------------------------------------------------------------
+    def freeze(self):
+        """The cached CSR view of this graph (see :mod:`repro.graph.csr`).
+
+        Rebuilt automatically whenever the graph has been mutated since
+        the last call; repeated calls on an unchanged graph return the
+        same :class:`~repro.graph.csr.FrozenGraph` instance.
+        """
+        from repro.graph.csr import FrozenGraph
+
+        if self._frozen is None or self._frozen.version != self._version:
+            self._frozen = FrozenGraph.from_knowledge_graph(self)
+        return self._frozen
+
     def copy(self) -> "KnowledgeGraph":
         """Deep copy (adjacency, relations and names)."""
         clone = KnowledgeGraph()
@@ -196,7 +225,7 @@ class KnowledgeGraph:
         ``approx_pairs == 0`` (BFS from every node; only viable on small
         graphs) and sampled from ``approx_pairs`` BFS sources otherwise.
         """
-        from repro.graph.shortest_paths import bfs_eccentricity
+        from repro.graph.shortest_paths import bfs_eccentricity_indexed
 
         users = sum(1 for _ in self.nodes_of_type(NodeType.USER))
         items = sum(1 for _ in self.nodes_of_type(NodeType.ITEM))
@@ -226,8 +255,11 @@ class KnowledgeGraph:
         total_length = 0
         total_pairs = 0
         diameter = 0
+        frozen = self.freeze()
         for source in sources:
-            ecc, dist_sum, reached = bfs_eccentricity(self, source)
+            ecc, dist_sum, reached = bfs_eccentricity_indexed(
+                frozen, frozen.index_of(source)
+            )
             diameter = max(diameter, ecc)
             total_length += dist_sum
             total_pairs += reached

@@ -5,16 +5,35 @@ terminal set; we provide single-source Dijkstra with predecessor tracking
 plus an early-exit pairwise variant. Costs must be non-negative — the
 summarizers guarantee this by affine-shifting the maximization weights
 (see :mod:`repro.core.weighting`).
+
+Every dict-based primitive has an index-based twin that runs on a
+:class:`~repro.graph.csr.FrozenGraph` (``dijkstra_indexed``,
+``bfs_distances_indexed``, ...). The indexed variants replicate the
+dict-based control flow exactly — same neighbor order (CSR rows preserve
+adjacency insertion order), same heap algorithm (:class:`IndexedHeap`
+mirrors :class:`AddressableHeap`) — so they return identical distances
+AND identical predecessor trees, ties included. ``dijkstra_frozen`` is
+the drop-in id-keyed wrapper the Steiner machinery swaps in.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable
 
+from array import array
+
+from repro.graph.csr import FrozenCosts, FrozenGraph
 from repro.graph.heap import AddressableHeap
 from repro.graph.knowledge_graph import KnowledgeGraph
 
 CostFn = Callable[[str, str, float], float]
+
+_MINUS_ONE = array("q", [-1])
+
+
+def array_of_minus_one(length: int) -> array:
+    """A length-``length`` int64 array filled with -1 (sentinel tables)."""
+    return _MINUS_ONE * length
 
 
 def _unit_cost(_u: str, _v: str, _w: float) -> float:
@@ -217,3 +236,207 @@ def bfs_eccentricity(
     ecc = max(dist.values())
     total = sum(dist.values())
     return ecc, total, reached
+
+# ----------------------------------------------------------------------
+# Index-based variants over a FrozenGraph (CSR backend)
+# ----------------------------------------------------------------------
+def _cost_slots(frozen: FrozenGraph, costs) -> "object":
+    """Normalize a costs argument to a per-slot indexable of floats."""
+    if costs is None:
+        return frozen.traversal_tables()[2]
+    if isinstance(costs, FrozenCosts):
+        return costs.slots
+    return costs
+
+
+def dijkstra_indexed(
+    frozen: FrozenGraph,
+    source: int,
+    costs=None,
+    targets: set[int] | None = None,
+) -> tuple[dict[int, float], dict[int, int]]:
+    """Single-source shortest paths over the CSR view, by dense index.
+
+    Parameters
+    ----------
+    frozen:
+        The frozen CSR view.
+    source:
+        Dense index of the start node.
+    costs:
+        Per-slot costs: a :class:`~repro.graph.csr.FrozenCosts`, a raw
+        array aligned with ``frozen.targets``, or None for the stored
+        weights. Costs must be non-negative (not re-checked per
+        relaxation here; build arrays via ``FrozenGraph.costs_from`` or
+        the weighting's ``slot_costs`` to get validation).
+    targets:
+        Optional early-exit set of dense indices; indices outside
+        ``[0, num_nodes)`` are allowed and simply never settle, matching
+        the dict variant's behaviour for unknown target ids.
+
+    Returns
+    -------
+    (dist, prev):
+        Index-keyed equivalents of :func:`dijkstra`'s return value, with
+        identical contents (and identical tie-breaking) for the same
+        graph and costs.
+    """
+    num_nodes = frozen.num_nodes
+    if not 0 <= source < num_nodes:
+        raise KeyError(f"source index {source} out of range")
+    slot_costs = _cost_slots(frozen, costs)
+    remaining = set(targets) if targets else None
+    if remaining is not None:
+        remaining.discard(source)
+    offsets, edge_targets, _ = frozen.traversal_tables()
+
+    # The binary heap is inlined (it is the whole cost of this loop):
+    # same sift algorithm as AddressableHeap/IndexedHeap, comparing only
+    # priorities, so the settle order — tie-breaking included — matches
+    # the dict-based dijkstra() exactly.
+    settled = bytearray(num_nodes)
+    settle_value = [0.0] * num_nodes
+    parent = array_of_minus_one(num_nodes)
+    heap_slot = array_of_minus_one(num_nodes)
+    prios: list[float] = [0.0]
+    keys: list[int] = [source]
+    heap_slot[source] = 0
+    settle_order: list[int] = []
+
+    while keys:
+        node = keys[0]
+        d = prios[0]
+        last_prio = prios.pop()
+        last_key = keys.pop()
+        heap_slot[node] = -1
+        size = len(keys)
+        if size:
+            index = 0
+            while True:
+                child = 2 * index + 1
+                if child >= size:
+                    break
+                right = child + 1
+                if right < size and prios[right] < prios[child]:
+                    child = right
+                if prios[child] >= last_prio:
+                    break
+                prios[index] = prios[child]
+                keys[index] = keys[child]
+                heap_slot[keys[index]] = index
+                index = child
+            prios[index] = last_prio
+            keys[index] = last_key
+            heap_slot[last_key] = index
+
+        settled[node] = 1
+        settle_value[node] = d
+        settle_order.append(node)
+        if remaining is not None:
+            remaining.discard(node)
+            if not remaining:
+                break
+        for slot in range(offsets[node], offsets[node + 1]):
+            neighbor = edge_targets[slot]
+            if settled[neighbor]:
+                continue
+            candidate = d + slot_costs[slot]
+            index = heap_slot[neighbor]
+            if index == -1:
+                index = len(keys)
+                prios.append(candidate)
+                keys.append(neighbor)
+            elif candidate < prios[index]:
+                pass
+            else:
+                continue
+            while index > 0:
+                above = (index - 1) >> 1
+                if prios[above] <= candidate:
+                    break
+                prios[index] = prios[above]
+                keys[index] = keys[above]
+                heap_slot[keys[index]] = index
+                index = above
+            prios[index] = candidate
+            keys[index] = neighbor
+            heap_slot[neighbor] = index
+            parent[neighbor] = node
+
+    dist: dict[int, float] = {}
+    prev: dict[int, int] = {}
+    for node in settle_order:
+        dist[node] = settle_value[node]
+        above = parent[node]
+        if above != -1:
+            prev[node] = above
+    return dist, prev
+
+
+def dijkstra_frozen(
+    frozen: FrozenGraph,
+    source: str,
+    costs=None,
+    targets: Iterable[str] | None = None,
+) -> tuple[dict[str, float], dict[str, str]]:
+    """:func:`dijkstra` drop-in running on a frozen view.
+
+    Takes and returns node *ids*; internally runs
+    :func:`dijkstra_indexed` and maps back. Unknown target ids (absent
+    from the graph) suppress the early exit exactly like the dict
+    variant, so disconnection is reported identically by callers.
+    """
+    if source not in frozen:
+        raise KeyError(f"unknown source node {source!r}")
+    target_indices: set[int] | None = None
+    if targets:
+        target_indices = set()
+        missing = -1
+        for target in targets:
+            if target in frozen:
+                target_indices.add(frozen.index_of(target))
+            else:
+                # Unsettleable sentinel (one per unknown id) keeps the
+                # search exhaustive, mirroring the dict variant.
+                target_indices.add(missing)
+                missing -= 1
+    dist, prev = dijkstra_indexed(
+        frozen, frozen.index_of(source), costs=costs, targets=target_indices
+    )
+    ids = frozen.ids
+    return (
+        {ids[node]: d for node, d in dist.items()},
+        {ids[node]: ids[parent] for node, parent in prev.items()},
+    )
+
+
+def bfs_distances_indexed(
+    frozen: FrozenGraph, source: int
+) -> dict[int, int]:
+    """Hop distance to every reachable node, by dense index."""
+    dist = {source: 0}
+    frontier = [source]
+    depth = 0
+    offsets, edge_targets, _ = frozen.traversal_tables()
+    while frontier:
+        depth += 1
+        next_frontier: list[int] = []
+        for node in frontier:
+            for slot in range(offsets[node], offsets[node + 1]):
+                neighbor = edge_targets[slot]
+                if neighbor not in dist:
+                    dist[neighbor] = depth
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return dist
+
+
+def bfs_eccentricity_indexed(
+    frozen: FrozenGraph, source: int
+) -> tuple[int, int, int]:
+    """Index-based :func:`bfs_eccentricity` (same return value)."""
+    dist = bfs_distances_indexed(frozen, source)
+    reached = len(dist) - 1
+    if reached == 0:
+        return 0, 0, 0
+    return max(dist.values()), sum(dist.values()), reached

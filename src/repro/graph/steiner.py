@@ -22,19 +22,33 @@ matching the bound stated in §IV-A.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
+from repro.graph.csr import FrozenGraph
 from repro.graph.knowledge_graph import KnowledgeGraph
 from repro.graph.mst import kruskal_mst
-from repro.graph.shortest_paths import CostFn, dijkstra, reconstruct_path
+from repro.graph.shortest_paths import (
+    CostFn,
+    dijkstra,
+    dijkstra_frozen,
+    reconstruct_path,
+)
 from repro.graph.subgraph import edge_subgraph
 from repro.graph.types import undirected_key
+
+#: ``(source, rest) -> (dist, prev)`` closure hook: the batch engine
+#: injects a memoizing implementation here (see repro.core.batch).
+PairFn = Callable[[str, set[str]], tuple[dict[str, float], dict[str, str]]]
 
 
 def steiner_tree(
     graph: KnowledgeGraph,
     terminals: Sequence[str],
     cost_fn: CostFn | None = None,
+    *,
+    frozen: FrozenGraph | None = None,
+    slot_costs=None,
+    pair_fn: PairFn | None = None,
 ) -> KnowledgeGraph:
     """2-approximate minimum Steiner tree spanning ``terminals``.
 
@@ -49,12 +63,18 @@ def steiner_tree(
     cost_fn:
         Optional ``(u, v, stored_weight) -> cost`` override; defaults to
         the stored weight. Costs must be non-negative.
-
-    Returns
-    -------
-    KnowledgeGraph
-        A tree subgraph containing every terminal. Weights and relations
-        are copied from ``graph``.
+    frozen, slot_costs:
+        CSR fast path: a frozen view of ``graph`` plus per-slot costs
+        that agree with ``cost_fn``. The metric-closure Dijkstras then
+        run index-based; the result is identical to the dict path
+        (ties included) because the indexed Dijkstra mirrors the
+        dict-based one operation for operation.
+    pair_fn:
+        Full override of the closure computation — maps ``(source,
+        rest)`` to ``(dist, prev)`` id-keyed maps. Used by the batch
+        engine to memoize terminal-pair Dijkstras across tasks. ``dist``
+        may cover a superset of a fresh early-exit run; only the
+        ``rest`` entries and their predecessor chains are read.
     """
     unique_terminals = list(dict.fromkeys(terminals))
     if not unique_terminals:
@@ -67,16 +87,35 @@ def steiner_tree(
         only.add_node(unique_terminals[0])
         return only
 
+    if frozen is not None and frozen.is_stale():
+        raise ValueError(
+            "frozen view is stale; call graph.freeze() again"
+        )
+
     # Steps 2-3: metric closure over terminals (one Dijkstra per terminal).
     terminal_set = set(unique_terminals)
     closure_edges: list[tuple[str, str, float]] = []
     shortest: dict[tuple[str, str], list[str]] = {}
     for index, source in enumerate(unique_terminals):
-        rest = set(unique_terminals[index + 1 :])
-        if not rest:
+        later = unique_terminals[index + 1 :]
+        if not later:
             break
-        dist, prev = dijkstra(graph, source, cost_fn=cost_fn, targets=rest)
-        for target in rest:
+        rest = set(later)
+        if pair_fn is not None:
+            dist, prev = pair_fn(source, rest)
+        elif frozen is not None:
+            dist, prev = dijkstra_frozen(
+                frozen, source, costs=slot_costs, targets=rest
+            )
+        else:
+            dist, prev = dijkstra(
+                graph, source, cost_fn=cost_fn, targets=rest
+            )
+        # Iterate `later` (deterministic list), not `rest` (a str set
+        # whose order follows PYTHONHASHSEED): the closure edge order
+        # feeds Kruskal's stable tie-breaking, so set order here made
+        # tied summaries differ between processes.
+        for target in later:
             if target not in dist:
                 raise ValueError(
                     f"terminals {source!r} and {target!r} are disconnected"

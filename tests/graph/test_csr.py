@@ -1,0 +1,144 @@
+"""FrozenGraph (CSR backend) unit tests: interning, slicing, staleness."""
+
+import pytest
+
+from repro.graph.csr import FrozenCosts, FrozenGraph
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+
+class TestConstruction:
+    def test_interning_roundtrip(self, toy_graph):
+        frozen = toy_graph.freeze()
+        assert frozen.num_nodes == toy_graph.num_nodes
+        assert frozen.num_edges == toy_graph.num_edges
+        for node in toy_graph.nodes():
+            assert node in frozen
+            assert frozen.id_of(frozen.index_of(node)) == node
+        assert "u:999" not in frozen
+        with pytest.raises(KeyError):
+            frozen.index_of("u:999")
+
+    def test_rows_match_adjacency_order(self, toy_graph):
+        """CSR rows preserve dict insertion order — the parity keystone."""
+        frozen = toy_graph.freeze()
+        for node in toy_graph.nodes():
+            expected = list(toy_graph.neighbors(node).items())
+            row = [
+                (frozen.id_of(neighbor), weight)
+                for neighbor, weight in frozen.neighbors(frozen.index_of(node))
+            ]
+            assert row == expected
+
+    def test_degree_matches(self, toy_graph):
+        frozen = toy_graph.freeze()
+        for node in toy_graph.nodes():
+            assert frozen.degree(frozen.index_of(node)) == toy_graph.degree(
+                node
+            )
+
+    def test_offsets_cover_all_slots(self, toy_graph):
+        frozen = toy_graph.freeze()
+        assert frozen.offsets[0] == 0
+        assert frozen.offsets[-1] == len(frozen.targets)
+        assert len(frozen.targets) == 2 * toy_graph.num_edges
+        assert len(frozen.weights) == len(frozen.targets)
+
+    def test_empty_graph(self):
+        frozen = KnowledgeGraph().freeze()
+        assert frozen.num_nodes == 0
+        assert frozen.num_edges == 0
+
+
+class TestEdgeSlots:
+    def test_edge_slot_lookup(self, toy_graph):
+        frozen = toy_graph.freeze()
+        slot = frozen.edge_slot("u:0", "i:0")
+        assert slot is not None
+        assert frozen.ids[frozen.targets[slot]] == "i:0"
+        assert frozen.weights[slot] == 5.0
+        reverse = frozen.edge_slot("i:0", "u:0")
+        assert reverse is not None and reverse != slot
+
+    def test_edge_slot_absent(self, toy_graph):
+        frozen = toy_graph.freeze()
+        assert frozen.edge_slot("u:0", "u:1") is None
+        assert frozen.edge_slot("u:0", "x:nope") is None
+
+
+class TestCosts:
+    def test_unit_costs_fresh_copies(self, toy_graph):
+        frozen = toy_graph.freeze()
+        first = frozen.unit_costs()
+        first[0] = 99.0
+        assert frozen.unit_costs()[0] == 1.0
+
+    def test_costs_from_applies_fn(self, toy_graph):
+        frozen = toy_graph.freeze()
+        costs = frozen.costs_from(lambda u, v, w: w + 1.0)
+        assert isinstance(costs, FrozenCosts)
+        slot = frozen.edge_slot("u:0", "i:0")
+        assert costs.slots[slot] == 6.0
+
+    def test_costs_from_rejects_negative(self, toy_graph):
+        frozen = toy_graph.freeze()
+        with pytest.raises(ValueError, match="negative cost"):
+            frozen.costs_from(lambda u, v, w: -1.0)
+
+    def test_stored_costs_signature_tracks_version(self, toy_graph):
+        first = toy_graph.freeze().stored_costs().signature
+        toy_graph.set_weight("u:0", "i:0", 2.0)
+        assert toy_graph.freeze().stored_costs().signature != first
+
+
+class TestFreezeCaching:
+    def test_freeze_is_cached(self, toy_graph):
+        assert toy_graph.freeze() is toy_graph.freeze()
+
+    def test_mutation_rebuilds(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("u:0", "i:0", 3.0)
+        frozen = graph.freeze()
+        assert not frozen.is_stale()
+        graph.add_edge("u:0", "i:1", 1.0)
+        assert frozen.is_stale()
+        refrozen = graph.freeze()
+        assert refrozen is not frozen
+        assert not refrozen.is_stale()
+        assert refrozen.num_edges == 2
+
+    def test_every_mutator_bumps_version(self):
+        graph = KnowledgeGraph()
+        seen = {graph.version}
+
+        def check(action):
+            action()
+            assert graph.version not in seen, "mutator did not bump version"
+            seen.add(graph.version)
+
+        check(lambda: graph.add_node("u:0"))
+        check(lambda: graph.add_edge("u:0", "i:0", 2.0))
+        check(lambda: graph.add_edge("i:0", "e:genre:0", 0.0, "genre"))
+        check(lambda: graph.set_weight("u:0", "i:0", 4.0))
+        check(lambda: graph.remove_edge("i:0", "e:genre:0"))
+        check(lambda: graph.remove_node("u:0"))
+
+    def test_add_existing_node_keeps_version(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("u:0", "i:0")
+        version = graph.version
+        graph.add_node("u:0")
+        assert graph.version == version
+
+
+class TestInterop:
+    def test_to_numpy_views(self, toy_graph):
+        pytest.importorskip("numpy")
+        frozen = toy_graph.freeze()
+        offsets, targets, weights = frozen.to_numpy()
+        assert list(offsets) == list(frozen.offsets)
+        assert list(targets) == list(frozen.targets)
+        assert list(weights) == list(frozen.weights)
+
+    def test_from_knowledge_graph_direct(self, toy_graph):
+        frozen = FrozenGraph.from_knowledge_graph(toy_graph)
+        assert frozen.version == toy_graph.version

@@ -1,0 +1,126 @@
+"""Property-based parity: the CSR engine vs the dict-based algorithms.
+
+The frozen traversals are required to be *identical*, not merely
+equivalent: same distances, same predecessor trees (tie-breaking
+included), same Steiner trees. These properties exercise both the
+tie-heavy regime (uniform costs) and weighted costs on random graphs.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.shortest_paths import (
+    bfs_distances,
+    bfs_distances_indexed,
+    dijkstra,
+    dijkstra_frozen,
+)
+from repro.graph.steiner import steiner_tree
+
+
+def build_random_kg(seed: int, num_users: int, num_items: int):
+    """Random connected user-item-entity KG (zero-weight knowledge edges
+    included, so stored-cost traversals hit ties and zero-cost hops)."""
+    rng = np.random.default_rng(seed)
+    graph = KnowledgeGraph()
+    for i in range(num_items):
+        u = i % num_users
+        graph.add_edge(f"u:{u}", f"i:{i}", float(rng.integers(1, 6)))
+        graph.add_edge(
+            f"u:{(u + 1) % num_users}", f"i:{i}", float(rng.integers(1, 6))
+        )
+    for i in range(num_items):
+        graph.add_edge(f"i:{i}", f"e:g:{i % 3}", 0.0, "g")
+    for _ in range(num_items):
+        u = int(rng.integers(0, num_users))
+        i = int(rng.integers(0, num_items))
+        graph.add_edge(f"u:{u}", f"i:{i}", float(rng.integers(1, 6)))
+    return graph
+
+
+graph_params = st.tuples(
+    st.integers(min_value=0, max_value=1000),  # seed
+    st.integers(min_value=2, max_value=6),  # users
+    st.integers(min_value=3, max_value=12),  # items
+)
+
+UNIFORM = ("uniform", lambda u, v, w: 1.0)
+STORED = ("stored", None)
+RATING = ("rating-discount", lambda u, v, w: 1.0 / (1.0 + w))
+
+
+class TestDijkstraParity:
+    @given(graph_params, st.sampled_from([UNIFORM, STORED, RATING]))
+    @settings(max_examples=40, deadline=None)
+    def test_full_settle_identical(self, params, named_cost):
+        seed, num_users, num_items = params
+        _, cost_fn = named_cost
+        graph = build_random_kg(seed, num_users, num_items)
+        frozen = graph.freeze()
+        costs = None if cost_fn is None else frozen.costs_from(cost_fn)
+        for source in list(graph.nodes())[::3]:
+            dict_dist, dict_prev = dijkstra(graph, source, cost_fn=cost_fn)
+            dist, prev = dijkstra_frozen(frozen, source, costs=costs)
+            assert dist == dict_dist
+            assert prev == dict_prev
+
+    @given(graph_params)
+    @settings(max_examples=40, deadline=None)
+    def test_early_exit_identical(self, params):
+        seed, num_users, num_items = params
+        graph = build_random_kg(seed, num_users, num_items)
+        frozen = graph.freeze()
+        cost_fn = UNIFORM[1]  # maximal ties
+        costs = frozen.costs_from(cost_fn)
+        nodes = sorted(graph.nodes())
+        rng = np.random.default_rng(seed + 7)
+        targets = {
+            nodes[int(i)]
+            for i in rng.choice(len(nodes), size=min(4, len(nodes)))
+        }
+        source = nodes[int(rng.integers(0, len(nodes)))]
+        dict_dist, dict_prev = dijkstra(
+            graph, source, cost_fn=cost_fn, targets=set(targets)
+        )
+        dist, prev = dijkstra_frozen(
+            frozen, source, costs=costs, targets=set(targets)
+        )
+        assert dist == dict_dist
+        assert prev == dict_prev
+
+    @given(graph_params)
+    @settings(max_examples=30, deadline=None)
+    def test_bfs_identical(self, params):
+        seed, num_users, num_items = params
+        graph = build_random_kg(seed, num_users, num_items)
+        frozen = graph.freeze()
+        ids = frozen.ids
+        for source in list(graph.nodes())[::4]:
+            expected = bfs_distances(graph, source)
+            indexed = bfs_distances_indexed(frozen, frozen.index_of(source))
+            assert expected == {ids[n]: d for n, d in indexed.items()}
+
+
+class TestSteinerParity:
+    @given(graph_params, st.sampled_from([UNIFORM, STORED, RATING]))
+    @settings(max_examples=30, deadline=None)
+    def test_trees_identical(self, params, named_cost):
+        seed, num_users, num_items = params
+        _, cost_fn = named_cost
+        graph = build_random_kg(seed, num_users, num_items)
+        frozen = graph.freeze()
+        costs = None if cost_fn is None else frozen.costs_from(cost_fn)
+        rng = np.random.default_rng(seed + 3)
+        nodes = sorted(graph.nodes())
+        picks = rng.choice(len(nodes), size=min(5, len(nodes)), replace=False)
+        terminals = [nodes[int(p)] for p in picks]
+        dict_tree = steiner_tree(graph, terminals, cost_fn=cost_fn)
+        csr_tree = steiner_tree(
+            graph, terminals, cost_fn=cost_fn, frozen=frozen, slot_costs=costs
+        )
+        assert sorted(dict_tree.nodes()) == sorted(csr_tree.nodes())
+        assert sorted(
+            (e.source, e.target, e.weight) for e in dict_tree.edges()
+        ) == sorted((e.source, e.target, e.weight) for e in csr_tree.edges())

@@ -58,3 +58,46 @@ class TestHeapProperties:
         assert len(heap) == len(mapping)
         heap.pop_min()
         assert len(heap) == len(mapping) - 1
+
+
+# Random op sequences over a small dense key space: mixed pushes,
+# decreases and pops, with deliberately colliding priorities.
+heap_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["update", "decrease_if_lower", "pop"]),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=5),  # coarse -> many ties
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+class TestIndexedHeapMirrorsAddressable:
+    """IndexedHeap is the tie-breaking oracle for the CSR Dijkstra: it
+    must behave identically to AddressableHeap under any op sequence,
+    including pop order among equal priorities."""
+
+    @given(heap_ops)
+    @settings(max_examples=100)
+    def test_identical_behaviour_under_same_ops(self, ops):
+        from repro.graph.heap import IndexedHeap
+
+        reference: AddressableHeap[int] = AddressableHeap()
+        indexed = IndexedHeap(16)
+        for op, key, coarse in ops:
+            priority = float(coarse)
+            if op == "update":
+                assert reference.update(key, priority) == indexed.update(
+                    key, priority
+                )
+            elif op == "decrease_if_lower":
+                assert reference.decrease_if_lower(
+                    key, priority
+                ) == indexed.decrease_if_lower(key, priority)
+            elif reference:
+                assert reference.pop_min() == indexed.pop_min()
+            assert len(reference) == len(indexed)
+        while reference:
+            assert reference.pop_min() == indexed.pop_min()
+        assert not indexed
