@@ -1,10 +1,15 @@
 """Micro-benchmarks of the two summarization kernels (honest multi-round
 pytest-benchmark timing, unlike the one-shot figure reproductions), plus
-the CSR engine benchmarks: dict vs frozen Dijkstra on a ~10k-node
-synthetic graph, and batch vs per-task summarization throughput over
-100+ tasks (the freeze-then-batch acceptance gate)."""
+the CSR engine benchmarks: dict vs frozen Dijkstra / Mehlhorn / PCST on
+synthetic graphs — emitting the machine-readable
+``results/BENCH_engine.json`` perf-trajectory artifact and asserting the
+indexed Mehlhorn and PCST speedups (>= 1.3x on the 10k-node graph) —
+and batch vs per-task summarization throughput over 100+ tasks (the
+freeze-then-batch acceptance gate)."""
 
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -13,6 +18,7 @@ from repro.core.batch import BatchSummarizer
 from repro.core.scenarios import Scenario, SummaryTask
 from repro.core.summarizer import Summarizer
 from repro.graph.generators import SyntheticSpec, generate_random_kg
+from repro.graph.mehlhorn import mehlhorn_steiner_tree
 from repro.graph.pcst import paper_pcst
 from repro.graph.shortest_paths import (
     bfs_distances_indexed,
@@ -21,6 +27,10 @@ from repro.graph.shortest_paths import (
 )
 from repro.graph.steiner import steiner_tree
 from repro.graph.types import NodeType
+
+# Mirrors conftest.RESULTS_DIR without importing conftest (a bare
+# conftest import breaks whole-repo collection runs).
+RESULTS_DIR = Path(__file__).parent / "results"
 
 
 @pytest.fixture(scope="module")
@@ -148,6 +158,125 @@ def test_dijkstra_csr_kernel(benchmark, synthetic_graph):
     ids = frozen.ids
     assert dict_dist == {ids[n]: d for n, d in dist.items()}
     assert dict_prev == {ids[n]: ids[p] for n, p in prev.items()}
+
+
+# ----------------------------------------------------------------------
+# Engine comparison artifact: method x engine x graph size -> ops/s
+# ----------------------------------------------------------------------
+ENGINE_BENCH_SIZES = (2_500, 10_000)
+ENGINE_BENCH_ROUNDS = 3
+ENGINE_BENCH_TERMINALS = 24
+MIN_ENGINE_SPEEDUP = 1.3  # CI gate on the 10k-node graph
+
+
+def _component_terminals(graph, count):
+    """Deterministic high-degree terminals within one component."""
+    frozen = graph.freeze()
+    component = bfs_distances_indexed(
+        frozen, max(range(frozen.num_nodes), key=frozen.degree)
+    ).keys()
+    in_component = [frozen.id_of(i) for i in sorted(component)]
+    return sorted(in_component, key=graph.degree, reverse=True)[:count]
+
+
+def _best_seconds(fn, rounds=ENGINE_BENCH_ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_engine_speedups_artifact(emit):
+    """Time every ported kernel on both engines, persist the trajectory
+    as machine-readable JSON, and gate the 10k-node speedups."""
+    unit = lambda _u, _v, _w: 1.0  # noqa: E731
+    rows = []
+    speedups_10k = {}
+    for num_nodes in ENGINE_BENCH_SIZES:
+        spec = SyntheticSpec(num_nodes, edges_per_node=8.0)
+        graph = generate_random_kg(spec, np.random.default_rng(7))
+        frozen = graph.freeze()
+        terminals = _component_terminals(graph, ENGINE_BENCH_TERMINALS)
+        prizes = {t: 1.0 for t in terminals}
+        unit_costs = frozen.costs_from(unit)
+        source = terminals[0]
+        source_idx = frozen.index_of(source)
+
+        timings = {
+            ("dijkstra", "dict"): _best_seconds(
+                lambda: dijkstra(graph, source)
+            ),
+            ("dijkstra", "csr"): _best_seconds(
+                lambda: dijkstra_indexed(frozen, source_idx)
+            ),
+            ("mehlhorn", "dict"): _best_seconds(
+                lambda: mehlhorn_steiner_tree(graph, terminals, cost_fn=unit)
+            ),
+            ("mehlhorn", "csr"): _best_seconds(
+                lambda: mehlhorn_steiner_tree(
+                    graph,
+                    terminals,
+                    cost_fn=unit,
+                    frozen=frozen,
+                    slot_costs=unit_costs,
+                )
+            ),
+            ("pcst", "dict"): _best_seconds(
+                lambda: paper_pcst(graph, prizes, seeds=terminals)
+            ),
+            ("pcst", "csr"): _best_seconds(
+                lambda: paper_pcst(
+                    graph, prizes, seeds=terminals, frozen=frozen
+                )
+            ),
+        }
+        for (method, engine), seconds in timings.items():
+            rows.append(
+                {
+                    "method": method,
+                    "engine": engine,
+                    "graph_nodes": graph.num_nodes,
+                    "graph_edges": graph.num_edges,
+                    "seconds": seconds,
+                    "ops_per_sec": 1.0 / seconds if seconds > 0 else None,
+                }
+            )
+        if num_nodes == 10_000:
+            for method in ("dijkstra", "mehlhorn", "pcst"):
+                speedups_10k[method] = (
+                    timings[(method, "dict")] / timings[(method, "csr")]
+                )
+
+    artifact = {
+        "schema": "bench-engine/v1",
+        "rounds": ENGINE_BENCH_ROUNDS,
+        "terminals": ENGINE_BENCH_TERMINALS,
+        "results": rows,
+        "speedups_10k": speedups_10k,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_engine.json").write_text(
+        json.dumps(artifact, indent=2) + "\n"
+    )
+    emit(
+        "engine_speedups",
+        "\n".join(
+            [
+                "dict -> csr speedups (10k-node graph, best of "
+                f"{ENGINE_BENCH_ROUNDS}):",
+                *(
+                    f"  {method:<9} {speedup:5.2f}x"
+                    for method, speedup in speedups_10k.items()
+                ),
+                "full trajectory in results/BENCH_engine.json",
+            ]
+        ),
+    )
+    # The CI gate: each ported hot loop must beat its dict oracle.
+    assert speedups_10k["mehlhorn"] >= MIN_ENGINE_SPEEDUP
+    assert speedups_10k["pcst"] >= MIN_ENGINE_SPEEDUP
 
 
 def test_batch_vs_single_task_loop(synthetic_graph, batch_tasks, emit):

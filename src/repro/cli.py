@@ -58,6 +58,8 @@ def _run_batch(parser: argparse.ArgumentParser, args) -> int:
     from repro.core.batch import BatchSummarizer, load_tasks_jsonl
     from repro.core.scenarios import Scenario
 
+    if args.partial_reuse and args.method != "ST":
+        parser.error("--partial-reuse only applies to --method ST")
     bench = Workbench.get(_config(args))
     if args.tasks:
         try:
@@ -76,7 +78,11 @@ def _run_batch(parser: argparse.ArgumentParser, args) -> int:
     else:
         parser.error("batch needs --tasks FILE or --demo N")
     engine = BatchSummarizer(
-        bench.graph, method=args.method, workers=args.workers
+        bench.graph,
+        method=args.method,
+        workers=args.workers,
+        engine=args.engine,
+        partial_reuse=args.partial_reuse,
     )
     report = engine.run(tasks)
     print(report.summary())
@@ -116,6 +122,22 @@ def main(argv: list[str] | None = None) -> int:
     batch_group.add_argument("--workers", type=int, default=0)
     batch_group.add_argument(
         "--k", type=int, default=5, help="top-k for --demo tasks"
+    )
+    batch_group.add_argument(
+        "--engine",
+        choices=("frozen", "csr", "dict"),
+        default="frozen",
+        help="traversal backend: CSR fast path (frozen/csr) or the "
+        "dict-of-dicts oracle (applies to ST/ST-fast/PCST; Union has "
+        "no traversal)",
+    )
+    batch_group.add_argument(
+        "--partial-reuse",
+        action="store_true",
+        help="ST only: enable λ-aware closure reuse — recombine "
+        "memoized base-cost Dijkstra runs with each task's boosted "
+        "edges (exact distances; equal-cost paths may be tie-broken "
+        "differently than a cold run)",
     )
     args = parser.parse_args(argv)
 

@@ -21,6 +21,14 @@ shorter run on every entry the Steiner construction reads. Predecessor
 chains are safe because Eq. (1) costs are bounded below by ``1 - ρ > 0``
 — every node on a shortest path settles strictly before its target.
 
+An opt-in second tier (``partial_reuse=True``) extends reuse to λ>0
+workloads whose tasks boost *different* edges: base-cost (unit) Dijkstra
+runs are memoized once per node and recombined with each task's boosted
+edges through a small overlay graph (see
+:meth:`TerminalClosureCache._patched_closure`). Distances remain exact;
+only the tie-breaking among equal-cost shortest paths can differ from a
+cold run, which is why the default stays off.
+
 :class:`BatchSummarizer` wraps all of it: accepts many tasks, dispatches
 them across an optional thread pool (pure-Python summarization is
 GIL-bound, so ``workers`` mainly helps when tasks block elsewhere;
@@ -45,9 +53,15 @@ from pathlib import Path as FilePath
 from repro.core.explanation import SubgraphExplanation
 from repro.core.scenarios import Scenario, SummaryTask
 from repro.core.summarizer import METHODS, Summarizer
+from repro.graph.heap import AddressableHeap
 from repro.graph.knowledge_graph import KnowledgeGraph
 from repro.graph.paths import Path
-from repro.graph.shortest_paths import dijkstra_frozen
+from repro.graph.shortest_paths import dijkstra_frozen, dijkstra_indexed
+
+#: Cache-key marker for base-cost (all-unit) full-settle Dijkstra runs —
+#: a sentinel no real cost signature can equal, so base entries and
+#: per-signature closure entries share one LRU without colliding.
+_BASE_COSTS = ("__base-unit__",)
 
 
 class TerminalClosureCache:
@@ -59,14 +73,42 @@ class TerminalClosureCache:
     Thread-safe (the batch engine shares one cache across workers); the
     Dijkstra itself runs outside the lock, so concurrent misses on the
     same key merely duplicate work, never corrupt results.
+
+    λ-aware partial reuse (``partial_reuse=True``) adds a second tier
+    for boosted cost surfaces — Eq. (1) surfaces that are the unit base
+    patched on a handful of boosted slots (declared via
+    ``FrozenCosts.overrides``). On an exact-signature miss the closure
+    is *derived* instead of recomputed from scratch: full-settle
+    base-cost runs from the source and from every boosted-edge endpoint
+    (memoized under a shared base key, so they cut across tasks with
+    **disjoint** boost sets) are recombined through a tiny overlay graph
+    whose nodes are the boosted endpoints and whose edges are base
+    distances plus the boosted edges themselves. Distances are exact
+    (boosts only ever lower costs, so every shortest path decomposes
+    into base segments joined at boosted edges); the returned paths are
+    exact shortest paths too, but where *several* shortest paths tie the
+    derivation may pick a different one than a cold heap would — which
+    is why the mode is opt-in and the default keeps the bit-identical
+    fresh-run behaviour.
     """
 
-    def __init__(self, maxsize: int = 4096) -> None:
+    #: Partial-reuse bail-out: with more boosted-edge endpoints than
+    #: this, the per-hub base runs + O(hubs^2) overlay cost more than
+    #: the single early-exit fresh run they replace.
+    MAX_OVERLAY_HUBS = 48
+
+    def __init__(
+        self, maxsize: int = 4096, partial_reuse: bool = False
+    ) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
+        self.partial_reuse = partial_reuse
         self.hits = 0
         self.misses = 0
+        self.patched = 0
+        self.base_hits = 0
+        self.base_misses = 0
         self._entries: OrderedDict = OrderedDict()
         self._lock = threading.Lock()
         self._frozen = None
@@ -101,11 +143,20 @@ class TerminalClosureCache:
                     self._entries.move_to_end(key)
                     self.hits += 1
                     return entry
-            dist, prev = dijkstra_frozen(
-                frozen, source, costs=costs, targets=rest
-            )
+            result = None
+            if self.partial_reuse and getattr(costs, "overrides", None):
+                result = self._patched_closure(frozen, costs, source, rest)
+            if result is not None:
+                with self._lock:
+                    self.patched += 1
+            else:
+                result = dijkstra_frozen(
+                    frozen, source, costs=costs, targets=rest
+                )
+                with self._lock:
+                    self.misses += 1
+            dist, prev = result
             with self._lock:
-                self.misses += 1
                 # The cache may have been rebound to a newer frozen view
                 # while this Dijkstra ran; our result is still valid for
                 # our caller, but must not repopulate the new view's
@@ -120,6 +171,163 @@ class TerminalClosureCache:
             return dist, prev
 
         return pairs
+
+    # ------------------------------------------------------------------
+    # λ-aware partial reuse: base runs + boosted-edge overlay
+    # ------------------------------------------------------------------
+    def _base_run(self, frozen, index: int):
+        """Full-settle unit-cost Dijkstra from a node, memoized.
+
+        These runs are λ-independent — every boosted surface shares
+        them — so entries keyed ``(index, _BASE_COSTS)`` are the tier
+        that cuts across tasks with disjoint boost sets. Returns the
+        index-keyed ``(dist, prev)`` of ``dijkstra_indexed``. Lookups
+        count into ``base_hits``/``base_misses``, not ``hits``/``misses``
+        — the report's closure hit rate stays about closure requests.
+        """
+        key = (index, _BASE_COSTS)
+        with self._lock:
+            # Base keys are index-keyed, and a dense index means a
+            # different node on a different frozen view — so reads (like
+            # every write path) are only valid against the view this
+            # cache is currently bound to. A stale caller computes fresh.
+            entry = (
+                self._entries.get(key)
+                if frozen is self._frozen
+                else None
+            )
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.base_hits += 1
+                return entry
+        run = dijkstra_indexed(
+            frozen, index, costs=frozen.shared_unit_costs()
+        )
+        with self._lock:
+            self.base_misses += 1
+            if frozen is self._frozen and key not in self._entries:
+                self._entries[key] = run
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+        return run
+
+    def _patched_closure(self, frozen, costs, source: str, rest: set[str]):
+        """Derive a boosted closure from base runs + an overlay graph.
+
+        Exact by decomposition: boosts only lower slot costs, so any
+        shortest path under the boosted surface splits into base-cost
+        segments joined at boosted edges. The overlay graph has the
+        source, the boosted-edge endpoints and the targets as nodes;
+        base distances (from memoized full-settle unit runs) and the
+        boosted edges as weighted edges. A Dijkstra over that handful
+        of nodes yields the exact boosted distances, and expanding its
+        hops through the base predecessor chains yields exact shortest
+        paths. Returns id-keyed ``(dist, prev)`` covering the reachable
+        targets, or None when the override structure is not the
+        symmetric-decrease shape the decomposition needs (the caller
+        then falls back to a fresh run).
+        """
+        edges: dict[tuple[int, int], float] = {}
+        slot_count: dict[tuple[int, int], int] = {}
+        for slot, value in costs.overrides:
+            if value > 1.0:
+                return None
+            u, v = frozen.slot_endpoints(slot)
+            key = (u, v) if u < v else (v, u)
+            if key in edges and edges[key] != value:
+                return None
+            edges[key] = value
+            slot_count[key] = slot_count.get(key, 0) + 1
+        if any(count != 2 for count in slot_count.values()):
+            return None
+
+        ids = frozen.ids
+        source_idx = frozen.index_of(source)
+        target_of = {}
+        for target in sorted(rest):
+            if target in frozen:
+                target_of[frozen.index_of(target)] = target
+        hubs = [source_idx] + sorted(
+            {i for pair in edges for i in pair} - {source_idx}
+        )
+        if len(hubs) > self.MAX_OVERLAY_HUBS:
+            # One full-settle base run per hub plus an O(hubs^2) overlay
+            # only beats a single early-exit fresh run while the boost
+            # set is small; past this point fall back to the fresh run.
+            return None
+        base = {hub: self._base_run(frozen, hub) for hub in hubs}
+        h_nodes = sorted(set(hubs) | set(target_of))
+
+        boosted_adj: dict[int, list[tuple[int, float]]] = {}
+        for (u, v), value in edges.items():
+            boosted_adj.setdefault(u, []).append((v, value))
+            boosted_adj.setdefault(v, []).append((u, value))
+
+        heap: AddressableHeap[int] = AddressableHeap()
+        heap.push(source_idx, 0.0)
+        h_dist: dict[int, float] = {}
+        h_prev: dict[int, tuple[int, bool]] = {}
+        tentative: dict[int, tuple[int, bool]] = {}
+        while heap:
+            node, d = heap.pop_min()
+            h_dist[node] = d
+            if node in tentative:
+                h_prev[node] = tentative[node]
+            base_run = base.get(node)
+            if base_run is None:
+                continue  # plain targets are sinks in the overlay
+            base_dist = base_run[0]
+            for other in h_nodes:
+                if other in h_dist or other == node:
+                    continue
+                base_d = base_dist.get(other)
+                if base_d is not None and heap.decrease_if_lower(
+                    other, d + base_d
+                ):
+                    tentative[other] = (node, False)
+            for other, value in boosted_adj.get(node, ()):
+                if other in h_dist:
+                    continue
+                if heap.decrease_if_lower(other, d + value):
+                    tentative[other] = (node, True)
+
+        dist: dict[str, float] = {}
+        prev: dict[str, str] = {}
+        for t_idx in sorted(target_of):
+            if t_idx not in h_dist:
+                continue  # disconnected, exactly like the fresh run
+            dist[target_of[t_idx]] = h_dist[t_idx]
+            path = self._expand_overlay_path(base, h_prev, source_idx, t_idx)
+            # First-writer-wins keeps every recorded chain a shortest
+            # path: each written node carries its exact boosted distance,
+            # so splicing a later path onto an earlier one at a shared
+            # node preserves both length and termination at the source.
+            for above, node in zip(path, path[1:]):
+                prev.setdefault(ids[node], ids[above])
+        return dist, prev
+
+    @staticmethod
+    def _expand_overlay_path(base, h_prev, source_idx: int, t_idx: int):
+        """Expand an overlay hop sequence into a full index path."""
+        hops = []
+        node = t_idx
+        while node != source_idx:
+            above, boosted = h_prev[node]
+            hops.append((above, node, boosted))
+            node = above
+        hops.reverse()
+        path = [source_idx]
+        for above, node, boosted in hops:
+            if boosted:
+                path.append(node)
+                continue
+            chain = [node]
+            base_prev = base[above][1]
+            while chain[-1] != above:
+                chain.append(base_prev[chain[-1]])
+            chain.reverse()
+            path.extend(chain[1:])
+        return path
 
 
 @dataclass(frozen=True)
@@ -142,6 +350,9 @@ class BatchReport:
     total_seconds: float
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_patched: int = 0
+    cache_base_hits: int = 0
+    cache_base_misses: int = 0
     workers: int = 0
 
     @property
@@ -186,6 +397,13 @@ class BatchReport:
                 f"  closures   {self.cache_hits}/{total} cache hits "
                 f"({self.cache_hits / total:.0%})"
             )
+        if self.cache_patched:
+            base_total = self.cache_base_hits + self.cache_base_misses
+            lines.append(
+                f"  patched    {self.cache_patched} closures derived "
+                f"from base runs (λ-aware reuse; "
+                f"{self.cache_base_hits}/{base_total} base-run hits)"
+            )
         return "\n".join(lines)
 
 
@@ -199,18 +417,27 @@ class BatchSummarizer:
         automatically if mutated between runs).
     method:
         Any of the facade's methods ("ST", "ST-fast", "PCST", "Union").
-        Only "ST" uses the frozen view and the closure cache; the other
-        methods run their per-task algorithms unchanged (``freeze_seconds``
-        is 0.0 for them) and get the dispatch/timing plumbing, with
-        output identical to a per-task :class:`Summarizer` either way.
+        ST, ST-fast and PCST all run on the shared frozen CSR view
+        (frozen once per run, up front); ST additionally shares the
+        terminal-closure cache across tasks. Union builds straight from
+        the task's paths (no traversal, ``freeze_seconds`` is 0.0).
+        Output is identical to a per-task :class:`Summarizer` for every
+        method.
     workers:
         Thread-pool size; 0 or 1 runs tasks sequentially. Results are
         identical and ordered regardless.
     closure_cache_size:
         LRU capacity of the shared :class:`TerminalClosureCache`.
+    partial_reuse:
+        Enable the cache's λ-aware partial reuse (ST only): boosted
+        (λ>0) closures are derived from memoized base-cost runs patched
+        with each task's boosted edges, so reuse cuts across tasks with
+        disjoint boost sets. Distances stay exact; ties between
+        equal-cost shortest paths may resolve differently than a cold
+        run, so this is opt-in (default off = bit-identical outputs).
     **params:
         Forwarded to :class:`Summarizer` (lam, weight_influence,
-        prize_policy, ...).
+        prize_policy, engine, ...).
     """
 
     def __init__(
@@ -219,6 +446,7 @@ class BatchSummarizer:
         method: str = "ST",
         workers: int = 0,
         closure_cache_size: int = 4096,
+        partial_reuse: bool = False,
         **params,
     ) -> None:
         if method not in METHODS:
@@ -230,8 +458,12 @@ class BatchSummarizer:
         self.graph = graph
         self.method = method
         self.workers = workers
+        engine = params.get("engine", "frozen")
+        self._uses_frozen = method != "Union" and engine != "dict"
         self.closure_cache = (
-            TerminalClosureCache(closure_cache_size) if method == "ST" else None
+            TerminalClosureCache(closure_cache_size, partial_reuse=partial_reuse)
+            if method == "ST"
+            else None
         )
         self._summarizer = Summarizer(
             graph, method=method, closure_cache=self.closure_cache, **params
@@ -242,12 +474,16 @@ class BatchSummarizer:
         task_list = list(tasks)
         start = time.perf_counter()
         freeze_seconds = 0.0
-        if self.method == "ST":
+        if self._uses_frozen:
             freeze_start = time.perf_counter()
             self.graph.freeze()
             freeze_seconds = time.perf_counter() - freeze_start
-        hits0 = self.closure_cache.hits if self.closure_cache else 0
-        misses0 = self.closure_cache.misses if self.closure_cache else 0
+        cache = self.closure_cache
+        hits0 = cache.hits if cache else 0
+        misses0 = cache.misses if cache else 0
+        patched0 = cache.patched if cache else 0
+        base_hits0 = cache.base_hits if cache else 0
+        base_misses0 = cache.base_misses if cache else 0
 
         def one(indexed: tuple[int, SummaryTask]) -> BatchResult:
             index, task = indexed
@@ -275,6 +511,15 @@ class BatchSummarizer:
             if self.closure_cache
             else 0,
             cache_misses=(self.closure_cache.misses - misses0)
+            if self.closure_cache
+            else 0,
+            cache_patched=(self.closure_cache.patched - patched0)
+            if self.closure_cache
+            else 0,
+            cache_base_hits=(self.closure_cache.base_hits - base_hits0)
+            if self.closure_cache
+            else 0,
+            cache_base_misses=(self.closure_cache.base_misses - base_misses0)
             if self.closure_cache
             else 0,
             workers=self.workers,

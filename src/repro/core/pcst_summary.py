@@ -69,9 +69,17 @@ class PCSTSummarizer:
     side_prize:
         Magnitude of the non-terminal prize for the centrality/item
         policies (must stay < 1 so terminals dominate).
+    engine:
+        "frozen" (default; "csr" is an alias) runs the Algorithm 2
+        growth pass on the graph's cached CSR view with an indexed heap
+        and array-backed disjoint set; "dict" forces the original
+        adjacency walk. Both produce bit-identical forests ("dict" is
+        the parity oracle and escape hatch).
     """
 
     method = "PCST"
+
+    ENGINES = ("frozen", "csr", "dict")
 
     def __init__(
         self,
@@ -81,18 +89,25 @@ class PCSTSummarizer:
         strong_pruning: bool = False,
         prune_leaves: bool = True,
         side_prize: float = 0.2,
+        engine: str = "frozen",
     ) -> None:
         if not 0.0 <= side_prize < 1.0:
             raise ValueError("side_prize must be in [0, 1)")
+        if engine not in self.ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected {self.ENGINES}"
+            )
         self.graph = graph
         self.prize_policy = prize_policy
         self.use_edge_weights = use_edge_weights
         self.strong_pruning = strong_pruning
         self.prune_leaves = prune_leaves
         self.side_prize = side_prize
+        self.engine = "frozen" if engine == "csr" else engine
         # Version-keyed derived state: recomputed if the graph mutates.
         self._max_degree_cache: tuple[int, int] | None = None
         self._pagerank_cache: tuple[int, dict[str, float]] | None = None
+        self._weighted_costs_cache = None
 
     @property
     def _max_degree(self) -> int:
@@ -120,10 +135,20 @@ class PCSTSummarizer:
                 """Edge-weighted PCST cost (the rejected configuration)."""
                 return 1.0 - 0.7 * (stored / _scale)
 
+        frozen = None
+        slot_costs = None
+        if self.engine == "frozen":
+            frozen = self.graph.freeze()
+            if cost_fn is not None:
+                slot_costs = self._weighted_slot_costs(frozen, cost_fn)
+            # cost_fn None -> slot_costs None -> unit costs, the dict
+            # default, shared from the frozen view without a copy.
+
         if self.strong_pruning:
             forest = grow_prune_pcst(
                 self.graph, prizes, cost_fn=cost_fn,
                 seeds=list(task.terminals),
+                frozen=frozen, slot_costs=slot_costs,
             )
         else:
             forest = paper_pcst(
@@ -132,6 +157,8 @@ class PCSTSummarizer:
                 cost_fn=cost_fn,
                 prune_zero_prize_leaves=self.prune_leaves,
                 seeds=list(task.terminals),
+                frozen=frozen,
+                slot_costs=slot_costs,
             )
         return SubgraphExplanation(
             subgraph=forest,
@@ -145,6 +172,24 @@ class PCSTSummarizer:
         )
 
     # ------------------------------------------------------------------
+    def _weighted_slot_costs(self, frozen, cost_fn):
+        """Per-slot costs for the edge-weighted configuration.
+
+        The cost function depends only on the graph's stored weights, so
+        the materialized table is cached per graph version (one O(|E|)
+        pass instead of one per task).
+        """
+        version = self.graph.version
+        if (
+            self._weighted_costs_cache is None
+            or self._weighted_costs_cache[0] != version
+        ):
+            costs = frozen.costs_from(
+                cost_fn, signature=("pcst-weighted", version)
+            )
+            self._weighted_costs_cache = (version, costs)
+        return self._weighted_costs_cache[1]
+
     def _prizes(self, task: SummaryTask) -> dict[str, float]:
         terminals = set(task.terminals)
         if self.prize_policy is PrizePolicy.BINARY:

@@ -34,12 +34,14 @@ class SteinerSummarizer:
         O(|T|·(|E| + |V| log |V|))) — or "mehlhorn", the single-sweep
         2-approximation offered as the §VII "refinement" ablation.
     engine:
-        "frozen" (default) runs the KMB metric closure on the graph's
-        cached CSR view (see :meth:`KnowledgeGraph.freeze`), re-freezing
-        automatically when the graph has been mutated. "dict" forces
-        the original dict-of-dicts traversal. Both produce identical
-        trees (tie-breaking included); "dict" exists as the parity
-        oracle and escape hatch. Mehlhorn always runs "dict".
+        "frozen" (default; "csr" is an alias) runs the traversal hot
+        loops on the graph's cached CSR view (see
+        :meth:`KnowledgeGraph.freeze`), re-freezing automatically when
+        the graph has been mutated — the KMB metric closure for "kmb",
+        the single multi-source Voronoi sweep for "mehlhorn". "dict"
+        forces the original dict-of-dicts traversal. Both engines
+        produce identical trees (tie-breaking included); "dict" exists
+        as the parity oracle and escape hatch.
     closure_cache:
         Optional terminal-closure memoizer (duck-typed; see
         :class:`repro.core.batch.TerminalClosureCache`). Shared across
@@ -49,7 +51,7 @@ class SteinerSummarizer:
 
     method = "ST"
 
-    ENGINES = ("frozen", "dict")
+    ENGINES = ("frozen", "csr", "dict")
 
     def __init__(
         self,
@@ -72,7 +74,7 @@ class SteinerSummarizer:
         self.lam = lam
         self.weight_influence = weight_influence
         self.algorithm = algorithm
-        self.engine = engine
+        self.engine = "frozen" if engine == "csr" else engine
         self.closure_cache = closure_cache
 
     def summarize(self, task: SummaryTask) -> SubgraphExplanation:
@@ -91,9 +93,21 @@ class SteinerSummarizer:
             weight_influence=self.weight_influence,
         )
         if self.algorithm == "mehlhorn":
-            tree = mehlhorn_steiner_tree(
-                self.graph, list(task.terminals), cost_fn=weighting.cost_fn()
-            )
+            if self.engine == "frozen":
+                frozen = self.graph.freeze()
+                tree = mehlhorn_steiner_tree(
+                    self.graph,
+                    list(task.terminals),
+                    cost_fn=weighting.cost_fn(),
+                    frozen=frozen,
+                    slot_costs=weighting.slot_costs(frozen),
+                )
+            else:
+                tree = mehlhorn_steiner_tree(
+                    self.graph,
+                    list(task.terminals),
+                    cost_fn=weighting.cost_fn(),
+                )
         elif self.engine == "frozen":
             frozen = self.graph.freeze()
             slot_costs = weighting.slot_costs(frozen)

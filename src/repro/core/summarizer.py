@@ -20,6 +20,8 @@ from repro.graph.knowledge_graph import KnowledgeGraph
 
 METHODS = ("ST", "ST-fast", "PCST", "Union")
 
+ENGINES = ("frozen", "csr", "dict")
+
 
 class Summarizer:
     """Method-dispatching summarizer over one knowledge graph.
@@ -35,9 +37,12 @@ class Summarizer:
     prize_policy, use_edge_weights, strong_pruning:
         PCST parameters.
     engine:
-        ST traversal backend: "frozen" (CSR fast path, default) or
+        Traversal backend for the graph-algorithm methods (ST, ST-fast,
+        PCST): "frozen" (CSR fast path, default; "csr" is an alias) or
         "dict" (the original adjacency walk). Identical outputs; see
-        :class:`~repro.core.steiner_summary.SteinerSummarizer`.
+        :class:`~repro.core.steiner_summary.SteinerSummarizer` and
+        :class:`~repro.core.pcst_summary.PCSTSummarizer`. Union builds
+        straight from the task's paths and has no traversal to switch.
     closure_cache:
         Optional shared terminal-closure memoizer for ST (used by
         :class:`~repro.core.batch.BatchSummarizer`).
@@ -55,6 +60,12 @@ class Summarizer:
         engine: str = "frozen",
         closure_cache=None,
     ) -> None:
+        if engine not in ENGINES:
+            # Validated here, not only in the impls, so a typo fails the
+            # same way for every method — Union never sees the kwarg.
+            raise ValueError(
+                f"unknown engine {engine!r}; expected {ENGINES}"
+            )
         self.graph = graph
         self.method = method
         if method == "ST":
@@ -71,6 +82,7 @@ class Summarizer:
                 lam=lam,
                 weight_influence=weight_influence,
                 algorithm="mehlhorn",
+                engine=engine,
             )
         elif method == "PCST":
             self._impl = PCSTSummarizer(
@@ -78,6 +90,7 @@ class Summarizer:
                 prize_policy=prize_policy,
                 use_edge_weights=use_edge_weights,
                 strong_pruning=strong_pruning,
+                engine=engine,
             )
         elif method == "Union":
             self._impl = UnionSummarizer(graph)

@@ -9,7 +9,7 @@ from repro.graph.types import Edge, EdgeType, Node, NodeType
 from repro.graph.knowledge_graph import KnowledgeGraph
 from repro.graph.csr import FrozenCosts, FrozenGraph
 from repro.graph.paths import Path
-from repro.graph.disjoint_set import DisjointSet
+from repro.graph.disjoint_set import DisjointSet, IndexedDisjointSet
 from repro.graph.heap import AddressableHeap, IndexedHeap
 from repro.graph.shortest_paths import (
     bfs_distances_indexed,
@@ -18,6 +18,8 @@ from repro.graph.shortest_paths import (
     dijkstra_frozen,
     dijkstra_indexed,
     dijkstra_multi_source,
+    dijkstra_multi_source_frozen,
+    dijkstra_multi_source_indexed,
     shortest_path_between,
 )
 from repro.graph.mst import kruskal_mst, prim_mst
@@ -31,7 +33,10 @@ from repro.graph.subgraph import (
 from repro.graph.build import build_interaction_graph, extend_with_external
 from repro.graph.weights import InteractionWeights, recency_score
 from repro.graph.generators import generate_random_kg
-from repro.graph.mehlhorn import mehlhorn_steiner_tree
+from repro.graph.mehlhorn import (
+    mehlhorn_steiner_tree,
+    mehlhorn_steiner_tree_indexed,
+)
 from repro.graph.centrality import (
     closeness_centrality,
     degree_centrality,
@@ -46,6 +51,7 @@ __all__ = [
     "EdgeType",
     "FrozenCosts",
     "FrozenGraph",
+    "IndexedDisjointSet",
     "IndexedHeap",
     "InteractionWeights",
     "KnowledgeGraph",
@@ -59,11 +65,14 @@ __all__ = [
     "degree_centrality",
     "harmonic_centrality",
     "mehlhorn_steiner_tree",
+    "mehlhorn_steiner_tree_indexed",
     "pagerank",
     "dijkstra",
     "dijkstra_frozen",
     "dijkstra_indexed",
     "dijkstra_multi_source",
+    "dijkstra_multi_source_frozen",
+    "dijkstra_multi_source_indexed",
     "extend_with_external",
     "generate_random_kg",
     "grow_prune_pcst",

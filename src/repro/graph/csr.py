@@ -58,10 +58,19 @@ class FrozenCosts:
     directly-constructed instance can never alias another cost surface
     in a cache; only producers that *know* two surfaces coincide (like
     the weighting's override list) pass an explicit shared signature.
+
+    ``overrides``, when not None, asserts structure on top of identity:
+    ``slots`` equals the all-ones unit table patched with exactly these
+    sorted ``(slot, value)`` pairs. Producers that build costs that way
+    (the Eq. 1 weighting) declare it so the batch engine's λ-aware
+    partial reuse can recombine cached base-cost runs with the per-task
+    boosted edges instead of treating every boost set as a brand-new
+    cost surface.
     """
 
     slots: "list[float] | array"
     signature: tuple | None = None
+    overrides: "tuple[tuple[int, float], ...] | None" = None
 
     def __post_init__(self) -> None:
         if self.signature is None:
@@ -81,6 +90,7 @@ class FrozenGraph:
         "_source",
         "_traversal",
         "_unit",
+        "_ranks",
         "__weakref__",
     )
 
@@ -103,6 +113,7 @@ class FrozenGraph:
         self._source = weakref.ref(source) if source is not None else None
         self._traversal: tuple[list, list, list] | None = None
         self._unit: list[float] | None = None
+        self._ranks: list[int] | None = None
 
     @classmethod
     def from_knowledge_graph(cls, graph: "KnowledgeGraph") -> "FrozenGraph":
@@ -181,6 +192,34 @@ class FrozenGraph:
                 return slot
         return None
 
+    def slot_endpoints(self, slot: int) -> tuple[int, int]:
+        """``(source_index, target_index)`` of a directed slot.
+
+        The source is recovered by bisecting the offsets table, so this
+        is O(log |V|) — used to interpret per-slot cost overrides, never
+        in traversal inner loops.
+        """
+        from bisect import bisect_right
+
+        source = bisect_right(self.offsets, slot) - 1
+        return source, self.targets[slot]
+
+    def string_ranks(self) -> list[int]:
+        """``rank[i]`` = position of ``ids[i]`` in sorted id order.
+
+        The dict-based algorithms orient undirected edges by comparing
+        string ids (``u > v``, ``undirected_key``); the indexed twins
+        compare these precomputed ranks instead — the same total order,
+        one int comparison per edge. Cached per frozen view.
+        """
+        if self._ranks is None:
+            ranks = [0] * len(self.ids)
+            order = sorted(range(len(self.ids)), key=self.ids.__getitem__)
+            for rank, index in enumerate(order):
+                ranks[index] = rank
+            self._ranks = ranks
+        return self._ranks
+
     def traversal_tables(self) -> tuple[list, list, list]:
         """``(offsets, targets, weights)`` as plain lists, lazily cached.
 
@@ -207,9 +246,19 @@ class FrozenGraph:
 
     def unit_costs(self) -> list[float]:
         """A fresh all-ones cost table (callers may patch entries)."""
+        return self.shared_unit_costs().copy()
+
+    def shared_unit_costs(self) -> list[float]:
+        """The cached all-ones cost table (shared — do NOT mutate).
+
+        The PCST growth and the batch engine's base-cost runs traverse
+        with pure unit costs on every task; sharing one table avoids an
+        O(|E|) copy per task. Callers that patch entries must use
+        :meth:`unit_costs` instead.
+        """
         if self._unit is None:
             self._unit = [1.0] * len(self.targets)
-        return self._unit.copy()
+        return self._unit
 
     def costs_from(self, cost_fn, signature: tuple | None = None) -> FrozenCosts:
         """Materialize ``cost_fn(u, v, stored) -> cost`` into slot costs.

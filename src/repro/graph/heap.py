@@ -138,10 +138,12 @@ class IndexedHeap:
 
     Functionally identical to :class:`AddressableHeap` (same sift logic,
     same tie behaviour) with array-index slot lookup instead of a dict
-    probe. ``dijkstra_indexed`` inlines this algorithm rather than
-    calling it (method-call overhead dominates the inner loop); this
-    class is the standalone reference for that inlined code and is
-    pinned op-for-op against AddressableHeap by the property tests.
+    probe. The CSR hot loops — ``dijkstra_indexed``,
+    ``multi_source_tables`` and the PCST ``_grow_indexed`` — inline this
+    algorithm rather than calling it (method-call overhead dominates
+    their inner loops); this class is the standalone reference for that
+    inlined code and is pinned op-for-op against AddressableHeap by the
+    property tests.
     """
 
     __slots__ = ("_prios", "_keys", "_slot")

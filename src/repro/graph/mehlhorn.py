@@ -16,16 +16,34 @@ approximation guarantee from a *single* multi-source Dijkstra:
 This is the natural "refinement of our algorithms" the paper's future
 work points at: same 2-approximation family, terminal-count-independent
 running time. The ablation bench compares it against Algorithm 1.
+
+Like the KMB construction in :mod:`repro.graph.steiner`, the whole
+pipeline has an index-based twin over a frozen CSR view
+(:func:`mehlhorn_steiner_tree_indexed`): the Voronoi sweep runs
+:func:`~repro.graph.shortest_paths.dijkstra_multi_source_indexed`, the
+candidate-closure scan iterates the CSR edge arrays directly, and the
+MST/unfold/prune stages stay in the int domain, mapping back to string
+ids only when the final tree is materialized. The dict-based path is
+the parity oracle: both produce *identical* trees, tie-breaking
+included (undirected-edge orientation compares the frozen view's
+precomputed string ranks, so even the string-order tie rules replay
+exactly — pinned by ``tests/properties/test_engine_parity.py``).
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.graph.csr import FrozenGraph
 from repro.graph.knowledge_graph import KnowledgeGraph
 from repro.graph.mst import kruskal_mst
-from repro.graph.shortest_paths import CostFn, dijkstra_multi_source
-from repro.graph.steiner import _prune_non_terminal_leaves
+from repro.graph.shortest_paths import (
+    CostFn,
+    _cost_slots,
+    dijkstra_multi_source,
+    multi_source_tables,
+)
+from repro.graph.steiner import _prune_non_terminal_leaves, single_terminal_tree
 from repro.graph.subgraph import edge_subgraph
 from repro.graph.types import undirected_key
 
@@ -34,13 +52,24 @@ def mehlhorn_steiner_tree(
     graph: KnowledgeGraph,
     terminals: Sequence[str],
     cost_fn: CostFn | None = None,
+    *,
+    frozen: FrozenGraph | None = None,
+    slot_costs=None,
 ) -> KnowledgeGraph:
     """2-approximate Steiner tree in one multi-source Dijkstra.
 
     Same contract as :func:`repro.graph.steiner.steiner_tree`: returns a
     tree spanning ``terminals``; raises ``ValueError`` if they span more
     than one connected component, ``KeyError`` on unknown terminals.
+
+    ``frozen`` / ``slot_costs`` select the CSR fast path (per-slot costs
+    must agree with ``cost_fn``, exactly as in ``steiner_tree``); the
+    result is identical to the dict path either way.
     """
+    if frozen is not None:
+        return mehlhorn_steiner_tree_indexed(
+            graph, frozen, terminals, costs=slot_costs
+        )
     unique_terminals = list(dict.fromkeys(terminals))
     if not unique_terminals:
         return KnowledgeGraph()
@@ -48,9 +77,7 @@ def mehlhorn_steiner_tree(
         if terminal not in graph:
             raise KeyError(f"terminal {terminal!r} not in graph")
     if len(unique_terminals) == 1:
-        only = KnowledgeGraph()
-        only.add_node(unique_terminals[0])
-        return only
+        return single_terminal_tree(graph, unique_terminals[0])
 
     cost = cost_fn or (lambda _u, _v, w: w)
     dist, prev, origin = dijkstra_multi_source(
@@ -112,6 +139,157 @@ def mehlhorn_steiner_tree(
     )
     tree = edge_subgraph(
         graph, {undirected_key(u, v) for u, v, _ in tree_edges}
+    )
+    _prune_non_terminal_leaves(tree, set(unique_terminals))
+    return tree
+
+
+def mehlhorn_steiner_tree_indexed(
+    graph: KnowledgeGraph,
+    frozen: FrozenGraph,
+    terminals: Sequence[str],
+    costs=None,
+) -> KnowledgeGraph:
+    """Index-based :func:`mehlhorn_steiner_tree` over a frozen CSR view.
+
+    The Voronoi sweep, the candidate-closure scan over the CSR edge
+    arrays, the closure MST, the unfold and the final re-MST all run on
+    dense int indices; string ids only appear at the boundary (input
+    terminals, the returned tree). Bit-identical to the dict-based
+    implementation — the dict version orients undirected edges and
+    breaks ``undirected_key`` ties by *string* comparison, which the
+    indexed version replays through the frozen view's cached
+    :meth:`~repro.graph.csr.FrozenGraph.string_ranks` table.
+
+    ``costs`` follows the :func:`~repro.graph.shortest_paths.
+    dijkstra_indexed` convention: per-slot costs (a ``FrozenCosts`` or a
+    raw per-slot sequence), or None for the stored weights.
+    """
+    unique_terminals = list(dict.fromkeys(terminals))
+    if not unique_terminals:
+        return KnowledgeGraph()
+    for terminal in unique_terminals:
+        if terminal not in graph:
+            raise KeyError(f"terminal {terminal!r} not in graph")
+    if len(unique_terminals) == 1:
+        return single_terminal_tree(graph, unique_terminals[0])
+    if frozen.is_stale():
+        raise ValueError("frozen view is stale; call graph.freeze() again")
+
+    ids = frozen.ids
+    rank = frozen.string_ranks()
+    num_nodes = frozen.num_nodes
+    term_idx = [frozen.index_of(t) for t in unique_terminals]
+    settle_order, settle_value, parent_of, origin = multi_source_tables(
+        frozen, term_idx, costs=costs
+    )
+    settled = bytearray(num_nodes)
+    for node in settle_order:
+        settled[node] = 1
+    slot_costs = _cost_slots(frozen, costs)
+    offsets, edge_targets, _ = frozen.traversal_tables()
+
+    def ordered(u: int, v: int) -> tuple[int, int]:
+        """The undirected_key of an index pair (string-rank order)."""
+        return (u, v) if rank[u] < rank[v] else (v, u)
+
+    def row_slot(u: int, v: int) -> int:
+        """Directed slot of edge u -> v (rows are short; O(degree))."""
+        for slot in range(offsets[u], offsets[u + 1]):
+            if edge_targets[slot] == v:
+                return slot
+        raise KeyError(f"no edge ({ids[u]!r}, {ids[v]!r})")
+
+    # Candidate closure edges between Voronoi cells, scanning the CSR
+    # rows of settled nodes in settle order (identical visit sequence to
+    # the dict version's adjacency walk). Bridges are keyed by the flat
+    # int ``s * num_nodes + t`` with (s, t) in string-rank order — the
+    # same undirected pair identity as the dict version's
+    # ``undirected_key``, one int hash instead of a tuple.
+    bridges: dict[int, tuple[float, int, int]] = {}
+    bridges_get = bridges.get
+    # When the sweep settled every node (terminals in a connected graph,
+    # the common case) the per-edge settled probe is dead weight.
+    all_settled = len(settle_order) == num_nodes
+    for u in settle_order:
+        rank_u = rank[u]
+        dist_u = settle_value[u]
+        origin_u = origin[u]
+        rank_ou = rank[origin_u]
+        # zip over row slices, not range-indexing: a range boxes a fresh
+        # int per slot, and this scan touches every directed edge — the
+        # slices of the pre-boxed traversal lists keep the allocation
+        # count flat (same iteration order).
+        row_start = offsets[u]
+        row_end = offsets[u + 1]
+        for v, slot_cost in zip(
+            edge_targets[row_start:row_end], slot_costs[row_start:row_end]
+        ):
+            if rank_u > rank[v] or not (all_settled or settled[v]):
+                continue
+            target = origin[v]
+            if origin_u == target:
+                continue
+            if rank_ou < rank[target]:
+                key = origin_u * num_nodes + target
+            else:
+                key = target * num_nodes + origin_u
+            weight = dist_u + slot_cost + settle_value[v]
+            current = bridges_get(key)
+            if current is None or weight < current[0]:
+                bridges[key] = (weight, u, v)
+
+    missing = [
+        t for t, i in zip(unique_terminals, term_idx) if not settled[i]
+    ]
+    if missing:
+        raise ValueError(f"terminals unreachable: {sorted(missing)}")
+
+    closure_edges = [
+        (key // num_nodes, key % num_nodes, weight)
+        for key, (weight, _u, _v) in bridges.items()
+    ]
+    closure_mst = kruskal_mst(term_idx, closure_edges)
+    if len(closure_mst) < len(unique_terminals) - 1:
+        raise ValueError("terminals are disconnected")
+
+    # Unfolded edges map the rank-ordered endpoint pair to the directed
+    # slot from the rank-smaller endpoint — the orientation whose slot
+    # cost float-matches the dict version's cost(u, v, w) call — so the
+    # final re-MST reads costs without a second row scan.
+    unfolded: dict[tuple[int, int], int] = {}
+
+    def record(node: int, parent: int) -> None:
+        key = ordered(node, parent)
+        if key not in unfolded:
+            unfolded[key] = row_slot(key[0], key[1])
+
+    def walk_back(node: int) -> None:
+        """Record the shortest-path-tree edges down to a terminal."""
+        parent = parent_of[node]
+        while parent != -1:
+            record(node, parent)
+            node = parent
+            parent = parent_of[node]
+
+    for s, t, _weight in closure_mst:
+        key = s * num_nodes + t if rank[s] < rank[t] else t * num_nodes + s
+        _bridge_weight, u, v = bridges[key]
+        record(u, v)
+        walk_back(u)
+        walk_back(v)
+
+    nodes = sorted({n for key in unfolded for n in key}, key=rank.__getitem__)
+    tree_edges = kruskal_mst(
+        nodes,
+        [
+            (u, v, slot_costs[slot])
+            for (u, v), slot in unfolded.items()
+        ],
+    )
+    tree = edge_subgraph(
+        graph,
+        {undirected_key(ids[u], ids[v]) for u, v, _ in tree_edges},
     )
     _prune_non_terminal_leaves(tree, set(unique_terminals))
     return tree

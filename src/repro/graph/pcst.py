@@ -20,13 +20,25 @@ Two implementations:
   behaviour and is exposed as an ablation (`PrizePolicy` experiments); the
   paper's experimental setting (unit prizes, ignored edge weights) expects
   the unpruned variant.
+
+The growth pass — the hot loop — has an index-based twin over a frozen
+CSR view, selected by passing ``frozen``/``slot_costs`` (the same
+convention as :func:`repro.graph.steiner.steiner_tree`): an
+:class:`~repro.graph.heap.IndexedHeap` drives the wavefront and an
+array-backed :class:`~repro.graph.disjoint_set.IndexedDisjointSet`
+tracks components over the CSR edge arrays, with string ids appearing
+only at the boundary. Both growth paths replay the same operation
+sequence, so the returned forests are bit-identical (pinned by
+``tests/properties/test_engine_parity.py``); post-growth pruning always
+runs on the (small) grown forest in the id domain.
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping
 
-from repro.graph.disjoint_set import DisjointSet
+from repro.graph.csr import FrozenCosts, FrozenGraph
+from repro.graph.disjoint_set import DisjointSet, IndexedDisjointSet
 from repro.graph.heap import AddressableHeap
 from repro.graph.knowledge_graph import KnowledgeGraph
 from repro.graph.shortest_paths import CostFn
@@ -40,6 +52,9 @@ def paper_pcst(
     cost_fn: CostFn | None = None,
     prune_zero_prize_leaves: bool = False,
     seeds: list[str] | None = None,
+    *,
+    frozen: FrozenGraph | None = None,
+    slot_costs=None,
 ) -> KnowledgeGraph:
     """Prize-collecting growth heuristic (paper Algorithm 2).
 
@@ -60,6 +75,12 @@ def paper_pcst(
         Growth seeds (the terminal set). Defaults to every node with a
         positive prize; pass explicitly when side policies hand small
         prizes to many non-terminal nodes.
+    frozen, slot_costs:
+        CSR fast path: a frozen view of ``graph`` plus per-slot costs
+        that agree with ``cost_fn`` (None means unit costs, matching the
+        dict default). The growth pass then runs index-based; the result
+        is bit-identical to the dict path because the indexed heap and
+        disjoint set replay the dict structures' operation sequence.
 
     Returns
     -------
@@ -76,6 +97,46 @@ def paper_pcst(
     if not seeds:
         return KnowledgeGraph()
 
+    if frozen is not None:
+        if frozen.is_stale():
+            raise ValueError(
+                "frozen view is stale; call graph.freeze() again"
+            )
+        settled, tree_edges = _grow_indexed(frozen, prizes, slot_costs, seeds)
+    else:
+        settled, tree_edges = _grow_dict(graph, prizes, cost, seeds)
+
+    if not tree_edges:
+        lone = KnowledgeGraph()
+        for seed in seeds:
+            if seed in settled:
+                lone.add_node(seed)
+        return lone
+
+    # Sort the grown edge set before materializing: the growers collect
+    # edges in sets whose iteration order reflects their (engine- and
+    # hash-seed-specific) insertion history, and the forest's node order
+    # feeds tie-breaking downstream (strong pruning's root choice, leaf
+    # peeling order). Sorting pins one canonical forest for both engines
+    # and across processes.
+    forest = edge_subgraph(graph, sorted(tree_edges))
+    _keep_seed_components(forest, seeds)
+    if prune_zero_prize_leaves:
+        _prune_leaves(forest, keep=set(seeds), prizes=prizes, cost=cost)
+    return forest
+
+
+def _grow_dict(
+    graph: KnowledgeGraph,
+    prizes: Mapping[str, float],
+    cost,
+    seeds: list[str],
+) -> tuple[set[str], set[tuple[str, str]]]:
+    """Algorithm 2's growth pass on the dict adjacency.
+
+    Returns ``(settled nodes, grown edge set)``; the parity oracle for
+    :func:`_grow_indexed`.
+    """
     heap: AddressableHeap[str] = AddressableHeap()
     components = DisjointSet()
     connect_via: dict[str, tuple[str, str]] = {}
@@ -98,7 +159,6 @@ def paper_pcst(
     unsettled_positive = sum(
         1 for n, p in prizes.items() if p > 0 and n in graph
     )
-    seed_components = len(seeds)
 
     while heap:
         node, _priority = heap.pop_min()
@@ -122,14 +182,12 @@ def paper_pcst(
             if neighbor in settled and not components.connected(node, neighbor):
                 components.union(node, neighbor)
                 tree_edges.add(undirected_key(node, neighbor))
-                seed_components = _count_seed_components(components, seeds)
 
         # Stop as soon as all reachable seeds are settled and mutually
         # connected AND no uncollected prizes remain; continuing would
         # only inflate the summary.
         if not unsettled_seeds and unsettled_positive <= 0:
-            seed_components = _count_seed_components(components, seeds)
-            if seed_components <= 1:
+            if _count_seed_components(components, seeds) <= 1:
                 break
         # Relax outgoing edges: neighbor's entry cost is the edge cost
         # discounted by its prize (high-prize nodes are pulled in sooner).
@@ -141,18 +199,175 @@ def paper_pcst(
             if heap.decrease_if_lower(neighbor, priority):
                 connect_via[neighbor] = (node, neighbor)
 
-    if not tree_edges:
-        lone = KnowledgeGraph()
-        for seed in seeds:
-            if seed in settled:
-                lone.add_node(seed)
-        return lone
+    return settled, tree_edges
 
-    forest = edge_subgraph(graph, tree_edges)
-    _keep_seed_components(forest, seeds)
-    if prune_zero_prize_leaves:
-        _prune_leaves(forest, keep=set(seeds), prizes=prizes, cost=cost)
-    return forest
+
+def _grow_indexed(
+    frozen: FrozenGraph,
+    prizes: Mapping[str, float],
+    slot_costs,
+    seeds: list[str],
+) -> tuple[set[str], set[tuple[str, str]]]:
+    """Algorithm 2's growth pass over the CSR arrays (int domain).
+
+    Mirrors :func:`_grow_dict` operation for operation — same heap sift
+    algorithm, same union-by-rank rule, same adjacency order (CSR rows
+    preserve insertion order) — so the returned settled set and edge set
+    are identical, ties included. String ids appear only at the
+    boundary (prize lookup, the returned sets).
+    """
+    ids = frozen.ids
+    num_nodes = frozen.num_nodes
+    offsets, edge_targets, _ = frozen.traversal_tables()
+    if slot_costs is None:
+        costs = frozen.shared_unit_costs()
+    elif isinstance(slot_costs, FrozenCosts):
+        costs = slot_costs.slots
+    else:
+        costs = slot_costs
+
+    prize = [0.0] * num_nodes
+    for node, value in prizes.items():
+        if node in frozen:
+            prize[frozen.index_of(node)] = value
+    seed_idx = [frozen.index_of(s) for s in seeds]
+
+    components = IndexedDisjointSet(num_nodes)
+    settled = bytearray(num_nodes)
+    settle_order: list[int] = []
+    tree_pairs: set[tuple[int, int]] = set()
+    # connect_via/heap_slot are lists, not array('q'): their reads sit on
+    # the relaxation hot path and list reads return stored objects where
+    # array reads box fresh ints (an allocation tax that dominates under
+    # the Fig 9 tracemalloc probe).
+    connect_via: list[int] = [-1] * num_nodes
+
+    # The binary heap is inlined, replaying IndexedHeap/AddressableHeap's
+    # sift algorithm exactly (same trick as dijkstra_indexed — method
+    # dispatch is most of the growth loop's cost): seed pushes here, the
+    # pop and the decrease-if-lower below are op-for-op identical to the
+    # dict growth's heap calls, so the settle order matches, ties
+    # included.
+    heap_slot: list[int] = [-1] * num_nodes
+    prios: list[float] = []
+    keys: list[int] = []
+    for seed in seed_idx:
+        if heap_slot[seed] != -1:
+            # Same contract as AddressableHeap.push in the dict growth.
+            raise KeyError(f"key {ids[seed]!r} already in heap")
+        candidate = -prize[seed]
+        index = len(keys)
+        prios.append(candidate)
+        keys.append(seed)
+        while index > 0:
+            above = (index - 1) >> 1
+            if prios[above] <= candidate:
+                break
+            prios[index] = prios[above]
+            keys[index] = keys[above]
+            heap_slot[keys[index]] = index
+            index = above
+        prios[index] = candidate
+        keys[index] = seed
+        heap_slot[seed] = index
+        components.make_set(seed)
+
+    unsettled_seeds = set(seed_idx)
+    unsettled_positive = sum(
+        1 for n, p in prizes.items() if p > 0 and n in frozen
+    )
+
+    while keys:
+        node = keys[0]
+        last_prio = prios.pop()
+        last_key = keys.pop()
+        heap_slot[node] = -1
+        size = len(keys)
+        if size:
+            index = 0
+            while True:
+                child = 2 * index + 1
+                if child >= size:
+                    break
+                right = child + 1
+                if right < size and prios[right] < prios[child]:
+                    child = right
+                if prios[child] >= last_prio:
+                    break
+                prios[index] = prios[child]
+                keys[index] = keys[child]
+                heap_slot[keys[index]] = index
+                index = child
+            prios[index] = last_prio
+            keys[index] = last_key
+            heap_slot[last_key] = index
+
+        settled[node] = 1
+        settle_order.append(node)
+        components.make_set(node)
+        if prize[node] > 0:
+            unsettled_positive -= 1
+
+        offered = connect_via[node]
+        if offered != -1 and components.union(offered, node):
+            tree_pairs.add((offered, node))
+
+        unsettled_seeds.discard(node)
+
+        # Rows are walked through list slices + zip rather than
+        # range-indexing: a range yields a freshly boxed int per slot,
+        # and at ~2|E| relaxations per growth that boxing is the
+        # dominant allocation count (a 5x tax under the Fig 9
+        # tracemalloc probe); slices of the pre-boxed traversal lists
+        # allocate twice per row instead. Iteration order is unchanged.
+        row_start = offsets[node]
+        row_end = offsets[node + 1]
+        row_targets = edge_targets[row_start:row_end]
+        for neighbor in row_targets:
+            if settled[neighbor] and not components.connected(node, neighbor):
+                components.union(node, neighbor)
+                tree_pairs.add((node, neighbor))
+
+        if not unsettled_seeds and unsettled_positive <= 0:
+            roots = {
+                components.find(seed)
+                for seed in seed_idx
+                if seed in components
+            }
+            if len(roots) <= 1:
+                break
+        for neighbor, edge_cost in zip(
+            row_targets, costs[row_start:row_end]
+        ):
+            if settled[neighbor]:
+                continue
+            candidate = edge_cost - prize[neighbor]
+            index = heap_slot[neighbor]
+            if index == -1:
+                index = len(keys)
+                prios.append(candidate)
+                keys.append(neighbor)
+            elif candidate < prios[index]:
+                pass
+            else:
+                continue
+            while index > 0:
+                above = (index - 1) >> 1
+                if prios[above] <= candidate:
+                    break
+                prios[index] = prios[above]
+                keys[index] = keys[above]
+                heap_slot[keys[index]] = index
+                index = above
+            prios[index] = candidate
+            keys[index] = neighbor
+            heap_slot[neighbor] = index
+            connect_via[neighbor] = node
+
+    return (
+        {ids[node] for node in settle_order},
+        {undirected_key(ids[u], ids[v]) for u, v in tree_pairs},
+    )
 
 
 def grow_prune_pcst(
@@ -160,6 +375,9 @@ def grow_prune_pcst(
     prizes: Mapping[str, float],
     cost_fn: CostFn | None = None,
     seeds: list[str] | None = None,
+    *,
+    frozen: FrozenGraph | None = None,
+    slot_costs=None,
 ) -> KnowledgeGraph:
     """Grow (via :func:`paper_pcst`) then apply GW-style strong pruning.
 
@@ -168,10 +386,19 @@ def grow_prune_pcst(
     With the paper's unit-prize/unit-cost setting this collapses summaries
     down to near-isolated terminals, which is exactly why the paper's
     experiments skip it; it is provided as the honest PCST baseline for
-    the prize-policy ablations.
+    the prize-policy ablations. ``frozen``/``slot_costs`` select the CSR
+    growth pass (see :func:`paper_pcst`); the pruning DP always runs on
+    the small grown forest in the id domain.
     """
     cost = cost_fn or (lambda _u, _v, _w: 1.0)
-    grown = paper_pcst(graph, prizes, cost_fn=cost_fn, seeds=seeds)
+    grown = paper_pcst(
+        graph,
+        prizes,
+        cost_fn=cost_fn,
+        seeds=seeds,
+        frozen=frozen,
+        slot_costs=slot_costs,
+    )
     if grown.num_edges == 0:
         return grown
 
@@ -183,8 +410,10 @@ def grow_prune_pcst(
             continue
         component_nodes = _collect_component(grown, root)
         visited |= component_nodes
+        # Sorted so prize ties pick the smallest id — deterministic
+        # across engines and hash seeds.
         best_root = max(
-            component_nodes, key=lambda n: prizes.get(n, 0.0)
+            sorted(component_nodes), key=lambda n: prizes.get(n, 0.0)
         )
         net = _strong_prune(
             grown, best_root, prizes, cost, kept_edges, kept_nodes

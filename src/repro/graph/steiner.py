@@ -41,6 +41,25 @@ from repro.graph.types import undirected_key
 PairFn = Callable[[str, set[str]], tuple[dict[str, float], dict[str, str]]]
 
 
+def single_terminal_tree(
+    graph: KnowledgeGraph, terminal: str
+) -> KnowledgeGraph:
+    """The degenerate 1-terminal Steiner tree: the bare node.
+
+    Shared by :func:`steiner_tree` and
+    :func:`repro.graph.mehlhorn.mehlhorn_steiner_tree` (all engines) so
+    the single-terminal contract is identical everywhere — including the
+    display name, which multi-terminal trees preserve via
+    ``edge_subgraph`` and bare ``add_node`` used to drop.
+    """
+    only = KnowledgeGraph()
+    only.add_node(terminal)
+    name = graph.name(terminal)
+    if name != terminal:
+        only.set_name(terminal, name)
+    return only
+
+
 def steiner_tree(
     graph: KnowledgeGraph,
     terminals: Sequence[str],
@@ -83,9 +102,7 @@ def steiner_tree(
         if terminal not in graph:
             raise KeyError(f"terminal {terminal!r} not in graph")
     if len(unique_terminals) == 1:
-        only = KnowledgeGraph()
-        only.add_node(unique_terminals[0])
-        return only
+        return single_terminal_tree(graph, unique_terminals[0])
 
     if frozen is not None and frozen.is_stale():
         raise ValueError(

@@ -24,6 +24,28 @@ class TestDispatch:
         with pytest.raises(ValueError):
             Summarizer(core_graph, "MAGIC")
 
+    def test_engine_knob_reaches_every_method(self, core_graph, toy_task):
+        """engine= selects the backend for ST, ST-fast and PCST alike,
+        with "csr" accepted as an alias for "frozen"; outputs agree."""
+        for method in ("ST", "ST-fast", "PCST"):
+            outputs = []
+            for engine in ("frozen", "csr", "dict"):
+                summary = Summarizer(
+                    core_graph, method=method, engine=engine
+                ).summarize(toy_task)
+                outputs.append(
+                    (
+                        sorted(summary.subgraph.nodes()),
+                        sorted(e.key() for e in summary.subgraph.edges()),
+                    )
+                )
+            assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_unknown_engine_rejected(self, core_graph):
+        for method in ("ST", "ST-fast", "PCST", "Union"):
+            with pytest.raises(ValueError, match="unknown engine"):
+                Summarizer(core_graph, method=method, engine="gpu")
+
     def test_one_shot_helper(self, core_graph, toy_task):
         summary = summarize(core_graph, toy_task, method="ST", lam=2.0)
         assert summary.params["lam"] == 2.0

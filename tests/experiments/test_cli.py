@@ -32,3 +32,49 @@ class TestCLI:
         assert main(["table2", "--scale", "test"]) == 0
         out = capsys.readouterr().out
         assert "average degree" in out
+
+    def test_batch_demo_engine_and_partial_reuse(self, capsys):
+        assert (
+            main(
+                [
+                    "batch",
+                    "--scale", "test",
+                    "--demo", "6",
+                    "--method", "ST",
+                    "--engine", "csr",
+                    "--partial-reuse",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "batch method=ST tasks=6" in out
+
+    def test_batch_demo_pcst_dict_engine(self, capsys):
+        assert (
+            main(
+                [
+                    "batch",
+                    "--scale", "test",
+                    "--demo", "4",
+                    "--method", "PCST",
+                    "--engine", "dict",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "batch method=PCST tasks=4" in out
+
+    def test_batch_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "--demo", "2", "--engine", "gpu"])
+
+    def test_batch_rejects_partial_reuse_off_st(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "batch", "--demo", "2", "--scale", "test",
+                    "--method", "PCST", "--partial-reuse",
+                ]
+            )

@@ -26,6 +26,46 @@ class TestMehlhorn:
         tree = mehlhorn_steiner_tree(toy_graph, ["u:0"])
         assert tree.num_nodes == 1
 
+    def test_single_terminal_contract_matches_steiner_tree(self, toy_graph):
+        """Regression: the 1-terminal summary must be identical across
+        steiner_tree and mehlhorn_steiner_tree on both engines — one
+        bare node, display name preserved (multi-terminal trees keep
+        names via edge_subgraph; the bare-node path used to drop them).
+        """
+        toy_graph.set_name("u:0", "Alice")
+        frozen = toy_graph.freeze()
+        trees = [
+            steiner_tree(toy_graph, ["u:0"]),
+            steiner_tree(toy_graph, ["u:0"], frozen=frozen),
+            mehlhorn_steiner_tree(toy_graph, ["u:0"]),
+            mehlhorn_steiner_tree(toy_graph, ["u:0"], frozen=frozen),
+        ]
+        for tree in trees:
+            assert sorted(tree.nodes()) == ["u:0"]
+            assert tree.num_edges == 0
+            assert tree.name("u:0") == "Alice"
+
+    def test_two_terminal_contract_on_both_engines(self, toy_graph):
+        """Regression: 2 terminals — the shortest connecting path, with
+        stored weights and names intact, identical on both engines."""
+        toy_graph.set_name("i:1", "The Movie")
+        frozen = toy_graph.freeze()
+        for tree in (
+            mehlhorn_steiner_tree(toy_graph, ["u:1", "i:1"], cost_fn=unit_cost),
+            mehlhorn_steiner_tree(
+                toy_graph,
+                ["u:1", "i:1"],
+                cost_fn=unit_cost,
+                frozen=frozen,
+                slot_costs=frozen.costs_from(unit_cost),
+            ),
+            steiner_tree(toy_graph, ["u:1", "i:1"], cost_fn=unit_cost),
+        ):
+            assert is_tree(tree)
+            assert sorted(tree.nodes()) == ["i:1", "u:1"]
+            assert tree.weight("u:1", "i:1") == 4.0
+            assert tree.name("i:1") == "The Movie"
+
     def test_empty_terminals(self, toy_graph):
         assert mehlhorn_steiner_tree(toy_graph, []).num_nodes == 0
 
@@ -91,3 +131,23 @@ class TestMehlhorn:
         )
         assert summary.params["algorithm"] == "mehlhorn"
         assert summary.terminal_coverage == 1.0
+
+    def test_st_fast_engines_agree(self, test_bench):
+        """The frozen ST-fast engine is bit-identical to the dict one."""
+        from repro.core.scenarios import Scenario
+        from repro.core.summarizer import Summarizer
+
+        tasks = list(
+            test_bench.tasks(Scenario.USER_CENTRIC, "PGPR", 4).values()
+        )
+        frozen_engine = Summarizer(test_bench.graph, method="ST-fast")
+        dict_engine = Summarizer(
+            test_bench.graph, method="ST-fast", engine="dict"
+        )
+        for task in tasks:
+            a = frozen_engine.summarize(task).subgraph
+            b = dict_engine.summarize(task).subgraph
+            assert sorted(a.nodes()) == sorted(b.nodes())
+            assert sorted(
+                (e.source, e.target, e.weight) for e in a.edges()
+            ) == sorted((e.source, e.target, e.weight) for e in b.edges())

@@ -74,6 +74,64 @@ class TestPaperPCST:
         assert is_forest(forest)
 
 
+class TestFrozenEngine:
+    """The CSR growth pass must match the dict oracle on fixed graphs
+    (random-graph parity lives in tests/properties/test_engine_parity.py)."""
+
+    @staticmethod
+    def canonical(graph):
+        return (
+            sorted(graph.nodes()),
+            sorted((e.source, e.target, e.weight) for e in graph.edges()),
+        )
+
+    def test_matches_dict_on_toy_graph(self, toy_graph):
+        prizes = {"u:0": 1.0, "i:1": 1.0}
+        frozen = toy_graph.freeze()
+        assert self.canonical(
+            paper_pcst(toy_graph, prizes)
+        ) == self.canonical(paper_pcst(toy_graph, prizes, frozen=frozen))
+
+    def test_matches_dict_on_small_kg(self, small_kg):
+        terminals = sorted(small_kg.nodes())[:6]
+        prizes = {t: 1.0 for t in terminals}
+        frozen = small_kg.freeze()
+        for prune in (False, True):
+            dict_forest = paper_pcst(
+                small_kg, prizes, prune_zero_prize_leaves=prune,
+                seeds=terminals,
+            )
+            csr_forest = paper_pcst(
+                small_kg, prizes, prune_zero_prize_leaves=prune,
+                seeds=terminals, frozen=frozen,
+            )
+            assert self.canonical(dict_forest) == self.canonical(csr_forest)
+
+    def test_stale_frozen_view_rejected(self, toy_graph):
+        frozen = toy_graph.freeze()
+        toy_graph.add_edge("u:0", "i:1", 2.0)
+        with pytest.raises(ValueError, match="stale"):
+            paper_pcst(toy_graph, {"u:0": 1.0, "i:1": 1.0}, frozen=frozen)
+
+    def test_lone_seed_matches_dict(self, toy_graph):
+        frozen = toy_graph.freeze()
+        a = paper_pcst(toy_graph, {"u:0": 1.0})
+        b = paper_pcst(toy_graph, {"u:0": 1.0}, frozen=frozen)
+        assert self.canonical(a) == self.canonical(b)
+        assert b.num_edges == 0 and "u:0" in b
+
+    def test_duplicate_seeds_raise_on_both_engines(self, toy_graph):
+        """Parity includes the error contract: the dict heap rejects a
+        duplicate seed push, so the indexed growth must too."""
+        frozen = toy_graph.freeze()
+        prizes = {"u:0": 1.0, "i:1": 1.0}
+        seeds = ["u:0", "i:1", "u:0"]
+        with pytest.raises(KeyError, match="already in heap"):
+            paper_pcst(toy_graph, prizes, seeds=seeds)
+        with pytest.raises(KeyError, match="already in heap"):
+            paper_pcst(toy_graph, prizes, seeds=seeds, frozen=frozen)
+
+
 class TestGrowPrune:
     def test_strong_pruning_shrinks(self, small_kg):
         terminals = ["u:0", "i:1", "i:3", "i:5"]

@@ -1,9 +1,10 @@
-"""Property-based tests: union-find is an equivalence relation."""
+"""Property-based tests: union-find is an equivalence relation, and the
+array-backed IndexedDisjointSet replays the dict-based one exactly."""
 
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.graph.disjoint_set import DisjointSet
+from repro.graph.disjoint_set import DisjointSet, IndexedDisjointSet
 
 unions = st.lists(
     st.tuples(
@@ -46,3 +47,32 @@ class TestDisjointSetProperties:
         for group in ds.sets():
             for member in group:
                 assert ds.set_size(member) == len(group)
+
+
+class TestIndexedDisjointSetParity:
+    """The PCST growth swaps DisjointSet for IndexedDisjointSet; identical
+    op sequences must yield identical observable behaviour (union return
+    values included — they decide which edges enter the grown tree)."""
+
+    @given(unions)
+    def test_union_sequence_identical(self, pairs):
+        ds = DisjointSet(range(31))
+        ids = IndexedDisjointSet(31, range(31))
+        for a, b in pairs:
+            assert ds.union(a, b) == ids.union(a, b)
+            assert ds.connected(a, b) and ids.connected(a, b)
+        assert ds.num_sets == ids.num_sets
+        for a in range(31):
+            for b in (0, 7, 30):
+                assert ds.connected(a, b) == ids.connected(a, b)
+            assert ds.set_size(a) == ids.set_size(a)
+
+    @given(unions)
+    def test_lazy_registration_matches(self, pairs):
+        ds = DisjointSet()
+        ids = IndexedDisjointSet(31)
+        for a, b in pairs:
+            assert (a in ds) == (a in ids)
+            assert ds.union(a, b) == ids.union(a, b)
+        assert len(ds) == len(ids)
+        assert ds.num_sets == ids.num_sets

@@ -1,0 +1,192 @@
+"""Property-based parity: indexed Mehlhorn and PCST vs the dict oracles.
+
+Same discipline as ``test_csr_properties.py``: the CSR-indexed twins
+must be *identical* to the dict-based implementations — same edge sets,
+same tie-broken trees — across randomized graphs and cost surfaces
+(unit, stored-weight, and λ-boosted overrides patched onto the unit
+base, the Eq. (1) shape).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.mehlhorn import (
+    mehlhorn_steiner_tree,
+    mehlhorn_steiner_tree_indexed,
+)
+from repro.graph.pcst import grow_prune_pcst, paper_pcst
+from repro.graph.shortest_paths import (
+    dijkstra_multi_source,
+    dijkstra_multi_source_frozen,
+)
+
+from tests.properties.test_csr_properties import build_random_kg
+
+graph_params = st.tuples(
+    st.integers(min_value=0, max_value=1000),  # seed
+    st.integers(min_value=2, max_value=6),  # users
+    st.integers(min_value=3, max_value=12),  # items
+)
+
+UNIFORM = ("uniform", lambda u, v, w: 1.0)
+STORED = ("stored", None)
+BOOSTED = ("lambda-boosted", "boosted")  # built per-graph, see below
+
+
+def canonical(graph):
+    """Order-insensitive comparable form of a tree/forest."""
+    return (
+        sorted(graph.nodes()),
+        sorted((e.source, e.target, e.weight) for e in graph.edges()),
+    )
+
+
+def make_cost_fn(named, graph, seed):
+    """Materialize a named cost function, including random λ boosts."""
+    name, fn = named
+    if fn != "boosted":
+        return fn
+    rng = np.random.default_rng(seed + 13)
+    edges = sorted((e.source, e.target) for e in graph.edges())
+    discounts = {}
+    for u, v in edges:
+        if rng.random() < 0.3:
+            boost = float(rng.uniform(0.1, 5.0))
+            discounts[(u, v)] = 1.0 - 0.7 * boost / (1.0 + boost)
+
+    def cost_fn(u, v, _w):
+        key = (u, v) if u < v else (v, u)
+        return discounts.get(key, 1.0)
+
+    return cost_fn
+
+
+def pick_terminals(graph, seed, count):
+    nodes = sorted(graph.nodes())
+    rng = np.random.default_rng(seed + 3)
+    picks = rng.choice(len(nodes), size=min(count, len(nodes)), replace=False)
+    return [nodes[int(p)] for p in picks]
+
+
+class TestMultiSourceParity:
+    @given(graph_params, st.sampled_from([UNIFORM, STORED, BOOSTED]))
+    @settings(max_examples=30, deadline=None)
+    def test_dist_prev_origin_identical(self, params, named_cost):
+        seed, num_users, num_items = params
+        graph = build_random_kg(seed, num_users, num_items)
+        cost_fn = make_cost_fn(named_cost, graph, seed)
+        frozen = graph.freeze()
+        costs = None if cost_fn is None else frozen.costs_from(cost_fn)
+        sources = pick_terminals(graph, seed, 4)
+        dict_dist, dict_prev, dict_origin = dijkstra_multi_source(
+            graph, sources, cost_fn=cost_fn
+        )
+        dist, prev, origin = dijkstra_multi_source_frozen(
+            frozen, sources, costs=costs
+        )
+        assert dist == dict_dist
+        assert prev == dict_prev
+        assert origin == dict_origin
+        # Settle order (dict insertion order), not just contents.
+        assert list(dist) == list(dict_dist)
+
+
+class TestMehlhornParity:
+    @given(graph_params, st.sampled_from([UNIFORM, STORED, BOOSTED]))
+    @settings(max_examples=30, deadline=None)
+    def test_trees_identical(self, params, named_cost):
+        seed, num_users, num_items = params
+        graph = build_random_kg(seed, num_users, num_items)
+        cost_fn = make_cost_fn(named_cost, graph, seed)
+        frozen = graph.freeze()
+        costs = None if cost_fn is None else frozen.costs_from(cost_fn)
+        terminals = pick_terminals(graph, seed, 5)
+        dict_tree = mehlhorn_steiner_tree(graph, terminals, cost_fn=cost_fn)
+        csr_tree = mehlhorn_steiner_tree_indexed(
+            graph, frozen, terminals, costs=costs
+        )
+        assert canonical(dict_tree) == canonical(csr_tree)
+
+    @given(graph_params)
+    @settings(max_examples=20, deadline=None)
+    def test_frozen_kwarg_dispatch(self, params):
+        seed, num_users, num_items = params
+        graph = build_random_kg(seed, num_users, num_items)
+        frozen = graph.freeze()
+        terminals = pick_terminals(graph, seed, 4)
+        cost_fn = UNIFORM[1]
+        via_kwarg = mehlhorn_steiner_tree(
+            graph,
+            terminals,
+            cost_fn=cost_fn,
+            frozen=frozen,
+            slot_costs=frozen.costs_from(cost_fn),
+        )
+        dict_tree = mehlhorn_steiner_tree(graph, terminals, cost_fn=cost_fn)
+        assert canonical(via_kwarg) == canonical(dict_tree)
+
+
+class TestPCSTParity:
+    @given(
+        graph_params,
+        st.integers(min_value=1, max_value=6),
+        st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_forests_identical_unit_costs(self, params, num_terminals, prune):
+        seed, num_users, num_items = params
+        graph = build_random_kg(seed, num_users, num_items)
+        frozen = graph.freeze()
+        terminals = pick_terminals(graph, seed, num_terminals)
+        prizes = {t: 1.0 for t in terminals}
+        dict_forest = paper_pcst(
+            graph, prizes, prune_zero_prize_leaves=prune, seeds=terminals
+        )
+        csr_forest = paper_pcst(
+            graph,
+            prizes,
+            prune_zero_prize_leaves=prune,
+            seeds=terminals,
+            frozen=frozen,
+        )
+        assert canonical(dict_forest) == canonical(csr_forest)
+
+    @given(graph_params, st.sampled_from([UNIFORM, BOOSTED]))
+    @settings(max_examples=20, deadline=None)
+    def test_forests_identical_weighted_costs(self, params, named_cost):
+        seed, num_users, num_items = params
+        graph = build_random_kg(seed, num_users, num_items)
+        cost_fn = make_cost_fn(named_cost, graph, seed)
+        frozen = graph.freeze()
+        terminals = pick_terminals(graph, seed, 4)
+        # Side prizes exercise the unsettled-positive bookkeeping.
+        prizes = {t: 1.0 for t in terminals}
+        for node in sorted(graph.nodes())[::4]:
+            prizes.setdefault(node, 0.25)
+        dict_forest = paper_pcst(
+            graph, prizes, cost_fn=cost_fn, seeds=terminals
+        )
+        csr_forest = paper_pcst(
+            graph,
+            prizes,
+            cost_fn=cost_fn,
+            seeds=terminals,
+            frozen=frozen,
+            slot_costs=frozen.costs_from(cost_fn),
+        )
+        assert canonical(dict_forest) == canonical(csr_forest)
+
+    @given(graph_params, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_strong_pruning_identical(self, params, num_terminals):
+        seed, num_users, num_items = params
+        graph = build_random_kg(seed, num_users, num_items)
+        frozen = graph.freeze()
+        terminals = pick_terminals(graph, seed, num_terminals)
+        prizes = {t: 1.0 for t in terminals}
+        dict_forest = grow_prune_pcst(graph, prizes, seeds=terminals)
+        csr_forest = grow_prune_pcst(
+            graph, prizes, seeds=terminals, frozen=frozen
+        )
+        assert canonical(dict_forest) == canonical(csr_forest)
