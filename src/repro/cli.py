@@ -7,7 +7,8 @@ Usage::
     repro-xsum fig2 --scale ci
     repro-xsum userstudy
     repro-xsum batch --tasks tasks.jsonl --method ST
-    repro-xsum batch --demo 100 --method ST --workers 4
+    repro-xsum batch --demo 100 --method ST --parallel processes --workers 4
+    repro-xsum batch --demo 100 --no-partial-reuse
     repro-xsum list
 
 The ``batch`` subcommand runs the freeze-then-batch pipeline
@@ -58,8 +59,6 @@ def _run_batch(parser: argparse.ArgumentParser, args) -> int:
     from repro.core.batch import BatchSummarizer, load_tasks_jsonl
     from repro.core.scenarios import Scenario
 
-    if args.partial_reuse and args.method != "ST":
-        parser.error("--partial-reuse only applies to --method ST")
     bench = Workbench.get(_config(args))
     if args.tasks:
         try:
@@ -83,6 +82,7 @@ def _run_batch(parser: argparse.ArgumentParser, args) -> int:
         workers=args.workers,
         engine=args.engine,
         partial_reuse=args.partial_reuse,
+        parallel=None if args.parallel == "auto" else args.parallel,
     )
     report = engine.run(tasks)
     print(report.summary())
@@ -132,12 +132,23 @@ def main(argv: list[str] | None = None) -> int:
         "no traversal)",
     )
     batch_group.add_argument(
+        "--parallel",
+        choices=("auto", "serial", "threads", "processes"),
+        default="auto",
+        help="dispatch backend: processes = shared-memory multi-core "
+        "pool (threads are GIL-bound for these pure-Python "
+        "traversals); auto picks processes on multi-core machines for "
+        "big enough graphs/batches",
+    )
+    batch_group.add_argument(
         "--partial-reuse",
-        action="store_true",
-        help="ST only: enable λ-aware closure reuse — recombine "
-        "memoized base-cost Dijkstra runs with each task's boosted "
-        "edges (exact distances; equal-cost paths may be tie-broken "
-        "differently than a cold run)",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="ST only: λ-aware closure reuse — recombine memoized "
+        "base-cost Dijkstra runs with each task's boosted edges. "
+        "Default on: canonical-SPT reconstruction makes derived "
+        "closures bit-identical to cold runs; --no-partial-reuse "
+        "restores always-fresh boosted closures",
     )
     args = parser.parse_args(argv)
 

@@ -21,19 +21,32 @@ shorter run on every entry the Steiner construction reads. Predecessor
 chains are safe because Eq. (1) costs are bounded below by ``1 - ρ > 0``
 — every node on a shortest path settles strictly before its target.
 
-An opt-in second tier (``partial_reuse=True``) extends reuse to λ>0
-workloads whose tasks boost *different* edges: base-cost (unit) Dijkstra
-runs are memoized once per node and recombined with each task's boosted
-edges through a small overlay graph (see
-:meth:`TerminalClosureCache._patched_closure`). Distances remain exact;
-only the tie-breaking among equal-cost shortest paths can differ from a
-cold run, which is why the default stays off.
+A second tier (``partial_reuse``, default on in the batch engine)
+extends reuse to λ>0 workloads whose tasks boost *different* edges:
+base-cost (unit) Dijkstra runs are memoized once per node — bounded to
+the radius the task actually needs — and recombined with each task's
+boosted edges through a small overlay graph (see
+:meth:`TerminalClosureCache._patched_closure`). Distances are exact and
+accumulated in the same fold order as a cold run, and the summarizer's
+canonical-SPT reconstruction (see
+:func:`repro.graph.steiner.canonical_shortest_path`) picks predecessors
+from those distances alone — so derived closures produce bit-identical
+summaries to cold runs, which is what lets the tier default on.
 
-:class:`BatchSummarizer` wraps all of it: accepts many tasks, dispatches
-them across an optional thread pool (pure-Python summarization is
-GIL-bound, so ``workers`` mainly helps when tasks block elsewhere;
-results are deterministic and ordered either way), and returns per-task
-timings plus cache statistics in a :class:`BatchReport`.
+:class:`BatchSummarizer` wraps all of it behind a ``parallel`` knob:
+
+- ``"serial"`` — one task at a time in the calling thread.
+- ``"threads"`` — a thread pool. The traversals are pure Python and
+  hold the GIL, so threads do **not** parallelize the CPU-bound work;
+  they only help when tasks block elsewhere (I/O hooks, C extensions).
+- ``"processes"`` — a spawn-safe ``ProcessPoolExecutor`` over the
+  frozen view exported to shared memory (zero-copy attach per worker,
+  see :mod:`repro.graph.shared`): chunked dispatch, a per-worker
+  closure cache, per-task timings measured in the workers, and counter
+  aggregation so the report reads exactly like a serial run's.
+- default (``None``/``"auto"``) — picks processes on multi-core
+  machines once the graph and batch are big enough to amortize worker
+  startup, else threads/serial as before.
 
 JSONL (de)serialization for task files lives here too — the CLI
 ``batch`` subcommand reads one task per line.
@@ -42,11 +55,15 @@ JSONL (de)serialization for task files lives here too — the CLI
 from __future__ import annotations
 
 import json
+import os
+import pickle
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from collections.abc import Iterable, Sequence
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path as FilePath
 
@@ -58,10 +75,80 @@ from repro.graph.knowledge_graph import KnowledgeGraph
 from repro.graph.paths import Path
 from repro.graph.shortest_paths import dijkstra_frozen, dijkstra_indexed
 
-#: Cache-key marker for base-cost (all-unit) full-settle Dijkstra runs —
-#: a sentinel no real cost signature can equal, so base entries and
-#: per-signature closure entries share one LRU without colliding.
+#: Cache-key marker for base-cost (all-unit) Dijkstra runs — a sentinel
+#: no real cost signature can equal, so base entries and per-signature
+#: closure entries share one LRU without colliding.
 _BASE_COSTS = ("__base-unit__",)
+
+
+def _fold_units(value: float, steps: float) -> float:
+    """Append ``steps`` unit edges to a distance, one ``+ 1.0`` at a time.
+
+    ``steps`` is an exact integer-valued float (a unit-cost Dijkstra
+    distance). Floating-point addition is not associative, so
+    ``value + steps`` can differ in the last ulp from what a cold
+    Dijkstra accumulates walking the same segment edge by edge; folding
+    reproduces the cold accumulation order bit-for-bit, which the
+    canonical-SPT equality test relies on.
+    """
+    for _ in range(int(steps)):
+        value += 1.0
+    return value
+
+
+class _OverlayDistances(dict):
+    """Id-keyed boosted distances with lazy off-target lookups.
+
+    Explicit entries (plain dict items) are the requested targets — the
+    keys the closure cache's covering check and the Steiner closure
+    read. ``get`` additionally answers any other node by folding the
+    memoized base runs through the overlay hub distances
+    (``min over hubs of fold(h_dist[hub], base_dist[hub][node])``),
+    which is exactly the decomposition a cold run's distance surface
+    realizes — bit-equal values, computed on demand. That lazy surface
+    is what canonical-SPT path reconstruction scans, so closures
+    derived here reconstruct the *same* canonical paths as cold runs.
+
+    Lazy values are memoized in a side table rather than into the
+    mapping itself: ``keys()`` must keep meaning "targets whose
+    predecessor chains were recorded", which the cache's reuse check
+    relies on, while canonical reconstruction re-queries shared path
+    prefixes often enough that recomputing the min-fold would hurt.
+    """
+
+    __slots__ = ("_frozen", "_base", "_h_dist", "_memo")
+
+    def __init__(self, frozen, base, h_dist):
+        super().__init__()
+        self._frozen = frozen
+        self._base = base
+        self._h_dist = h_dist
+        self._memo: dict = {}
+
+    def get(self, key, default=None):
+        if key in self:
+            return dict.__getitem__(self, key)
+        if key in self._memo:
+            value = self._memo[key]
+            return value if value is not None else default
+        index = self._frozen._index.get(key)
+        if index is None:
+            self._memo[key] = None
+            return default
+        best = None
+        h_dist = self._h_dist
+        for hub, (base_dist, _prev) in self._base.items():
+            through = h_dist.get(hub)
+            if through is None:
+                continue
+            leg = base_dist.get(index)
+            if leg is None:
+                continue
+            value = _fold_units(through, leg)
+            if best is None or value < best:
+                best = value
+        self._memo[key] = best
+        return best if best is not None else default
 
 
 class TerminalClosureCache:
@@ -78,18 +165,20 @@ class TerminalClosureCache:
     for boosted cost surfaces — Eq. (1) surfaces that are the unit base
     patched on a handful of boosted slots (declared via
     ``FrozenCosts.overrides``). On an exact-signature miss the closure
-    is *derived* instead of recomputed from scratch: full-settle
+    is *derived* instead of recomputed from scratch: radius-bounded
     base-cost runs from the source and from every boosted-edge endpoint
     (memoized under a shared base key, so they cut across tasks with
     **disjoint** boost sets) are recombined through a tiny overlay graph
     whose nodes are the boosted endpoints and whose edges are base
     distances plus the boosted edges themselves. Distances are exact
     (boosts only ever lower costs, so every shortest path decomposes
-    into base segments joined at boosted edges); the returned paths are
-    exact shortest paths too, but where *several* shortest paths tie the
-    derivation may pick a different one than a cold heap would — which
-    is why the mode is opt-in and the default keeps the bit-identical
-    fresh-run behaviour.
+    into base segments joined at boosted edges) and bit-equal to a cold
+    run's (unit segments are re-folded in cold accumulation order); the
+    returned ``dist`` also answers lazy off-target lookups, so the
+    summarizer's canonical-SPT reconstruction recovers the *same* paths
+    a cold run would. The raw ``prev`` chains still reflect overlay
+    hop order — consumers that want heap-order chains verbatim (and
+    only those) should keep the tier off.
     """
 
     #: Partial-reuse bail-out: with more boosted-edge endpoints than
@@ -175,15 +264,46 @@ class TerminalClosureCache:
     # ------------------------------------------------------------------
     # λ-aware partial reuse: base runs + boosted-edge overlay
     # ------------------------------------------------------------------
-    def _base_run(self, frozen, index: int):
-        """Full-settle unit-cost Dijkstra from a node, memoized.
+    @staticmethod
+    def _base_entry_covers(entry, radius, required) -> bool:
+        """Does a cached base run cover this request?
+
+        Entries record the radius they are *complete through* (``None``
+        = whole component settled). A required-set request is covered
+        once every required node appears — bounded entries only contain
+        nodes within their bound, so membership implies the entry is
+        complete through the farthest required distance, which is the
+        radius the caller derives from it.
+        """
+        dist, _prev, bound = entry
+        if bound is None:
+            return True
+        if required is not None:
+            return required <= dist.keys()
+        return radius is not None and bound >= radius
+
+    def _base_run(
+        self,
+        frozen,
+        index: int,
+        radius: float | None = None,
+        required: set[int] | None = None,
+    ):
+        """Bounded unit-cost Dijkstra from a node, memoized.
 
         These runs are λ-independent — every boosted surface shares
         them — so entries keyed ``(index, _BASE_COSTS)`` are the tier
-        that cuts across tasks with disjoint boost sets. Returns the
-        index-keyed ``(dist, prev)`` of ``dijkstra_indexed``. Lookups
-        count into ``base_hits``/``base_misses``, not ``hits``/``misses``
-        — the report's closure hit rate stays about closure requests.
+        that cuts across tasks with disjoint boost sets. Instead of
+        settling whole components, runs are *radius-bounded*: a
+        ``required`` request settles through the farthest required
+        node's distance tier (``cover_targets``), a ``radius`` request
+        through the given bound — either way the entry is complete
+        through its recorded bound and is reused for any request it
+        covers, deepened (recomputed and replaced) otherwise. Returns
+        the index-keyed ``(dist, prev)`` of ``dijkstra_indexed``.
+        Lookups count into ``base_hits``/``base_misses``, not
+        ``hits``/``misses`` — the report's closure hit rate stays about
+        closure requests.
         """
         key = (index, _BASE_COSTS)
         with self._lock:
@@ -196,20 +316,53 @@ class TerminalClosureCache:
                 if frozen is self._frozen
                 else None
             )
-            if entry is not None:
+            if entry is not None and self._base_entry_covers(
+                entry, radius, required
+            ):
                 self._entries.move_to_end(key)
                 self.base_hits += 1
-                return entry
-        run = dijkstra_indexed(
-            frozen, index, costs=frozen.shared_unit_costs()
-        )
+                return entry[0], entry[1]
+        if required:
+            dist, prev = dijkstra_indexed(
+                frozen,
+                index,
+                costs=frozen.shared_unit_costs(),
+                targets=set(required),
+                cover_targets=True,
+            )
+            # Unreachable required nodes mean the heap ran dry: the
+            # whole component settled, so the run is complete.
+            bound = (
+                None
+                if required - dist.keys()
+                else dist[next(reversed(dist))]
+            )
+        else:
+            dist, prev = dijkstra_indexed(
+                frozen,
+                index,
+                costs=frozen.shared_unit_costs(),
+                radius=radius,
+            )
+            bound = radius
         with self._lock:
             self.base_misses += 1
-            if frozen is self._frozen and key not in self._entries:
-                self._entries[key] = run
-                while len(self._entries) > self.maxsize:
-                    self._entries.popitem(last=False)
-        return run
+            if frozen is self._frozen:
+                current = self._entries.get(key)
+                # Replace when the new run settled more — or settled
+                # the same nodes under a deeper bound (an empty
+                # annulus): keeping the shallow bound would re-run the
+                # identical Dijkstra on every future deeper request.
+                if current is None or len(current[0]) < len(dist) or (
+                    len(current[0]) == len(dist)
+                    and current[2] is not None
+                    and (bound is None or bound > current[2])
+                ):
+                    self._entries[key] = (dist, prev, bound)
+                    self._entries.move_to_end(key)
+                    while len(self._entries) > self.maxsize:
+                        self._entries.popitem(last=False)
+        return dist, prev
 
     def _patched_closure(self, frozen, costs, source: str, rest: set[str]):
         """Derive a boosted closure from base runs + an overlay graph.
@@ -218,14 +371,32 @@ class TerminalClosureCache:
         shortest path under the boosted surface splits into base-cost
         segments joined at boosted edges. The overlay graph has the
         source, the boosted-edge endpoints and the targets as nodes;
-        base distances (from memoized full-settle unit runs) and the
+        base distances (from memoized radius-bounded unit runs) and the
         boosted edges as weighted edges. A Dijkstra over that handful
         of nodes yields the exact boosted distances, and expanding its
         hops through the base predecessor chains yields exact shortest
-        paths. Returns id-keyed ``(dist, prev)`` covering the reachable
-        targets, or None when the override structure is not the
-        symmetric-decrease shape the decomposition needs (the caller
-        then falls back to a fresh run).
+        paths.
+
+        Two properties make the derivation interchangeable with a cold
+        run:
+
+        - *Fold-order parity*: overlay relaxations add unit base
+          segments one ``+ 1.0`` at a time (:func:`_fold_units`), the
+          same floating-point accumulation order as a cold heap walking
+          the segment edge by edge — derived distances are bit-equal to
+          cold ones, not merely mathematically equal.
+        - *Radius bounds*: the source's base run settles through the
+          farthest requested target's distance tier, which bounds every
+          base segment a shortest boosted path can use; the per-hub
+          runs are clipped to that radius instead of settling whole
+          components (the ROADMAP's "early-bounded base runs" item).
+
+        Returns id-keyed ``(dist, prev)`` covering the reachable
+        targets — ``dist`` is an :class:`_OverlayDistances` view that
+        also answers (bit-exact) lazy lookups for any settled node, the
+        surface canonical-SPT reconstruction scans — or None when the
+        override structure is not the symmetric-decrease shape the
+        decomposition needs (the caller then falls back to a fresh run).
         """
         edges: dict[tuple[int, int], float] = {}
         slot_count: dict[tuple[int, int], int] = {}
@@ -251,11 +422,27 @@ class TerminalClosureCache:
             {i for pair in edges for i in pair} - {source_idx}
         )
         if len(hubs) > self.MAX_OVERLAY_HUBS:
-            # One full-settle base run per hub plus an O(hubs^2) overlay
+            # One bounded base run per hub plus an O(hubs^2) overlay
             # only beats a single early-exit fresh run while the boost
             # set is small; past this point fall back to the fresh run.
             return None
-        base = {hub: self._base_run(frozen, hub) for hub in hubs}
+        # The source run doubles as the radius oracle: it settles
+        # through the farthest requested target's distance tier, and
+        # that distance bounds every base segment on any shortest
+        # boosted path to a target (boosts only shorten paths, so
+        # boosted distances never exceed the base distance from the
+        # source — hubs beyond the bound can't lie on a useful path).
+        required = set(target_of) - {source_idx}
+        source_dist, source_prev = self._base_run(
+            frozen, source_idx, required=required
+        )
+        radius = max(
+            (source_dist[x] for x in required if x in source_dist),
+            default=0.0,
+        )
+        base = {source_idx: (source_dist, source_prev)}
+        for hub in hubs[1:]:
+            base[hub] = self._base_run(frozen, hub, radius=radius)
         h_nodes = sorted(set(hubs) | set(target_of))
 
         boosted_adj: dict[int, list[tuple[int, float]]] = {}
@@ -282,7 +469,7 @@ class TerminalClosureCache:
                     continue
                 base_d = base_dist.get(other)
                 if base_d is not None and heap.decrease_if_lower(
-                    other, d + base_d
+                    other, _fold_units(d, base_d)
                 ):
                     tentative[other] = (node, False)
             for other, value in boosted_adj.get(node, ()):
@@ -291,7 +478,7 @@ class TerminalClosureCache:
                 if heap.decrease_if_lower(other, d + value):
                     tentative[other] = (node, True)
 
-        dist: dict[str, float] = {}
+        dist = _OverlayDistances(frozen, base, h_dist)
         prev: dict[str, str] = {}
         for t_idx in sorted(target_of):
             if t_idx not in h_dist:
@@ -354,6 +541,7 @@ class BatchReport:
     cache_base_hits: int = 0
     cache_base_misses: int = 0
     workers: int = 0
+    parallel: str = "serial"
 
     @property
     def explanations(self) -> list[SubgraphExplanation]:
@@ -377,7 +565,7 @@ class BatchReport:
         seconds = self.task_seconds
         lines = [
             f"batch method={self.method} tasks={len(self.results)} "
-            f"workers={self.workers}",
+            f"parallel={self.parallel} workers={self.workers}",
             f"  total      {self.total_seconds * 1000.0:10.1f} ms",
             f"  freeze     {self.freeze_seconds * 1000.0:10.1f} ms",
             f"  throughput {self.throughput:10.1f} tasks/s",
@@ -407,6 +595,83 @@ class BatchReport:
         return "\n".join(lines)
 
 
+#: Backend choices for :class:`BatchSummarizer`; None means "auto".
+PARALLEL_BACKENDS = ("serial", "threads", "processes")
+
+#: Counter attributes mirrored between caches and reports.
+_STAT_KEYS = ("hits", "misses", "patched", "base_hits", "base_misses")
+
+#: Infrastructure failures that demote the process backend to a local
+#: run instead of failing the batch: shared-memory/pool setup errors,
+#: a broken pool (worker died in init), unpicklable inputs. Task-level
+#: exceptions (e.g. disconnected terminals) are *not* in this set — they
+#: propagate exactly like a serial run's.
+_PROCESS_FALLBACK_ERRORS = (
+    OSError,
+    BrokenProcessPool,
+    pickle.PicklingError,
+    ImportError,
+)
+
+
+def _cache_counters(cache) -> dict[str, int]:
+    """Snapshot a closure cache's counters (zeros for no cache)."""
+    if cache is None:
+        return dict.fromkeys(_STAT_KEYS, 0)
+    return {key: getattr(cache, key) for key in _STAT_KEYS}
+
+
+#: Per-process worker state, populated by :func:`_process_worker_init`.
+_WORKER_STATE: dict = {}
+
+
+def _process_worker_init(handle, config: dict) -> None:
+    """Worker initializer: attach the shared view, build a summarizer.
+
+    Runs once per worker process under any start method — ``spawn``
+    included, since everything it needs arrives as picklable initargs
+    (the shared-memory handle and a plain config dict) and the CSR
+    arrays are attached by name, zero-copy.
+    """
+    from repro.graph.shared import attach_knowledge_graph
+
+    graph = attach_knowledge_graph(handle)
+    cache = (
+        TerminalClosureCache(
+            config["cache_size"], partial_reuse=config["partial_reuse"]
+        )
+        if config["method"] == "ST"
+        else None
+    )
+    _WORKER_STATE["cache"] = cache
+    _WORKER_STATE["summarizer"] = Summarizer(
+        graph,
+        method=config["method"],
+        closure_cache=cache,
+        **config["params"],
+    )
+
+
+def _process_chunk(pairs: list) -> tuple[list, dict[str, int]]:
+    """Summarize one chunk of ``(index, task)`` pairs in a worker.
+
+    Returns ``(results, counter_delta)`` where results are
+    ``(index, explanation, seconds)`` triples and the delta is this
+    chunk's closure-cache activity (chunks run sequentially inside a
+    worker, so before/after snapshots are race-free).
+    """
+    summarizer = _WORKER_STATE["summarizer"]
+    cache = _WORKER_STATE["cache"]
+    before = _cache_counters(cache)
+    out = []
+    for index, task in pairs:
+        task_start = time.perf_counter()
+        explanation = summarizer.summarize(task)
+        out.append((index, explanation, time.perf_counter() - task_start))
+    after = _cache_counters(cache)
+    return out, {key: after[key] - before[key] for key in _STAT_KEYS}
+
+
 class BatchSummarizer:
     """Many-task summarization over one knowledge graph.
 
@@ -422,23 +687,57 @@ class BatchSummarizer:
         terminal-closure cache across tasks. Union builds straight from
         the task's paths (no traversal, ``freeze_seconds`` is 0.0).
         Output is identical to a per-task :class:`Summarizer` for every
-        method.
+        method and every backend.
     workers:
-        Thread-pool size; 0 or 1 runs tasks sequentially. Results are
-        identical and ordered regardless.
+        Pool size for the threads/processes backends; 0 means "pick"
+        (sequential for threads — the historical default — and
+        ``os.cpu_count()`` for processes).
     closure_cache_size:
-        LRU capacity of the shared :class:`TerminalClosureCache`.
+        LRU capacity of the shared :class:`TerminalClosureCache` (and
+        of each worker's own cache under the process backend).
     partial_reuse:
-        Enable the cache's λ-aware partial reuse (ST only): boosted
-        (λ>0) closures are derived from memoized base-cost runs patched
-        with each task's boosted edges, so reuse cuts across tasks with
-        disjoint boost sets. Distances stay exact; ties between
-        equal-cost shortest paths may resolve differently than a cold
-        run, so this is opt-in (default off = bit-identical outputs).
+        The cache's λ-aware partial reuse (ST only): boosted (λ>0)
+        closures are derived from memoized radius-bounded base runs
+        patched with each task's boosted edges, so reuse cuts across
+        tasks with disjoint boost sets. Default **on**: distances are
+        exact and fold-order-identical to cold runs, and the
+        summarizer's canonical-SPT reconstruction makes the resulting
+        trees bit-identical to cold ones. Turn off alongside
+        ``canonical=False`` when heap-order predecessor chains are
+        wanted verbatim.
+    parallel:
+        Dispatch backend: "serial", "threads", "processes", or
+        None/"auto" (default). Threads do not parallelize the
+        CPU-bound pure-Python traversals (they hold the GIL) — use
+        "processes" for multi-core speedups; auto picks processes when
+        the machine has more than one core and the graph is at least
+        :data:`AUTO_PROCESS_MIN_NODES` nodes with
+        :data:`AUTO_PROCESS_MIN_TASKS` tasks queued. The process
+        backend exports the frozen view to shared memory (workers
+        attach zero-copy), chunks tasks across spawn-safe workers with
+        per-worker closure caches, and merges timings and cache
+        counters so the report format matches a serial run. If process
+        infrastructure is unavailable the run falls back to a local
+        backend (with a ``RuntimeWarning``); results are identical
+        either way.
+    chunk_size:
+        Tasks per process-pool submission; default
+        ``ceil(n / (4 * workers))`` — small enough to level out skewed
+        task costs, large enough to amortize IPC.
+    mp_start_method:
+        Process start method ("fork", "spawn", "forkserver"); default
+        the ``REPRO_MP_START_METHOD`` env var, else the platform
+        default. Workers are spawn-safe regardless.
     **params:
         Forwarded to :class:`Summarizer` (lam, weight_influence,
-        prize_policy, engine, ...).
+        prize_policy, engine, canonical, ...). Must be picklable when
+        the process backend is used.
     """
+
+    #: Auto-backend thresholds: below either, worker startup + IPC
+    #: dominates and the local backends win.
+    AUTO_PROCESS_MIN_NODES = 4096
+    AUTO_PROCESS_MIN_TASKS = 8
 
     def __init__(
         self,
@@ -446,7 +745,10 @@ class BatchSummarizer:
         method: str = "ST",
         workers: int = 0,
         closure_cache_size: int = 4096,
-        partial_reuse: bool = False,
+        partial_reuse: bool = True,
+        parallel: str | None = None,
+        chunk_size: int | None = None,
+        mp_start_method: str | None = None,
         **params,
     ) -> None:
         if method not in METHODS:
@@ -455,13 +757,30 @@ class BatchSummarizer:
             )
         if workers < 0:
             raise ValueError("workers must be >= 0")
+        if parallel not in (None, "auto", *PARALLEL_BACKENDS):
+            raise ValueError(
+                f"unknown parallel backend {parallel!r}; expected one of "
+                f"{('auto', *PARALLEL_BACKENDS)}"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
         self.graph = graph
         self.method = method
         self.workers = workers
+        self.parallel = parallel
+        self.chunk_size = chunk_size
+        self.mp_start_method = mp_start_method or os.environ.get(
+            "REPRO_MP_START_METHOD"
+        ) or None
+        self.closure_cache_size = closure_cache_size
+        self.partial_reuse = partial_reuse
         engine = params.get("engine", "frozen")
         self._uses_frozen = method != "Union" and engine != "dict"
+        self._params = dict(params)
         self.closure_cache = (
-            TerminalClosureCache(closure_cache_size, partial_reuse=partial_reuse)
+            TerminalClosureCache(
+                closure_cache_size, partial_reuse=partial_reuse
+            )
             if method == "ST"
             else None
         )
@@ -469,21 +788,58 @@ class BatchSummarizer:
             graph, method=method, closure_cache=self.closure_cache, **params
         )
 
+    # ------------------------------------------------------------------
+    def _resolve_backend(self, num_tasks: int) -> str:
+        """Pick the dispatch backend for this run."""
+        choice = self.parallel or "auto"
+        if choice == "processes" and num_tasks == 0:
+            return "serial"
+        if choice != "auto":
+            return choice
+        cpus = os.cpu_count() or 1
+        if (
+            cpus > 1
+            and self.method != "Union"
+            and self.graph.num_nodes >= self.AUTO_PROCESS_MIN_NODES
+            and num_tasks >= self.AUTO_PROCESS_MIN_TASKS
+        ):
+            return "processes"
+        if self.workers > 1 and num_tasks > 1:
+            return "threads"
+        return "serial"
+
     def run(self, tasks: Iterable[SummaryTask]) -> BatchReport:
         """Summarize every task; per-task timings in the report."""
         task_list = list(tasks)
+        backend = self._resolve_backend(len(task_list))
+        if backend == "processes":
+            try:
+                return self._run_processes(task_list)
+            except _PROCESS_FALLBACK_ERRORS as error:
+                warnings.warn(
+                    f"process backend unavailable ({error!r}); falling "
+                    "back to a local run",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                backend = (
+                    "threads"
+                    if self.workers > 1 and len(task_list) > 1
+                    else "serial"
+                )
+        return self._run_local(task_list, backend)
+
+    def _run_local(
+        self, task_list: list[SummaryTask], backend: str
+    ) -> BatchReport:
+        """The serial / thread-pool path (shared closure cache)."""
         start = time.perf_counter()
         freeze_seconds = 0.0
         if self._uses_frozen:
             freeze_start = time.perf_counter()
             self.graph.freeze()
             freeze_seconds = time.perf_counter() - freeze_start
-        cache = self.closure_cache
-        hits0 = cache.hits if cache else 0
-        misses0 = cache.misses if cache else 0
-        patched0 = cache.patched if cache else 0
-        base_hits0 = cache.base_hits if cache else 0
-        base_misses0 = cache.base_misses if cache else 0
+        before = _cache_counters(self.closure_cache)
 
         def one(indexed: tuple[int, SummaryTask]) -> BatchResult:
             index, task = indexed
@@ -496,33 +852,114 @@ class BatchSummarizer:
                 seconds=time.perf_counter() - task_start,
             )
 
-        if self.workers > 1 and len(task_list) > 1:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+        pool_size = self.workers if self.workers > 0 else (
+            os.cpu_count() or 1
+        )
+        if backend == "threads" and pool_size > 1 and len(task_list) > 1:
+            with ThreadPoolExecutor(max_workers=pool_size) as pool:
                 results = list(pool.map(one, enumerate(task_list)))
+            workers = pool_size
         else:
+            backend = "serial"
             results = [one(pair) for pair in enumerate(task_list)]
+            workers = self.workers
+        after = _cache_counters(self.closure_cache)
 
         return BatchReport(
             method=self.method,
             results=tuple(results),
             freeze_seconds=freeze_seconds,
             total_seconds=time.perf_counter() - start,
-            cache_hits=(self.closure_cache.hits - hits0)
-            if self.closure_cache
-            else 0,
-            cache_misses=(self.closure_cache.misses - misses0)
-            if self.closure_cache
-            else 0,
-            cache_patched=(self.closure_cache.patched - patched0)
-            if self.closure_cache
-            else 0,
-            cache_base_hits=(self.closure_cache.base_hits - base_hits0)
-            if self.closure_cache
-            else 0,
-            cache_base_misses=(self.closure_cache.base_misses - base_misses0)
-            if self.closure_cache
-            else 0,
-            workers=self.workers,
+            cache_hits=after["hits"] - before["hits"],
+            cache_misses=after["misses"] - before["misses"],
+            cache_patched=after["patched"] - before["patched"],
+            cache_base_hits=after["base_hits"] - before["base_hits"],
+            cache_base_misses=after["base_misses"] - before["base_misses"],
+            workers=workers,
+            parallel=backend,
+        )
+
+    def _run_processes(self, task_list: list[SummaryTask]) -> BatchReport:
+        """The shared-memory process-pool path.
+
+        Freeze + export once, attach per worker, chunked dispatch,
+        ordered merge. Blocks are closed and unlinked on every exit
+        path so ``/dev/shm`` never accumulates leaked segments.
+        """
+        import multiprocessing
+
+        start = time.perf_counter()
+        freeze_start = time.perf_counter()
+        frozen = self.graph.freeze()
+        export = frozen.to_shared()
+        freeze_seconds = time.perf_counter() - freeze_start
+
+        cpus = os.cpu_count() or 1
+        workers = self.workers if self.workers > 0 else cpus
+        workers = max(1, min(workers, len(task_list)))
+        chunk = self.chunk_size or max(
+            1, -(-len(task_list) // (4 * workers))
+        )
+        pairs = list(enumerate(task_list))
+        chunks = [
+            pairs[i : i + chunk] for i in range(0, len(pairs), chunk)
+        ]
+        workers = min(workers, len(chunks))
+        config = {
+            "method": self.method,
+            "cache_size": self.closure_cache_size,
+            "partial_reuse": self.partial_reuse,
+            "params": self._params,
+        }
+        context = (
+            multiprocessing.get_context(self.mp_start_method)
+            if self.mp_start_method
+            else multiprocessing.get_context()
+        )
+        stats = dict.fromkeys(_STAT_KEYS, 0)
+        merged: list[tuple[int, SubgraphExplanation, float]] = []
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_process_worker_init,
+                initargs=(export.handle, config),
+            ) as pool:
+                futures = [
+                    pool.submit(_process_chunk, chunk_pairs)
+                    for chunk_pairs in chunks
+                ]
+                for future in futures:
+                    chunk_results, delta = future.result()
+                    merged.extend(chunk_results)
+                    for key in _STAT_KEYS:
+                        stats[key] += delta[key]
+        finally:
+            export.close()
+            export.unlink()
+
+        merged.sort(key=lambda triple: triple[0])
+        results = tuple(
+            BatchResult(
+                index=index,
+                task=task_list[index],
+                explanation=explanation,
+                seconds=seconds,
+            )
+            for index, explanation, seconds in merged
+        )
+        return BatchReport(
+            method=self.method,
+            results=results,
+            freeze_seconds=freeze_seconds,
+            total_seconds=time.perf_counter() - start,
+            cache_hits=stats["hits"],
+            cache_misses=stats["misses"],
+            cache_patched=stats["patched"],
+            cache_base_hits=stats["base_hits"],
+            cache_base_misses=stats["base_misses"],
+            workers=workers,
+            parallel="processes",
         )
 
 

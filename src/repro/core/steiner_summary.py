@@ -47,6 +47,18 @@ class SteinerSummarizer:
         :class:`repro.core.batch.TerminalClosureCache`). Shared across
         tasks by the batch engine; None (default) computes every
         closure fresh.
+    canonical:
+        Canonical-SPT tie-breaking for the "kmb" closure paths (see
+        :func:`repro.graph.steiner.canonical_shortest_path`): among
+        equal-cost shortest paths, pick predecessors by smallest node
+        id from the final distances instead of by heap pop order.
+        Default on — Eq. (1) costs are strictly positive, which the
+        canonical walk requires, and the deterministic choice makes the
+        summary independent of adjacency insertion order *and*
+        bit-identical whether a closure was computed fresh or derived
+        from the batch engine's memoized base runs ("mehlhorn" runs
+        ignore the flag; its unfold follows the Voronoi tree, which has
+        no per-pair reconstruction step).
     """
 
     method = "ST"
@@ -61,6 +73,7 @@ class SteinerSummarizer:
         algorithm: str = "kmb",
         engine: str = "frozen",
         closure_cache=None,
+        canonical: bool = True,
     ) -> None:
         if algorithm not in ALGORITHMS:
             raise ValueError(
@@ -76,6 +89,7 @@ class SteinerSummarizer:
         self.algorithm = algorithm
         self.engine = "frozen" if engine == "csr" else engine
         self.closure_cache = closure_cache
+        self.canonical = canonical
 
     def summarize(self, task: SummaryTask) -> SubgraphExplanation:
         """Compute the ST summary for one task.
@@ -121,10 +135,14 @@ class SteinerSummarizer:
                 frozen=frozen,
                 slot_costs=slot_costs,
                 pair_fn=pair_fn,
+                canonical=self.canonical,
             )
         else:
             tree = steiner_tree(
-                self.graph, list(task.terminals), cost_fn=weighting.cost_fn()
+                self.graph,
+                list(task.terminals),
+                cost_fn=weighting.cost_fn(),
+                canonical=self.canonical,
             )
         return SubgraphExplanation(
             subgraph=tree,

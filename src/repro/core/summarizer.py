@@ -46,6 +46,10 @@ class Summarizer:
     closure_cache:
         Optional shared terminal-closure memoizer for ST (used by
         :class:`~repro.core.batch.BatchSummarizer`).
+    canonical:
+        ST only: canonical-SPT tie-breaking (deterministic min-id
+        predecessor choice from final distances; default on). See
+        :class:`~repro.core.steiner_summary.SteinerSummarizer`.
     """
 
     def __init__(
@@ -59,6 +63,7 @@ class Summarizer:
         strong_pruning: bool = False,
         engine: str = "frozen",
         closure_cache=None,
+        canonical: bool = True,
     ) -> None:
         if engine not in ENGINES:
             # Validated here, not only in the impls, so a typo fails the
@@ -75,6 +80,7 @@ class Summarizer:
                 weight_influence=weight_influence,
                 engine=engine,
                 closure_cache=closure_cache,
+                canonical=canonical,
             )
         elif method == "ST-fast":
             self._impl = SteinerSummarizer(

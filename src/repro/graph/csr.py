@@ -98,12 +98,16 @@ class FrozenGraph:
         self,
         ids: list[str],
         index: dict[str, int],
-        offsets: array,
-        targets: array,
-        weights: array,
+        offsets: "array | memoryview",
+        targets: "array | memoryview",
+        weights: "array | memoryview",
         version: int,
         source: "KnowledgeGraph | None" = None,
     ) -> None:
+        # Arrays are stdlib ``array`` when compiled locally and int64 /
+        # float64 ``memoryview`` casts over shared-memory buffers when
+        # attached via :meth:`from_shared` — every consumer indexes,
+        # slices or list()s them, which both types support identically.
         self.ids = ids
         self._index = index
         self.offsets = offsets
@@ -310,3 +314,31 @@ class FrozenGraph:
             np.frombuffer(self.targets, dtype=np.int64),
             np.frombuffer(self.weights, dtype=np.float64),
         )
+
+    def to_shared(self):
+        """Export this view into shared-memory blocks (one copy).
+
+        Returns a :class:`repro.graph.shared.SharedGraphExport` whose
+        picklable ``handle`` other processes pass to
+        :meth:`from_shared` /
+        :func:`repro.graph.shared.attach_knowledge_graph`. The caller
+        owns the blocks: ``close()`` + ``unlink()`` (or use it as a
+        context manager) when the consumers are done.
+        """
+        from repro.graph.shared import export_frozen
+
+        return export_frozen(self)
+
+    @classmethod
+    def from_shared(cls, handle) -> "FrozenGraph":
+        """Attach an exported view: arrays are zero-copy shared views.
+
+        The attached view has no source graph (``is_stale()`` is always
+        False) — staleness is the exporting process's concern. Blocks
+        are auto-released at interpreter exit; call
+        :func:`repro.graph.shared.detach_all` to release earlier.
+        """
+        from repro.graph.shared import attach_frozen
+
+        frozen, _meta = attach_frozen(handle)
+        return frozen

@@ -28,6 +28,13 @@ the parity oracle: both produce *identical* trees, tie-breaking
 included (undirected-edge orientation compares the frozen view's
 precomputed string ranks, so even the string-order tie rules replay
 exactly — pinned by ``tests/properties/test_engine_parity.py``).
+
+Both paths also run unchanged inside the batch engine's process-pool
+workers: an attached shared view (:mod:`repro.graph.shared`) arrives
+with its string-rank table pre-populated from the exported block (no
+per-worker re-sort of the id list) and with ``is_stale()`` vacuously
+False — staleness is the exporting parent's concern, which re-freezes
+before every export.
 """
 
 from __future__ import annotations

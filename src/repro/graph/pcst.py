@@ -31,6 +31,14 @@ only at the boundary. Both growth paths replay the same operation
 sequence, so the returned forests are bit-identical (pinned by
 ``tests/properties/test_engine_parity.py``); post-growth pruning always
 runs on the (small) grown forest in the id domain.
+
+The indexed growth also runs unchanged inside the batch engine's
+process-pool workers over an attached shared view
+(:mod:`repro.graph.shared`): the CSR arrays are zero-copy memoryview
+casts (indexed and sliced exactly like the stdlib arrays), the rebuilt
+worker graph replays the parent's adjacency insertion order, and
+``is_stale()`` is vacuously False for attached views — the exporting
+parent re-freezes before every export.
 """
 
 from __future__ import annotations

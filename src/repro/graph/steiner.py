@@ -41,6 +41,74 @@ from repro.graph.types import undirected_key
 PairFn = Callable[[str, set[str]], tuple[dict[str, float], dict[str, str]]]
 
 
+def canonical_shortest_path(
+    graph: KnowledgeGraph,
+    cost: CostFn,
+    dist,
+    source: str,
+    target: str,
+    prev: dict[str, str],
+) -> list[str]:
+    """Canonical-SPT path reconstruction from *final* distances.
+
+    Walks backward from ``target``, at each node choosing the
+    lexicographically smallest neighbor whose distance plus edge cost
+    equals the node's distance exactly. The choice depends only on the
+    distance surface, never on heap pop order — so the dict engine, the
+    CSR engine, and closures *derived* from memoized base runs (the
+    batch engine's λ-aware reuse) all reconstruct the same path, and so
+    does any adjacency insertion order. Requires strictly positive
+    costs (every true predecessor then settles strictly earlier, hence
+    appears in ``dist`` even for early-exit runs).
+
+    ``dist`` is any mapping with ``.get`` — a plain settled-distance
+    dict, or the batch engine's lazy overlay-distance view. ``prev`` is
+    the producing run's own predecessor map, used as a fallback: if no
+    neighbor reproduces the stored distance bit-exactly (distances
+    whose floating-point fold order differs from the edge-by-edge walk
+    can miss equality by an ulp), the remainder of the path follows the
+    run's recorded tree instead of failing.
+    """
+    dist_get = dist.get
+    nodes = [target]
+    node = target
+    seen = {target}
+    while node != source:
+        d = dist_get(node)
+        best = None
+        if d is not None:
+            for neighbor, stored in graph.neighbors(node).items():
+                if neighbor in seen:
+                    continue
+                dn = dist_get(neighbor)
+                if dn is None or dn >= d:
+                    continue
+                if dn + cost(neighbor, node, stored) == d and (
+                    best is None or neighbor < best
+                ):
+                    best = neighbor
+        if best is None:
+            # Ulp guard: fall back to the run's own predecessor chain.
+            # Restart from the target — derived closures only record
+            # chains for the requested targets, and the canonical walk
+            # may already have stepped off them.
+            nodes = [target]
+            node = target
+            while node != source:
+                node = prev[node]
+                nodes.append(node)
+            break
+        nodes.append(best)
+        seen.add(best)
+        node = best
+    nodes.reverse()
+    return nodes
+
+
+def _stored_cost(_u: str, _v: str, stored: float) -> float:
+    return stored
+
+
 def single_terminal_tree(
     graph: KnowledgeGraph, terminal: str
 ) -> KnowledgeGraph:
@@ -68,6 +136,7 @@ def steiner_tree(
     frozen: FrozenGraph | None = None,
     slot_costs=None,
     pair_fn: PairFn | None = None,
+    canonical: bool = False,
 ) -> KnowledgeGraph:
     """2-approximate minimum Steiner tree spanning ``terminals``.
 
@@ -94,6 +163,15 @@ def steiner_tree(
         engine to memoize terminal-pair Dijkstras across tasks. ``dist``
         may cover a superset of a fresh early-exit run; only the
         ``rest`` entries and their predecessor chains are read.
+    canonical:
+        Reconstruct closure paths with :func:`canonical_shortest_path`
+        (deterministic min-id predecessor choice from final distances)
+        instead of the producing run's heap-order predecessor chains.
+        Requires strictly positive costs. This makes the unfolded tree
+        independent of heap tie-breaking — the same for both engines,
+        for any adjacency insertion order, and for closures the batch
+        engine derives from memoized base runs, which is what lets
+        λ-aware partial reuse default on without changing outputs.
     """
     unique_terminals = list(dict.fromkeys(terminals))
     if not unique_terminals:
@@ -111,6 +189,7 @@ def steiner_tree(
 
     # Steps 2-3: metric closure over terminals (one Dijkstra per terminal).
     terminal_set = set(unique_terminals)
+    closure_cost = cost_fn or _stored_cost
     closure_edges: list[tuple[str, str, float]] = []
     shortest: dict[tuple[str, str], list[str]] = {}
     for index, source in enumerate(unique_terminals):
@@ -138,7 +217,13 @@ def steiner_tree(
                     f"terminals {source!r} and {target!r} are disconnected"
                 )
             closure_edges.append((source, target, dist[target]))
-            shortest[(source, target)] = reconstruct_path(prev, source, target)
+            shortest[(source, target)] = (
+                canonical_shortest_path(
+                    graph, closure_cost, dist, source, target, prev
+                )
+                if canonical
+                else reconstruct_path(prev, source, target)
+            )
 
     # Step 7: MST of the metric closure.
     closure_mst = kruskal_mst(unique_terminals, closure_edges)
@@ -153,9 +238,9 @@ def steiner_tree(
     # Cleanup: re-MST the unfolded union (removes cycles introduced by
     # overlapping shortest paths), then prune non-terminal leaves.
     nodes = sorted({n for key in unfolded for n in key})
-    cost = cost_fn or (lambda _u, _v, w: w)
     tree_edges = kruskal_mst(
-        nodes, [(u, v, cost(u, v, w)) for (u, v), w in unfolded.items()]
+        nodes,
+        [(u, v, closure_cost(u, v, w)) for (u, v), w in unfolded.items()],
     )
     kept = {undirected_key(u, v) for u, v, _ in tree_edges}
     tree = edge_subgraph(graph, kept)

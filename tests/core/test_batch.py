@@ -207,10 +207,20 @@ class TestPartialReuse:
         for expected, result in zip(fresh, report.results):
             assert canonical(expected) == canonical(result.explanation)
 
-    def test_disabled_by_default(self, boosted_workload):
+    def test_defaults_on_with_escape_hatch(self, boosted_workload):
+        """λ-aware reuse is the default (canonical-SPT makes it safe);
+        partial_reuse=False restores always-fresh boosted closures."""
         graph, tasks = boosted_workload
         report = BatchSummarizer(graph, method="ST", lam=2.0).run(tasks)
-        assert report.cache_patched == 0
+        assert report.cache_patched > 0
+        cold = BatchSummarizer(
+            graph, method="ST", lam=2.0, partial_reuse=False
+        ).run(tasks)
+        assert cold.cache_patched == 0
+        for derived, fresh in zip(report.results, cold.results):
+            assert canonical(derived.explanation) == canonical(
+                fresh.explanation
+            )
 
     def test_stale_base_runs_not_served_after_rebind(self, boosted_workload):
         """Base entries are index-keyed, so a pairs fn bound to an old
@@ -289,6 +299,142 @@ class TestPartialReuse:
                     total += weighting.cost(a, b, graph.weight(a, b))
                 assert total == pytest.approx(dist[target], abs=1e-12)
         assert cache.patched > 0
+
+
+class TestProcessBackend:
+    """Shared-memory process pool: parity, merging, fallback, teardown."""
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_backends_produce_identical_output(
+        self, method, test_bench, bench_tasks
+    ):
+        serial = BatchSummarizer(
+            test_bench.graph, method=method, parallel="serial"
+        ).run(bench_tasks)
+        threaded = BatchSummarizer(
+            test_bench.graph, method=method, parallel="threads", workers=2
+        ).run(bench_tasks)
+        processes = BatchSummarizer(
+            test_bench.graph, method=method, parallel="processes", workers=2
+        ).run(bench_tasks)
+        assert serial.parallel == "serial"
+        assert threaded.parallel == "threads"
+        assert processes.parallel == "processes"
+        for a, b, c in zip(
+            serial.results, threaded.results, processes.results
+        ):
+            assert (
+                canonical(a.explanation)
+                == canonical(b.explanation)
+                == canonical(c.explanation)
+            )
+
+    def test_boosted_lambda_parity_across_backends(self, test_bench):
+        tasks = list(
+            test_bench.tasks(Scenario.USER_CENTRIC, "PGPR", 4).values()
+        )
+        serial = BatchSummarizer(
+            test_bench.graph, method="ST", lam=2.0, parallel="serial"
+        ).run(tasks)
+        processes = BatchSummarizer(
+            test_bench.graph, method="ST", lam=2.0, parallel="processes",
+            workers=2,
+        ).run(tasks)
+        for a, b in zip(serial.results, processes.results):
+            assert canonical(a.explanation) == canonical(b.explanation)
+
+    def test_report_merges_worker_timings_and_counters(
+        self, test_bench, bench_tasks
+    ):
+        report = BatchSummarizer(
+            test_bench.graph,
+            method="ST",
+            parallel="processes",
+            workers=2,
+            chunk_size=1,
+        ).run(bench_tasks)
+        assert report.parallel == "processes"
+        assert report.workers == 2
+        assert [r.index for r in report.results] == list(
+            range(len(bench_tasks))
+        )
+        assert all(r.seconds >= 0 for r in report.results)
+        # Every task misses at least once somewhere (per-worker caches),
+        # and the counters are aggregated across workers.
+        assert report.cache_misses + report.cache_patched > 0
+        assert "parallel=processes" in report.summary()
+
+    def test_no_shared_memory_leak(self, test_bench, bench_tasks):
+        import os
+
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this platform")
+        before = {
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith("rxg")
+        }
+        BatchSummarizer(
+            test_bench.graph, method="ST", parallel="processes", workers=2
+        ).run(bench_tasks)
+        after = {
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith("rxg")
+        }
+        assert after <= before
+
+    def test_falls_back_to_local_when_export_fails(
+        self, monkeypatch, test_bench, bench_tasks
+    ):
+        from repro.graph.csr import FrozenGraph
+
+        def broken_export(self):
+            raise OSError("no shared memory on this box")
+
+        monkeypatch.setattr(FrozenGraph, "to_shared", broken_export)
+        engine = BatchSummarizer(
+            test_bench.graph, method="ST", parallel="processes"
+        )
+        with pytest.warns(RuntimeWarning, match="process backend"):
+            report = engine.run(bench_tasks)
+        assert report.parallel == "serial"
+        expected = [
+            Summarizer(test_bench.graph, method="ST").summarize(task)
+            for task in bench_tasks
+        ]
+        for exp, result in zip(expected, report.results):
+            assert canonical(exp) == canonical(result.explanation)
+
+    def test_auto_backend_stays_local_on_small_graphs(
+        self, test_bench, bench_tasks
+    ):
+        engine = BatchSummarizer(test_bench.graph, method="ST", workers=2)
+        assert test_bench.graph.num_nodes < engine.AUTO_PROCESS_MIN_NODES
+        report = engine.run(bench_tasks)
+        assert report.parallel == "threads"
+
+    def test_rejects_unknown_backend_and_chunk_size(self, test_bench):
+        with pytest.raises(ValueError, match="parallel backend"):
+            BatchSummarizer(test_bench.graph, parallel="gpu")
+        with pytest.raises(ValueError, match="chunk_size"):
+            BatchSummarizer(test_bench.graph, chunk_size=0)
+
+    def test_task_errors_propagate_like_serial(self, test_bench):
+        """A genuinely failing task raises, not silently falls back."""
+        bad = SummaryTask(
+            scenario=Scenario.USER_CENTRIC,
+            terminals=("u:missing-node", "u:also-missing"),
+            paths=(),
+            anchors=("u:also-missing",),
+            focus=("u:missing-node",),
+            k=1,
+        )
+        engine = BatchSummarizer(
+            test_bench.graph, method="ST", parallel="processes", workers=2
+        )
+        with pytest.raises(KeyError):
+            engine.run([bad])
 
 
 class TestStalenessInvalidation:

@@ -70,11 +70,44 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["batch", "--demo", "2", "--engine", "gpu"])
 
-    def test_batch_rejects_partial_reuse_off_st(self):
+    def test_batch_rejects_unknown_parallel_backend(self):
         with pytest.raises(SystemExit):
+            main(["batch", "--demo", "2", "--parallel", "gpu"])
+
+    def test_batch_no_partial_reuse_escape_hatch(self, capsys):
+        """--partial-reuse is the default; --no-partial-reuse opts out
+        and is accepted (as a no-op) for non-ST methods too."""
+        assert (
+            main(
+                [
+                    "batch", "--demo", "2", "--scale", "test",
+                    "--method", "ST", "--no-partial-reuse",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
             main(
                 [
                     "batch", "--demo", "2", "--scale", "test",
                     "--method", "PCST", "--partial-reuse",
                 ]
             )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "batch method=PCST tasks=2" in out
+
+    def test_batch_explicit_serial_backend(self, capsys):
+        assert (
+            main(
+                [
+                    "batch", "--demo", "2", "--scale", "test",
+                    "--method", "ST", "--parallel", "serial",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "parallel=serial" in out
