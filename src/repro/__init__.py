@@ -3,6 +3,9 @@ recommenders" (Pla Karidi & Pitoura, ICDE 2025).
 
 Public API tour
 ---------------
+- :mod:`repro.api` — the service layer: :class:`ExplanationSession`
+  (typed configs, method registry, warm pooled execution, streaming
+  results) — the preferred entry point for serving explanations.
 - :mod:`repro.graph` — knowledge-graph substrate and the Steiner / PCST
   algorithms.
 - :mod:`repro.data` — ML1M/LFM1M-shaped synthetic datasets and DBpedia-
@@ -20,6 +23,13 @@ Quickstart::
     print(quick_demo())
 """
 
+from repro.api import (
+    CacheConfig,
+    EngineConfig,
+    ExplanationSession,
+    ParallelConfig,
+    SummaryRequest,
+)
 from repro.core.scenarios import (
     Scenario,
     item_centric_task,
@@ -29,11 +39,16 @@ from repro.core.scenarios import (
 )
 from repro.core.summarizer import Summarizer, summarize
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CacheConfig",
+    "EngineConfig",
+    "ExplanationSession",
+    "ParallelConfig",
     "Scenario",
     "Summarizer",
+    "SummaryRequest",
     "__version__",
     "item_centric_task",
     "item_group_task",

@@ -1,0 +1,57 @@
+"""Service API: one session facade over the whole summarization stack.
+
+The pieces:
+
+- :class:`ExplanationSession` (:mod:`repro.api.session`) — a long-lived
+  service object owning the frozen CSR view, the shared-memory export,
+  a warm process pool and the cross-task caches, all keyed by the
+  graph's version counter.
+- :class:`EngineConfig` / :class:`CacheConfig` / :class:`ParallelConfig`
+  (:mod:`repro.api.config`) — the typed configs that replaced the
+  legacy constructors' scattered kwargs.
+- :class:`SummaryRequest` (:mod:`repro.api.requests`) — one task plus
+  method routing and per-request overrides.
+- :mod:`repro.api.registry` — the method routing table ("st",
+  "st-fast", "pcst", "union"), user-extensible via
+  :func:`register_method`.
+
+Minimal use::
+
+    from repro.api import ExplanationSession, SummaryRequest
+
+    with ExplanationSession(graph) as session:
+        report = session.run(tasks)               # bare tasks work too
+        one = session.explain(
+            SummaryRequest(task=task, method="pcst")
+        )
+        for result in session.stream(tasks):      # as chunks complete
+            ...
+"""
+
+from repro.api.config import CacheConfig, EngineConfig, ParallelConfig
+from repro.api.registry import (
+    MethodSpec,
+    available_methods,
+    method_spec,
+    register_method,
+    unregister_method,
+)
+from repro.api.requests import SummaryRequest
+from repro.api.session import ExplanationSession, SessionStats
+from repro.core.batch import BatchReport, BatchResult
+
+__all__ = [
+    "BatchReport",
+    "BatchResult",
+    "CacheConfig",
+    "EngineConfig",
+    "ExplanationSession",
+    "MethodSpec",
+    "ParallelConfig",
+    "SessionStats",
+    "SummaryRequest",
+    "available_methods",
+    "method_spec",
+    "register_method",
+    "unregister_method",
+]

@@ -1,0 +1,61 @@
+"""Typed request/response envelope for the service API.
+
+A :class:`SummaryRequest` wraps the paper's normal-form
+:class:`~repro.core.scenarios.SummaryTask` with the two things a
+serving layer adds: *which* registered method should answer it and any
+per-request overrides of the session's :class:`EngineConfig` defaults
+(e.g. one caller's λ). Responses reuse the batch engine's
+:class:`~repro.core.batch.BatchResult` / ``BatchReport`` types — the
+streaming iterator yields the former, ``run`` returns the latter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from types import MappingProxyType
+
+from repro.core.scenarios import SummaryTask
+
+
+@dataclass(frozen=True)
+class SummaryRequest:
+    """One explanation request.
+
+    Parameters
+    ----------
+    task:
+        The normal-form summarization input.
+    method:
+        A registered method name ("st", "st-fast", "pcst", "union", or
+        anything added via :func:`repro.api.registry.register_method`;
+        legacy labels like "ST" are accepted as aliases). None uses the
+        session's default method.
+    overrides:
+        Per-request :class:`~repro.api.config.EngineConfig` field
+        overrides (e.g. ``{"lam": 100.0}``). Unknown keys fail at
+        dispatch time with the valid field names.
+    """
+
+    task: SummaryTask
+    method: str | None = None
+    overrides: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Snapshot into a read-only view: later caller-side mutations of
+        # the passed dict can't change the request, and consumers still
+        # get the declared Mapping interface (request.overrides["lam"]).
+        object.__setattr__(
+            self, "overrides", MappingProxyType(dict(self.overrides))
+        )
+
+
+def as_request(item: SummaryRequest | SummaryTask) -> SummaryRequest:
+    """Coerce bare tasks to requests (session convenience)."""
+    if isinstance(item, SummaryRequest):
+        return item
+    if isinstance(item, SummaryTask):
+        return SummaryRequest(task=item)
+    raise TypeError(
+        f"expected SummaryRequest or SummaryTask, got {type(item).__name__}"
+    )

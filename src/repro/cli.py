@@ -9,14 +9,17 @@ Usage::
     repro-xsum batch --tasks tasks.jsonl --method ST
     repro-xsum batch --demo 100 --method ST --parallel processes --workers 4
     repro-xsum batch --demo 100 --no-partial-reuse
+    repro-xsum batch --demo 100 --stream
     repro-xsum list
 
-The ``batch`` subcommand runs the freeze-then-batch pipeline
-(:class:`repro.core.batch.BatchSummarizer`) over a JSONL task file (one
-:class:`SummaryTask` per line, see ``repro.core.batch.task_to_json`` for
-the schema) — or over ``--demo N`` user-centric tasks drawn from the
-workbench recommender when no file is given — and prints per-batch
-timing and closure-cache statistics.
+The ``batch`` subcommand serves a batch through the service API
+(:class:`repro.api.ExplanationSession`: freeze/export once, warm worker
+pool, typed configs) over a JSONL task file (one :class:`SummaryTask`
+per line, see ``repro.core.batch.task_to_json`` for the schema) — or
+over ``--demo N`` user-centric tasks drawn from the workbench
+recommender when no file is given — and prints per-batch timing and
+closure-cache statistics. ``--stream`` prints each result as its chunk
+completes instead of waiting for the whole batch.
 """
 
 from __future__ import annotations
@@ -55,8 +58,14 @@ def _print_panels(name: str, panels) -> None:
 
 
 def _run_batch(parser: argparse.ArgumentParser, args) -> int:
-    """The ``batch`` subcommand: freeze once, summarize many tasks."""
-    from repro.core.batch import BatchSummarizer, load_tasks_jsonl
+    """The ``batch`` subcommand: one session, freeze once, serve tasks."""
+    from repro.api import (
+        CacheConfig,
+        EngineConfig,
+        ExplanationSession,
+        ParallelConfig,
+    )
+    from repro.core.batch import load_tasks_jsonl
     from repro.core.scenarios import Scenario
 
     bench = Workbench.get(_config(args))
@@ -76,16 +85,29 @@ def _run_batch(parser: argparse.ArgumentParser, args) -> int:
         tasks = [pool[i % len(pool)] for i in range(args.demo)]
     else:
         parser.error("batch needs --tasks FILE or --demo N")
-    engine = BatchSummarizer(
+    session = ExplanationSession(
         bench.graph,
-        method=args.method,
-        workers=args.workers,
-        engine=args.engine,
-        partial_reuse=args.partial_reuse,
-        parallel=None if args.parallel == "auto" else args.parallel,
+        engine=EngineConfig(engine=args.engine),
+        cache=CacheConfig(partial_reuse=args.partial_reuse),
+        parallel=ParallelConfig(
+            backend=None if args.parallel == "auto" else args.parallel,
+            workers=args.workers,
+        ),
+        default_method=args.method,
     )
-    report = engine.run(tasks)
-    print(report.summary())
+    with session:
+        if args.stream:
+            done = 0
+            for result in session.stream(tasks):
+                done += 1
+                print(
+                    f"[{done}/{len(tasks)}] task #{result.index} "
+                    f"({result.seconds * 1000.0:.2f} ms, "
+                    f"{result.explanation.subgraph.num_edges} edges)"
+                )
+            return 0
+        report = session.run(tasks)
+        print(report.summary())
     return 0
 
 
@@ -139,6 +161,13 @@ def main(argv: list[str] | None = None) -> int:
         "pool (threads are GIL-bound for these pure-Python "
         "traversals); auto picks processes on multi-core machines for "
         "big enough graphs/batches",
+    )
+    batch_group.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream results as chunks complete (service API "
+        "ExplanationSession.stream) instead of printing one report at "
+        "the end",
     )
     batch_group.add_argument(
         "--partial-reuse",

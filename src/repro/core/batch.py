@@ -33,20 +33,14 @@ canonical-SPT reconstruction (see
 from those distances alone — so derived closures produce bit-identical
 summaries to cold runs, which is what lets the tier default on.
 
-:class:`BatchSummarizer` wraps all of it behind a ``parallel`` knob:
-
-- ``"serial"`` — one task at a time in the calling thread.
-- ``"threads"`` — a thread pool. The traversals are pure Python and
-  hold the GIL, so threads do **not** parallelize the CPU-bound work;
-  they only help when tasks block elsewhere (I/O hooks, C extensions).
-- ``"processes"`` — a spawn-safe ``ProcessPoolExecutor`` over the
-  frozen view exported to shared memory (zero-copy attach per worker,
-  see :mod:`repro.graph.shared`): chunked dispatch, a per-worker
-  closure cache, per-task timings measured in the workers, and counter
-  aggregation so the report reads exactly like a serial run's.
-- default (``None``/``"auto"``) — picks processes on multi-core
-  machines once the graph and batch are big enough to amortize worker
-  startup, else threads/serial as before.
+Batch *execution* moved to the service layer: a long-lived
+:class:`repro.api.ExplanationSession` owns the frozen view, the
+shared-memory export, the warm process pool and this module's
+:class:`TerminalClosureCache`, and dispatches serial / thread-pool /
+process-pool runs. :class:`BatchSummarizer` remains as a thin deprecated
+shim over a private session so existing call sites keep working
+(bit-identical results, same report format) while emitting a
+``DeprecationWarning``.
 
 JSONL (de)serialization for task files lives here too — the CLI
 ``batch`` subcommand reads one task per line.
@@ -58,18 +52,16 @@ import json
 import os
 import pickle
 import threading
-import time
 import warnings
 from collections import OrderedDict
 from collections.abc import Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path as FilePath
 
 from repro.core.explanation import SubgraphExplanation
 from repro.core.scenarios import Scenario, SummaryTask
-from repro.core.summarizer import METHODS, Summarizer
+from repro.core.summarizer import METHODS
 from repro.graph.heap import AddressableHeap
 from repro.graph.knowledge_graph import KnowledgeGraph
 from repro.graph.paths import Path
@@ -555,8 +547,13 @@ class BatchReport:
 
     @property
     def throughput(self) -> float:
-        """Tasks per second over the whole run (freeze included)."""
-        if self.total_seconds <= 0:
+        """Tasks per second over the whole run (freeze included).
+
+        A trivially small batch can finish inside one timer tick, so a
+        zero or near-zero elapsed denominator reports 0.0 instead of
+        dividing through to ``inf``/absurdly large rates.
+        """
+        if not self.results or self.total_seconds < 1e-9:
             return 0.0
         return len(self.results) / self.total_seconds
 
@@ -621,123 +618,53 @@ def _cache_counters(cache) -> dict[str, int]:
     return {key: getattr(cache, key) for key in _STAT_KEYS}
 
 
-#: Per-process worker state, populated by :func:`_process_worker_init`.
-_WORKER_STATE: dict = {}
-
-
-def _process_worker_init(handle, config: dict) -> None:
-    """Worker initializer: attach the shared view, build a summarizer.
-
-    Runs once per worker process under any start method — ``spawn``
-    included, since everything it needs arrives as picklable initargs
-    (the shared-memory handle and a plain config dict) and the CSR
-    arrays are attached by name, zero-copy.
-    """
-    from repro.graph.shared import attach_knowledge_graph
-
-    graph = attach_knowledge_graph(handle)
-    cache = (
-        TerminalClosureCache(
-            config["cache_size"], partial_reuse=config["partial_reuse"]
-        )
-        if config["method"] == "ST"
-        else None
-    )
-    _WORKER_STATE["cache"] = cache
-    _WORKER_STATE["summarizer"] = Summarizer(
-        graph,
-        method=config["method"],
-        closure_cache=cache,
-        **config["params"],
-    )
-
-
-def _process_chunk(pairs: list) -> tuple[list, dict[str, int]]:
-    """Summarize one chunk of ``(index, task)`` pairs in a worker.
-
-    Returns ``(results, counter_delta)`` where results are
-    ``(index, explanation, seconds)`` triples and the delta is this
-    chunk's closure-cache activity (chunks run sequentially inside a
-    worker, so before/after snapshots are race-free).
-    """
-    summarizer = _WORKER_STATE["summarizer"]
-    cache = _WORKER_STATE["cache"]
-    before = _cache_counters(cache)
-    out = []
-    for index, task in pairs:
-        task_start = time.perf_counter()
-        explanation = summarizer.summarize(task)
-        out.append((index, explanation, time.perf_counter() - task_start))
-    after = _cache_counters(cache)
-    return out, {key: after[key] - before[key] for key in _STAT_KEYS}
-
-
 class BatchSummarizer:
-    """Many-task summarization over one knowledge graph.
+    """Deprecated batch facade: many-task summarization over one graph.
 
-    Parameters
-    ----------
-    graph:
-        The shared knowledge graph. Frozen once per run (re-frozen
-        automatically if mutated between runs).
-    method:
-        Any of the facade's methods ("ST", "ST-fast", "PCST", "Union").
-        ST, ST-fast and PCST all run on the shared frozen CSR view
-        (frozen once per run, up front); ST additionally shares the
-        terminal-closure cache across tasks. Union builds straight from
-        the task's paths (no traversal, ``freeze_seconds`` is 0.0).
-        Output is identical to a per-task :class:`Summarizer` for every
-        method and every backend.
-    workers:
-        Pool size for the threads/processes backends; 0 means "pick"
-        (sequential for threads — the historical default — and
-        ``os.cpu_count()`` for processes).
-    closure_cache_size:
-        LRU capacity of the shared :class:`TerminalClosureCache` (and
-        of each worker's own cache under the process backend).
-    partial_reuse:
-        The cache's λ-aware partial reuse (ST only): boosted (λ>0)
-        closures are derived from memoized radius-bounded base runs
-        patched with each task's boosted edges, so reuse cuts across
-        tasks with disjoint boost sets. Default **on**: distances are
-        exact and fold-order-identical to cold runs, and the
-        summarizer's canonical-SPT reconstruction makes the resulting
-        trees bit-identical to cold ones. Turn off alongside
-        ``canonical=False`` when heap-order predecessor chains are
-        wanted verbatim.
-    parallel:
-        Dispatch backend: "serial", "threads", "processes", or
-        None/"auto" (default). Threads do not parallelize the
-        CPU-bound pure-Python traversals (they hold the GIL) — use
-        "processes" for multi-core speedups; auto picks processes when
-        the machine has more than one core and the graph is at least
-        :data:`AUTO_PROCESS_MIN_NODES` nodes with
-        :data:`AUTO_PROCESS_MIN_TASKS` tasks queued. The process
-        backend exports the frozen view to shared memory (workers
-        attach zero-copy), chunks tasks across spawn-safe workers with
-        per-worker closure caches, and merges timings and cache
-        counters so the report format matches a serial run. If process
-        infrastructure is unavailable the run falls back to a local
-        backend (with a ``RuntimeWarning``); results are identical
-        either way.
-    chunk_size:
-        Tasks per process-pool submission; default
-        ``ceil(n / (4 * workers))`` — small enough to level out skewed
-        task costs, large enough to amortize IPC.
-    mp_start_method:
-        Process start method ("fork", "spawn", "forkserver"); default
-        the ``REPRO_MP_START_METHOD`` env var, else the platform
-        default. Workers are spawn-safe regardless.
-    **params:
-        Forwarded to :class:`Summarizer` (lam, weight_influence,
-        prize_policy, engine, canonical, ...). Must be picklable when
-        the process backend is used.
+    .. deprecated::
+        Construct a :class:`repro.api.ExplanationSession` instead — it
+        replaces this class's kwarg sprawl with typed configs
+        (:class:`~repro.api.EngineConfig` /
+        :class:`~repro.api.CacheConfig` /
+        :class:`~repro.api.ParallelConfig`), keeps the frozen view,
+        shared-memory export and process pool warm *across* batches,
+        and adds per-request method routing plus a streaming iterator.
+
+    The shim delegates to a private session configured identically, so
+    results, the report format, backend auto-selection and the
+    local-fallback ``RuntimeWarning`` are unchanged. To preserve the
+    legacy resource contract, the pool and shared-memory export are
+    released after every :meth:`run` (nothing persists between calls
+    except the closure cache, exactly as before).
+
+    Parameters match the historical constructor: ``method`` ("ST",
+    "ST-fast", "PCST", "Union"), ``workers``, ``closure_cache_size``,
+    ``partial_reuse``, ``parallel`` ("serial" / "threads" /
+    "processes" / None for auto), ``chunk_size``, ``mp_start_method``,
+    and ``**params`` forwarded to the summarizer (lam,
+    weight_influence, prize_policy, use_edge_weights, strong_pruning,
+    engine, canonical).
     """
 
-    #: Auto-backend thresholds: below either, worker startup + IPC
+    #: Auto-backend thresholds (mirrors ExplanationSession, which owns
+    #: the resolution logic now): below either, worker startup + IPC
     #: dominates and the local backends win.
     AUTO_PROCESS_MIN_NODES = 4096
     AUTO_PROCESS_MIN_TASKS = 8
+
+    #: Keyword params that map onto EngineConfig fields; anything else
+    #: is a typo and fails construction like the legacy facade did.
+    _ENGINE_PARAMS = frozenset(
+        (
+            "engine",
+            "canonical",
+            "lam",
+            "weight_influence",
+            "prize_policy",
+            "use_edge_weights",
+            "strong_pruning",
+        )
+    )
 
     def __init__(
         self,
@@ -751,19 +678,29 @@ class BatchSummarizer:
         mp_start_method: str | None = None,
         **params,
     ) -> None:
+        warnings.warn(
+            "BatchSummarizer is deprecated; use repro.api."
+            "ExplanationSession (typed configs, warm pooled execution, "
+            "streaming results) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if method not in METHODS:
             raise ValueError(
                 f"unknown method {method!r}; expected one of {METHODS}"
             )
-        if workers < 0:
-            raise ValueError("workers must be >= 0")
-        if parallel not in (None, "auto", *PARALLEL_BACKENDS):
-            raise ValueError(
-                f"unknown parallel backend {parallel!r}; expected one of "
-                f"{('auto', *PARALLEL_BACKENDS)}"
+        unknown = set(params) - self._ENGINE_PARAMS
+        if unknown:
+            raise TypeError(
+                f"unexpected summarizer parameter(s) {sorted(unknown)}"
             )
-        if chunk_size is not None and chunk_size < 1:
-            raise ValueError("chunk_size must be positive")
+        from repro.api import (
+            CacheConfig,
+            EngineConfig,
+            ExplanationSession,
+            ParallelConfig,
+        )
+
         self.graph = graph
         self.method = method
         self.workers = workers
@@ -774,193 +711,44 @@ class BatchSummarizer:
         ) or None
         self.closure_cache_size = closure_cache_size
         self.partial_reuse = partial_reuse
-        engine = params.get("engine", "frozen")
-        self._uses_frozen = method != "Union" and engine != "dict"
         self._params = dict(params)
-        self.closure_cache = (
-            TerminalClosureCache(
-                closure_cache_size, partial_reuse=partial_reuse
-            )
-            if method == "ST"
-            else None
-        )
-        self._summarizer = Summarizer(
-            graph, method=method, closure_cache=self.closure_cache, **params
+        self._session = ExplanationSession(
+            graph,
+            engine=EngineConfig(**params),
+            cache=CacheConfig(
+                closure_size=closure_cache_size,
+                partial_reuse=partial_reuse,
+            ),
+            parallel=ParallelConfig(
+                backend=parallel,
+                workers=workers,
+                chunk_size=chunk_size,
+                mp_start_method=self.mp_start_method,
+            ),
+            default_method=method,
         )
 
-    # ------------------------------------------------------------------
-    def _resolve_backend(self, num_tasks: int) -> str:
-        """Pick the dispatch backend for this run."""
-        choice = self.parallel or "auto"
-        if choice == "processes" and num_tasks == 0:
-            return "serial"
-        if choice != "auto":
-            return choice
-        cpus = os.cpu_count() or 1
-        if (
-            cpus > 1
-            and self.method != "Union"
-            and self.graph.num_nodes >= self.AUTO_PROCESS_MIN_NODES
-            and num_tasks >= self.AUTO_PROCESS_MIN_TASKS
-        ):
-            return "processes"
-        if self.workers > 1 and num_tasks > 1:
-            return "threads"
-        return "serial"
+    @property
+    def closure_cache(self):
+        """The session-owned closure cache (ST only; None otherwise).
+
+        The legacy class built this eagerly in ``__init__``; the shim
+        materializes the session's cache on access so counter reads
+        (``cache.hits`` etc.) keep working without an AttributeError.
+        """
+        if self.method != "ST":
+            return None
+        return self._session._ensure_closure_cache()
 
     def run(self, tasks: Iterable[SummaryTask]) -> BatchReport:
         """Summarize every task; per-task timings in the report."""
-        task_list = list(tasks)
-        backend = self._resolve_backend(len(task_list))
-        if backend == "processes":
-            try:
-                return self._run_processes(task_list)
-            except _PROCESS_FALLBACK_ERRORS as error:
-                warnings.warn(
-                    f"process backend unavailable ({error!r}); falling "
-                    "back to a local run",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                backend = (
-                    "threads"
-                    if self.workers > 1 and len(task_list) > 1
-                    else "serial"
-                )
-        return self._run_local(task_list, backend)
-
-    def _run_local(
-        self, task_list: list[SummaryTask], backend: str
-    ) -> BatchReport:
-        """The serial / thread-pool path (shared closure cache)."""
-        start = time.perf_counter()
-        freeze_seconds = 0.0
-        if self._uses_frozen:
-            freeze_start = time.perf_counter()
-            self.graph.freeze()
-            freeze_seconds = time.perf_counter() - freeze_start
-        before = _cache_counters(self.closure_cache)
-
-        def one(indexed: tuple[int, SummaryTask]) -> BatchResult:
-            index, task = indexed
-            task_start = time.perf_counter()
-            explanation = self._summarizer.summarize(task)
-            return BatchResult(
-                index=index,
-                task=task,
-                explanation=explanation,
-                seconds=time.perf_counter() - task_start,
-            )
-
-        pool_size = self.workers if self.workers > 0 else (
-            os.cpu_count() or 1
-        )
-        if backend == "threads" and pool_size > 1 and len(task_list) > 1:
-            with ThreadPoolExecutor(max_workers=pool_size) as pool:
-                results = list(pool.map(one, enumerate(task_list)))
-            workers = pool_size
-        else:
-            backend = "serial"
-            results = [one(pair) for pair in enumerate(task_list)]
-            workers = self.workers
-        after = _cache_counters(self.closure_cache)
-
-        return BatchReport(
-            method=self.method,
-            results=tuple(results),
-            freeze_seconds=freeze_seconds,
-            total_seconds=time.perf_counter() - start,
-            cache_hits=after["hits"] - before["hits"],
-            cache_misses=after["misses"] - before["misses"],
-            cache_patched=after["patched"] - before["patched"],
-            cache_base_hits=after["base_hits"] - before["base_hits"],
-            cache_base_misses=after["base_misses"] - before["base_misses"],
-            workers=workers,
-            parallel=backend,
-        )
-
-    def _run_processes(self, task_list: list[SummaryTask]) -> BatchReport:
-        """The shared-memory process-pool path.
-
-        Freeze + export once, attach per worker, chunked dispatch,
-        ordered merge. Blocks are closed and unlinked on every exit
-        path so ``/dev/shm`` never accumulates leaked segments.
-        """
-        import multiprocessing
-
-        start = time.perf_counter()
-        freeze_start = time.perf_counter()
-        frozen = self.graph.freeze()
-        export = frozen.to_shared()
-        freeze_seconds = time.perf_counter() - freeze_start
-
-        cpus = os.cpu_count() or 1
-        workers = self.workers if self.workers > 0 else cpus
-        workers = max(1, min(workers, len(task_list)))
-        chunk = self.chunk_size or max(
-            1, -(-len(task_list) // (4 * workers))
-        )
-        pairs = list(enumerate(task_list))
-        chunks = [
-            pairs[i : i + chunk] for i in range(0, len(pairs), chunk)
-        ]
-        workers = min(workers, len(chunks))
-        config = {
-            "method": self.method,
-            "cache_size": self.closure_cache_size,
-            "partial_reuse": self.partial_reuse,
-            "params": self._params,
-        }
-        context = (
-            multiprocessing.get_context(self.mp_start_method)
-            if self.mp_start_method
-            else multiprocessing.get_context()
-        )
-        stats = dict.fromkeys(_STAT_KEYS, 0)
-        merged: list[tuple[int, SubgraphExplanation, float]] = []
         try:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=context,
-                initializer=_process_worker_init,
-                initargs=(export.handle, config),
-            ) as pool:
-                futures = [
-                    pool.submit(_process_chunk, chunk_pairs)
-                    for chunk_pairs in chunks
-                ]
-                for future in futures:
-                    chunk_results, delta = future.result()
-                    merged.extend(chunk_results)
-                    for key in _STAT_KEYS:
-                        stats[key] += delta[key]
+            return self._session.run(list(tasks))
         finally:
-            export.close()
-            export.unlink()
-
-        merged.sort(key=lambda triple: triple[0])
-        results = tuple(
-            BatchResult(
-                index=index,
-                task=task_list[index],
-                explanation=explanation,
-                seconds=seconds,
-            )
-            for index, explanation, seconds in merged
-        )
-        return BatchReport(
-            method=self.method,
-            results=results,
-            freeze_seconds=freeze_seconds,
-            total_seconds=time.perf_counter() - start,
-            cache_hits=stats["hits"],
-            cache_misses=stats["misses"],
-            cache_patched=stats["patched"],
-            cache_base_hits=stats["base_hits"],
-            cache_base_misses=stats["base_misses"],
-            workers=workers,
-            parallel="processes",
-        )
+            # Legacy runs never kept worker processes or shared-memory
+            # blocks alive between calls; the shim keeps that contract
+            # (warm reuse is the session's feature, not this facade's).
+            self._session.release_pool()
 
 
 # ----------------------------------------------------------------------

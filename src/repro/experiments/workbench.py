@@ -27,6 +27,7 @@ from repro.core.scenarios import (
     user_centric_task,
     user_group_task,
 )
+from repro.api import EngineConfig, ExplanationSession, SummaryRequest
 from repro.core.summarizer import Summarizer
 from repro.data.dbpedia import ExternalSchema, attach_external_knowledge
 from repro.data.lastfm import LastFMSpec, generate_lfm1m_like
@@ -284,8 +285,41 @@ class Workbench:
         labels.append("PCST")
         return labels
 
+    @cached_property
+    def session(self) -> ExplanationSession:
+        """The service-API session every figure's summaries run through.
+
+        One long-lived :class:`~repro.api.ExplanationSession` per
+        workbench: the frozen view and the closure cache are shared
+        across every (method, scenario, k) cell instead of per
+        summarizer, and a graph mutation invalidates all of it at once.
+        """
+        return ExplanationSession(
+            self.graph,
+            engine=EngineConfig(
+                weight_influence=self.config.weight_influence
+            ),
+        )
+
+    def _method_request(self, label: str, task: SummaryTask) -> SummaryRequest:
+        """Figure legend label -> service request (λ parsed from ST labels)."""
+        if label.startswith("ST"):
+            lam = float(label.split("=")[1])
+            return SummaryRequest(
+                task=task, method="st", overrides={"lam": lam}
+            )
+        if label == "PCST":
+            return SummaryRequest(task=task, method="pcst")
+        if label == "Union":
+            return SummaryRequest(task=task, method="union")
+        raise ValueError(f"unknown method label {label!r}")
+
     def summarizer(self, label: str) -> Summarizer:
-        """Method label -> configured summarizer (cached)."""
+        """Method label -> configured summarizer (cached).
+
+        Kept for the figure benches that time raw ``summarize`` calls;
+        plain summary construction goes through :attr:`session` now.
+        """
         summarizer = self._summarizers.get(label)
         if summarizer is None:
             if label.startswith("ST"):
@@ -322,7 +356,7 @@ class Workbench:
         key = (label, scenario, name, k, subject)
         cached = self._summaries.get(key)
         if cached is None:
-            cached = self.summarizer(label).summarize(task)
+            cached = self.session.explain(self._method_request(label, task))
             self._summaries[key] = cached
         return cached
 

@@ -96,6 +96,46 @@ class TestReportAndCache:
         )
         assert report.cache_hits == 0 and report.cache_misses == 0
 
+    def test_throughput_guards_near_zero_elapsed(self):
+        """A trivially small batch finishing inside one timer tick must
+        report 0.0 tasks/s, not inf (or an absurd rate)."""
+        from repro.core.batch import BatchReport, BatchResult
+
+        result = BatchResult(
+            index=0,
+            task=SummaryTask(
+                scenario=Scenario.USER_CENTRIC,
+                terminals=("u:0",),
+                paths=(),
+                anchors=(),
+                focus=("u:0",),
+            ),
+            explanation=None,
+            seconds=0.0,
+        )
+        for elapsed in (0.0, 1e-12, -1.0):
+            report = BatchReport(
+                method="Union",
+                results=(result,),
+                freeze_seconds=0.0,
+                total_seconds=elapsed,
+            )
+            assert report.throughput == 0.0
+        empty = BatchReport(
+            method="Union",
+            results=(),
+            freeze_seconds=0.0,
+            total_seconds=1.0,
+        )
+        assert empty.throughput == 0.0
+        real = BatchReport(
+            method="Union",
+            results=(result,),
+            freeze_seconds=0.0,
+            total_seconds=0.5,
+        )
+        assert real.throughput == 2.0
+
     def test_cache_lru_bound(self):
         cache = TerminalClosureCache(maxsize=2)
         graph = KnowledgeGraph()
@@ -511,6 +551,58 @@ class TestStalenessInvalidation:
 
 
 class TestJsonlRoundtrip:
+    @staticmethod
+    def _assert_roundtrip(task: SummaryTask) -> None:
+        restored = task_from_json(task_to_json(task))
+        assert restored.scenario is task.scenario
+        assert restored.terminals == task.terminals
+        assert restored.anchors == task.anchors
+        assert restored.focus == task.focus
+        assert restored.k == task.k
+        assert [p.nodes for p in restored.paths] == [
+            p.nodes for p in task.paths
+        ]
+
+    @pytest.mark.parametrize("scenario", list(Scenario))
+    def test_roundtrip_all_scenarios(self, scenario):
+        """Every Scenario variant survives to-JSON-and-back verbatim."""
+        self._assert_roundtrip(
+            SummaryTask(
+                scenario=scenario,
+                terminals=("u:0", "u:1", "i:0", "i:1"),
+                paths=(
+                    Path(nodes=("u:0", "i:0")),
+                    Path(nodes=("u:1", "i:1")),
+                ),
+                anchors=("i:0", "i:1"),
+                focus=("u:0", "u:1"),
+                k=2,
+            )
+        )
+
+    @pytest.mark.parametrize(
+        "scenario", [Scenario.USER_GROUP, Scenario.ITEM_GROUP]
+    )
+    def test_roundtrip_group_tasks_with_duplicate_terminals(self, scenario):
+        """Duplicate terminal entries (two group members sharing an
+        item/user) must survive verbatim — order and multiplicity are
+        part of the task's identity for tie-breaking."""
+        task = SummaryTask(
+            scenario=scenario,
+            terminals=("u:0", "u:1", "i:0", "i:0", "u:0"),
+            paths=(
+                Path(nodes=("u:0", "i:0")),
+                Path(nodes=("u:1", "i:0")),
+            ),
+            anchors=("i:0", "i:0"),
+            focus=("u:0", "u:1"),
+            k=1,
+        )
+        self._assert_roundtrip(task)
+        restored = task_from_json(task_to_json(task))
+        assert restored.terminals.count("i:0") == 2
+        assert restored.terminals.count("u:0") == 2
+
     def test_task_json_roundtrip(self):
         task = SummaryTask(
             scenario=Scenario.USER_GROUP,
