@@ -1,0 +1,224 @@
+"""Scheduler comparison: work-stealing vs static chunking on a skewed mix.
+
+The workload is the serving layer's worst case for static chunks: a
+10k-node graph serving 64 tasks of which 4 are heavy group scenarios
+(a dozen users x a pool of items, ~22 terminals each, each worth
+dozens of singletons) sitting at the *end* of the batch, behind 60
+singletons. Static ``ceil(n / 4w)`` chunking packs all four stragglers
+into the final chunk — one worker grinds them sequentially while the
+rest of the pool idles — whereas work-stealing spreads them one per
+worker the moment they surface. (Four heavies land in one chunk for
+every pool width the gate runs at: chunk size is 4 at w=4, 6 at w=3,
+8 at w=2 — the straggler cluster never outnumbers the idle workers.)
+
+Emits the repo-root ``BENCH_serving.json`` trajectory artifact and
+gates (on multi-core machines) the two CI acceptance criteria:
+
+- work-stealing completes the skewed mix >= 1.2x faster than static
+  chunking (same backend, same worker count, warm pools);
+- the first streamed result lands before the first static chunk would
+  (gated on every machine — one task always beats a four-task chunk).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import ExplanationSession, ParallelConfig, SchedulerConfig
+from repro.core.scenarios import Scenario, SummaryTask
+from repro.graph.generators import SyntheticSpec, generate_random_kg
+from repro.graph.paths import Path as GraphPath
+from repro.graph.shortest_paths import bfs_distances_indexed
+from repro.graph.types import NodeType
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+NUM_NODES = 10_000
+NUM_TASKS = 64
+NUM_HEAVY = 4
+HEAVY_USERS = 12
+HEAVY_ITEMS = 10
+LIGHT_ITEMS = 2
+MIN_STEAL_SPEEDUP = 1.2  # CI gate, multi-core only
+
+
+def _skewed_workload():
+    """10k nodes; 60 singletons followed by 4 heavy group tasks."""
+    spec = SyntheticSpec(NUM_NODES, edges_per_node=8.0)
+    graph = generate_random_kg(spec, np.random.default_rng(11))
+    frozen = graph.freeze()
+    component = bfs_distances_indexed(
+        frozen, max(range(frozen.num_nodes), key=frozen.degree)
+    ).keys()
+    in_component = [frozen.id_of(i) for i in sorted(component)]
+    items = sorted(
+        (n for n in in_component if NodeType.of(n) is NodeType.ITEM),
+        key=graph.degree,
+        reverse=True,
+    )[:40]
+    users = [n for n in in_component if NodeType.of(n) is NodeType.USER]
+    num_light = NUM_TASKS - NUM_HEAVY
+    needed = num_light + NUM_HEAVY * HEAVY_USERS
+    assert len(users) >= needed and len(items) >= HEAVY_ITEMS
+
+    def boost_paths(user_pool, item_pool):
+        return tuple(
+            GraphPath(nodes=(user, item))
+            for user in user_pool
+            for item in item_pool
+            if graph.has_edge(user, item)
+        )
+
+    tasks = []
+    for index in range(num_light):
+        user = users[index]
+        chosen = tuple(
+            items[(index * LIGHT_ITEMS + j) % len(items)]
+            for j in range(LIGHT_ITEMS)
+        )
+        tasks.append(
+            SummaryTask(
+                scenario=Scenario.USER_CENTRIC,
+                terminals=(user, *chosen),
+                paths=boost_paths([user], chosen),
+                anchors=chosen,
+                focus=(user,),
+                k=LIGHT_ITEMS,
+            )
+        )
+    # Every heavy task shares one popular-item pool (its cost comes from
+    # its 12 unique users), so per-worker cache locality is identical
+    # under any dispatch order — the schedulers race on scheduling
+    # alone, not on which worker happens to have which items cached.
+    heavy_items = tuple(items[:HEAVY_ITEMS])
+    for heavy in range(NUM_HEAVY):
+        group = users[
+            num_light + heavy * HEAVY_USERS :
+            num_light + (heavy + 1) * HEAVY_USERS
+        ]
+        chosen = heavy_items
+        tasks.append(
+            SummaryTask(
+                scenario=Scenario.USER_GROUP,
+                terminals=(*group, *chosen),
+                paths=boost_paths(group, chosen),
+                anchors=chosen,
+                focus=tuple(group),
+                k=HEAVY_ITEMS,
+            )
+        )
+    assert len(tasks) == NUM_TASKS
+    return graph, tasks
+
+
+def _canonical(explanation):
+    subgraph = explanation.subgraph
+    return (
+        sorted(subgraph.nodes()),
+        sorted((e.source, e.target, e.weight) for e in subgraph.edges()),
+    )
+
+
+def _timed_mode(graph, tasks, mode: str, workers: int):
+    """Warm a pool for one scheduler mode, then time run() and stream()."""
+    session = ExplanationSession(
+        graph,
+        parallel=ParallelConfig(backend="processes", workers=workers),
+        # max_workers pinned to the comparison's worker count so the
+        # elastic pool cannot out-size the chunked executor it races.
+        scheduler=SchedulerConfig(mode=mode, max_workers=workers),
+    )
+    with session:
+        session.run(tasks[:workers])  # spawn + attach + freeze, off-clock
+        start = time.perf_counter()
+        report = session.run(tasks)
+        seconds = time.perf_counter() - start
+        stream_start = time.perf_counter()
+        iterator = session.stream(tasks)
+        next(iterator)
+        first_ms = (time.perf_counter() - stream_start) * 1000.0
+        for _ in iterator:
+            pass
+        stats = session.stats
+        return report, {
+            "scheduler": mode,
+            "workers": workers,
+            "seconds": seconds,
+            "ops_per_sec": len(tasks) / seconds,
+            "first_result_ms": first_ms,
+            "latency_p50_ms": report.latency_p50_ms,
+            "latency_p95_ms": report.latency_p95_ms,
+            "steals": stats.steals,
+            "grows": stats.grows,
+            "peak_queue_depth": stats.peak_queue_depth,
+        }
+
+
+def test_serving_scheduler_artifact(emit):
+    cpus = os.cpu_count() or 1
+    workers = min(4, max(2, cpus))
+    graph, tasks = _skewed_workload()
+
+    stealing_report, stealing = _timed_mode(
+        graph, tasks, "work-stealing", workers
+    )
+    chunked_report, chunked = _timed_mode(graph, tasks, "chunked", workers)
+
+    # Bit-parity across schedulers on the full skewed mix.
+    for a, b in zip(stealing_report.results, chunked_report.results):
+        assert _canonical(a.explanation) == _canonical(b.explanation)
+
+    speedup = chunked["seconds"] / stealing["seconds"]
+    artifact = {
+        "schema": "bench-serving/v1",
+        "cpu_count": cpus,
+        "graph_nodes": graph.num_nodes,
+        "graph_edges": graph.num_edges,
+        "tasks": NUM_TASKS,
+        "heavy_tasks": NUM_HEAVY,
+        "heavy_terminals": HEAVY_USERS + HEAVY_ITEMS,
+        "method": "ST",
+        "results": [stealing, chunked],
+        "stealing_speedup_vs_chunked": speedup,
+    }
+    (REPO_ROOT / "BENCH_serving.json").write_text(
+        json.dumps(artifact, indent=2) + "\n"
+    )
+    emit(
+        "serving_scheduler",
+        "\n".join(
+            [
+                f"skewed mix: {NUM_TASKS - NUM_HEAVY} singletons + "
+                f"{NUM_HEAVY} group tasks, {workers} workers "
+                f"({cpus} cpus):",
+                *(
+                    f"  {row['scheduler']:<14} {row['seconds']:7.2f} s "
+                    f"{row['ops_per_sec']:7.1f} tasks/s | first result "
+                    f"{row['first_result_ms']:7.1f} ms | steals "
+                    f"{row['steals']}"
+                    for row in (stealing, chunked)
+                ),
+                f"work-stealing speedup vs chunked: {speedup:.2f}x",
+                "trajectory in BENCH_serving.json (repo root)",
+            ]
+        ),
+    )
+
+    # A single task must always stream out before a 4-task chunk lands.
+    assert stealing["first_result_ms"] < chunked["first_result_ms"], (
+        stealing["first_result_ms"],
+        chunked["first_result_ms"],
+    )
+    if cpus >= 2:
+        # The CI acceptance gate; on one core both schedules serialize
+        # and the ratio is noise, so it is recorded but not gated.
+        assert speedup >= MIN_STEAL_SPEEDUP, artifact
+    else:
+        pytest.skip(
+            f"single-core machine: speedup {speedup:.2f}x recorded in "
+            "BENCH_serving.json, throughput gate skipped"
+        )

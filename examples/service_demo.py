@@ -2,8 +2,10 @@
 
 Shows the session facade end to end — typed configs, method routing
 with per-request overrides, consecutive warm batches (no re-freeze for
-an unchanged graph), automatic invalidation on mutation, and the
-streaming iterator. Runs in a few seconds::
+an unchanged graph), automatic invalidation on mutation, the streaming
+iterator, and the work-stealing scheduler's elastic worker pool
+(`SchedulerConfig`: grow under queue pressure, steal accounting,
+per-task result streaming). Runs in a few seconds::
 
     python examples/service_demo.py
 
@@ -12,6 +14,8 @@ This file is the deprecation canary: CI runs it under
 ``BatchSummarizer`` construction path.
 """
 
+import time
+
 import numpy as np
 
 from repro.api import (
@@ -19,6 +23,7 @@ from repro.api import (
     EngineConfig,
     ExplanationSession,
     ParallelConfig,
+    SchedulerConfig,
     SummaryRequest,
     available_methods,
 )
@@ -97,14 +102,42 @@ def main() -> None:
             f"invalidations={session.stats.invalidations}"
         )
 
-        # Streaming: results arrive as chunks complete.
+        # Streaming: each result arrives the moment it is finished.
         print("\nstreaming the batch:")
         for done, result in enumerate(session.stream(tasks[:6]), start=1):
             print(
                 f"  [{done}/6] task #{result.index}: "
                 f"{result.explanation.subgraph.num_edges} edges "
-                f"in {result.seconds * 1000.0:.2f} ms"
+                f"in {result.latency_ms:.2f} ms"
             )
+
+    # 3. The work-stealing scheduler with an elastic process pool: one
+    # shared task queue, per-task pulls (a slow task occupies exactly
+    # one worker), pool growth under queue pressure, and per-task
+    # result streaming straight out of the workers.
+    print("\nwork-stealing scheduler (elastic process pool):")
+    with ExplanationSession(
+        graph,
+        parallel=ParallelConfig(backend="processes", workers=1),
+        scheduler=SchedulerConfig(min_workers=1, max_workers=3),
+    ) as serving:
+        start = time.perf_counter()
+        for done, result in enumerate(serving.stream(tasks), start=1):
+            if done == 1:
+                first_ms = (time.perf_counter() - start) * 1000.0
+                print(f"  first result streamed after {first_ms:.0f} ms")
+        report = serving.run(tasks)  # warm pool, same results
+        stats = serving.stats
+        print(
+            f"  warm batch: {report.throughput:.1f} tasks/s "
+            f"(p50 {report.latency_p50_ms:.2f} ms / "
+            f"p95 {report.latency_p95_ms:.2f} ms per task)"
+        )
+        print(
+            f"  scheduler stats: steals={stats.steals} "
+            f"grows={stats.grows} shrinks={stats.shrinks} "
+            f"peak_queue_depth={stats.peak_queue_depth}"
+        )
 
 
 if __name__ == "__main__":

@@ -14,6 +14,9 @@ The pieces:
 - :mod:`repro.api.registry` — the method routing table ("st",
   "st-fast", "pcst", "union"), user-extensible via
   :func:`register_method`.
+- :class:`SchedulerConfig` (re-exported from :mod:`repro.serving`) —
+  the dispatch discipline: work-stealing with an elastic worker pool
+  and per-task streaming (default), or legacy static chunking.
 
 Minimal use::
 
@@ -39,6 +42,7 @@ from repro.api.registry import (
 from repro.api.requests import SummaryRequest
 from repro.api.session import ExplanationSession, SessionStats
 from repro.core.batch import BatchReport, BatchResult
+from repro.serving.config import SchedulerConfig
 
 __all__ = [
     "BatchReport",
@@ -48,6 +52,7 @@ __all__ = [
     "ExplanationSession",
     "MethodSpec",
     "ParallelConfig",
+    "SchedulerConfig",
     "SessionStats",
     "SummaryRequest",
     "available_methods",

@@ -12,10 +12,16 @@ dataclasses, grouped by what they govern:
   :class:`repro.api.requests.SummaryRequest`.
 - :class:`CacheConfig` — *what the session memoizes across tasks*: the
   terminal-closure LRU capacity and λ-aware partial reuse.
-- :class:`ParallelConfig` — *how a batch is dispatched*: backend,
-  worker count, chunking, and the multiprocessing start method.
+- :class:`ParallelConfig` — *which backend runs a batch*: serial,
+  threads or processes, worker count, chunking, and the
+  multiprocessing start method.
 
-All three validate eagerly in ``__post_init__`` so a typo fails at
+*How* a chosen backend hands tasks to workers is the scheduler's
+business — see :class:`repro.serving.SchedulerConfig` (work-stealing
+with an elastic pool vs. legacy static chunking), passed to the
+session as its fourth config.
+
+All of these validate eagerly in ``__post_init__`` so a typo fails at
 session construction, not mid-batch, with the same messages the legacy
 constructors raised.
 """
@@ -126,8 +132,9 @@ class ParallelConfig:
         Pool size for the threads/processes backends; 0 means "pick"
         (sequential for threads, ``os.cpu_count()`` for processes).
     chunk_size:
-        Tasks per process-pool submission; default
-        ``ceil(n / (4 * workers))``.
+        Tasks per submission under the *chunked* scheduler; default
+        ``ceil(n / (4 * workers))``. The default work-stealing
+        scheduler dispatches per task and ignores this knob.
     mp_start_method:
         Process start method ("fork", "spawn", "forkserver"); default
         the ``REPRO_MP_START_METHOD`` env var, else the platform

@@ -6,7 +6,10 @@ serving layer adds: *which* registered method should answer it and any
 per-request overrides of the session's :class:`EngineConfig` defaults
 (e.g. one caller's λ). Responses reuse the batch engine's
 :class:`~repro.core.batch.BatchResult` / ``BatchReport`` types — the
-streaming iterator yields the former, ``run`` returns the latter.
+streaming iterator yields the former (one per task the moment its
+worker finishes it, under the work-stealing scheduler), ``run``
+returns the latter; both carry worker-measured per-task latencies
+(``BatchResult.latency_ms``, aggregated to p50/p95 on the report).
 """
 
 from __future__ import annotations

@@ -40,6 +40,16 @@ anything added via ``register_method``) and may override the session's
 legacy ``Summarizer`` / ``BatchSummarizer`` entry points — the session
 routes through the same implementations and the same caches.
 
+Batch dispatch is governed by a :class:`repro.serving.SchedulerConfig`:
+the default work-stealing scheduler feeds a shared task queue to an
+elastic :class:`repro.serving.ElasticWorkerPool` (per-task pulls, grow
+under queue pressure / shrink on idle, per-task result streaming over
+the compact :mod:`repro.serving.wire` format), while
+``SchedulerConfig(mode="chunked")`` keeps the legacy static-chunk
+dispatch for spawn-constrained platforms. Either way outputs stay
+bit-identical to the serial path; ``stats`` additionally counts steals,
+grows, shrinks and the peak queue depth.
+
 Sessions own OS resources (shared-memory blocks, worker processes);
 call :meth:`close` or use the session as a context manager when done.
 """
@@ -70,6 +80,10 @@ from repro.core.batch import (
 )
 from repro.core.scenarios import SummaryTask
 from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.serving import pool as serving_pool
+from repro.serving.config import SchedulerConfig, static_chunks
+from repro.serving.pool import ElasticWorkerPool
+from repro.serving.wire import decode_explanation, encode_explanation
 
 #: One resolved request: (request, method spec, merged engine config).
 _Resolved = tuple[SummaryRequest, MethodSpec, EngineConfig]
@@ -84,6 +98,13 @@ class SessionStats:
     spawned; on an unchanged graph each stays at 1 no matter how many
     batches run — that is the warm-session contract the CI smoke
     asserts. ``invalidations`` counts graph-version changes noticed.
+
+    The scheduler counters describe work-stealing dispatch: ``steals``
+    is how many tasks were finished by a worker other than their
+    nominal round-robin owner (the rebalancing a static schedule would
+    have missed), ``grows`` / ``shrinks`` count elastic pool resizes,
+    and ``peak_queue_depth`` is the deepest backlog (submitted minus
+    finished minus one in-flight task per worker) any run observed.
     """
 
     freezes: int = 0
@@ -92,62 +113,57 @@ class SessionStats:
     invalidations: int = 0
     runs: int = 0
     tasks: int = 0
+    steals: int = 0
+    grows: int = 0
+    shrinks: int = 0
+    peak_queue_depth: int = 0
+
+    def scheduler_line(self) -> str | None:
+        """One report line of scheduler activity; None when there was none.
+
+        Shared by the CLI and the experiment runner so both surfaces
+        print (and gate on) the same counters the same way.
+        """
+        if not (self.steals or self.grows or self.shrinks):
+            return None
+        return (
+            f"  scheduler  steals={self.steals} grows={self.grows} "
+            f"shrinks={self.shrinks} "
+            f"peak_queue_depth={self.peak_queue_depth}"
+        )
 
 
 # ----------------------------------------------------------------------
-# Process-pool worker side. Module-level so spawn can import it; workers
-# attach the shared view once (initializer) and build summarizers lazily
-# per (method, engine-config) as chunks arrive — which is what keeps the
-# pool reusable across batches and across mixed-method requests.
+# Process-pool worker side (chunked scheduler). Module-level so spawn
+# can import it; the per-worker state and summarizer memo live in
+# repro.serving.pool so the chunked executor workers and the
+# work-stealing workers memoize identically.
 # ----------------------------------------------------------------------
-_WORKER: dict = {}
-
-
 def _session_worker_init(handle, cache_config: tuple[int, bool]) -> None:
     """Attach the shared graph; summarizers are built on first use."""
-    from repro.graph.shared import attach_knowledge_graph
-
-    _WORKER["graph"] = attach_knowledge_graph(handle)
-    _WORKER["cache_config"] = cache_config
-    _WORKER["cache"] = None
-    _WORKER["summarizers"] = {}
-
-
-def _worker_summarizer(name: str, config: EngineConfig):
-    """Per-worker memo of built summarizers, keyed like the parent's."""
-    key = (name, config)
-    summarizer = _WORKER["summarizers"].get(key)
-    if summarizer is None:
-        spec = method_spec(name)
-        cache = None
-        if spec.uses_closure_cache:
-            cache = _WORKER["cache"]
-            if cache is None:
-                size, partial_reuse = _WORKER["cache_config"]
-                cache = TerminalClosureCache(
-                    size, partial_reuse=partial_reuse
-                )
-                _WORKER["cache"] = cache
-        summarizer = spec.build(_WORKER["graph"], config, cache)
-        _WORKER["summarizers"][key] = summarizer
-    return summarizer
+    serving_pool._init_worker_state(handle, cache_config)
 
 
 def _session_run_chunk(jobs: list) -> tuple[list, dict[str, int]]:
     """Summarize one chunk of ``(index, method, config, task)`` jobs.
 
     Returns ``(results, counter_delta)`` with results as
-    ``(index, explanation, seconds)`` triples; chunks run sequentially
-    inside a worker, so before/after cache snapshots are race-free.
+    ``(index, payload, seconds)`` triples — payloads in the compact
+    :mod:`repro.serving.wire` format (parent-CSR int arrays instead of
+    pickled subgraph objects); chunks run sequentially inside a worker,
+    so before/after cache snapshots are race-free.
     """
-    before = _cache_counters(_WORKER.get("cache"))
+    worker = serving_pool._WORKER
+    before = _cache_counters(worker.get("cache"))
+    frozen = worker["frozen"]
     out = []
     for index, name, config, task in jobs:
-        summarizer = _worker_summarizer(name, config)
+        summarizer = serving_pool._worker_summarizer(name, config)
         task_start = time.perf_counter()
         explanation = summarizer.summarize(task)
-        out.append((index, explanation, time.perf_counter() - task_start))
-    after = _cache_counters(_WORKER.get("cache"))
+        seconds = time.perf_counter() - task_start
+        out.append((index, encode_explanation(explanation, frozen), seconds))
+    after = _cache_counters(worker.get("cache"))
     return out, {key: after[key] - before[key] for key in _STAT_KEYS}
 
 
@@ -167,6 +183,11 @@ class ExplanationSession:
         the per-worker caches under the process backend).
     parallel:
         :class:`ParallelConfig` governing batch dispatch.
+    scheduler:
+        :class:`repro.serving.SchedulerConfig` governing how a chosen
+        backend hands tasks to workers: work-stealing (shared queue,
+        elastic pool, per-task streaming — the default) or the legacy
+        static chunking.
     default_method:
         Registered method used for requests that don't name one
         (default "st").
@@ -183,6 +204,7 @@ class ExplanationSession:
         engine: EngineConfig | None = None,
         cache: CacheConfig | None = None,
         parallel: ParallelConfig | None = None,
+        scheduler: SchedulerConfig | None = None,
         default_method: str = "st",
     ) -> None:
         self.graph = graph
@@ -191,6 +213,9 @@ class ExplanationSession:
         self.parallel_config = (
             parallel if parallel is not None else ParallelConfig()
         )
+        self.scheduler_config = (
+            scheduler if scheduler is not None else SchedulerConfig()
+        )
         self.default_method = method_spec(default_method).name
         self.stats = SessionStats()
         self._version: int | None = None
@@ -198,6 +223,7 @@ class ExplanationSession:
         self._export = None
         self._pool: ProcessPoolExecutor | None = None
         self._pool_workers = 0
+        self._steal_pool: ElasticWorkerPool | None = None
         self._closure_cache: TerminalClosureCache | None = None
         self._summarizers: dict = {}
         self._closed = False
@@ -228,6 +254,9 @@ class ExplanationSession:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
             self._pool_workers = 0
+        if self._steal_pool is not None:
+            self._steal_pool.shutdown()
+            self._steal_pool = None
         if self._export is not None:
             self._export.close()
             self._export.unlink()
@@ -355,15 +384,17 @@ class ExplanationSession:
     ) -> Iterator[BatchResult]:
         """Serve a batch incrementally.
 
-        Yields :class:`BatchResult`\\ s as they complete — chunk by
-        chunk under the process backend, task by task locally — instead
-        of blocking on the whole batch. Arrival order follows
-        completion, not submission; each result carries its input
-        ``index`` for reordering. Setup (request resolution, backend
-        choice, pool warm-up, fallback warnings) happens eagerly in
-        this call, and the process backend also submits its chunks
-        eagerly — workers compute while the caller consumes. The local
-        backends compute lazily, driven by iteration.
+        Yields :class:`BatchResult`\\ s as they complete — task by task
+        under the default work-stealing scheduler (each result leaves
+        its worker the moment it is finished) and locally, chunk by
+        chunk under the legacy chunked process scheduler — instead of
+        blocking on the whole batch. Arrival order follows completion,
+        not submission; each result carries its input ``index`` for
+        reordering. Setup (request resolution, backend choice, pool
+        warm-up, fallback warnings) happens eagerly in this call, and
+        the process backend also submits its work eagerly — workers
+        compute while the caller consumes. The local backends compute
+        lazily, driven by iteration.
         """
         resolved = [self._resolve(item) for item in items]
         self._refresh()
@@ -372,7 +403,7 @@ class ExplanationSession:
         self.stats.tasks += len(resolved)
         if backend == "processes":
             try:
-                self._ensure_pool()
+                return self._stream_processes(resolved)
             except _PROCESS_FALLBACK_ERRORS as error:
                 self.release_pool()
                 warnings.warn(
@@ -382,8 +413,6 @@ class ExplanationSession:
                     stacklevel=2,
                 )
                 backend = self._local_fallback(len(resolved))
-            else:
-                return self._stream_processes(resolved)
         return self._stream_local(resolved, backend)
 
     # ------------------------------------------------------------------
@@ -451,6 +480,10 @@ class ExplanationSession:
             return self.parallel_config.workers
         return os.cpu_count() or 1
 
+    def _chunk_results(self, chunk: list) -> list[BatchResult]:
+        """One static chunk, computed inline (thread chunked mode)."""
+        return [self._one_result(index, item) for index, item in chunk]
+
     def _run_local(
         self, resolved: list[_Resolved], backend: str
     ) -> BatchReport:
@@ -468,14 +501,33 @@ class ExplanationSession:
         before = _cache_counters(self._closure_cache)
 
         pool_size = self._local_pool_size()
+        scheduler = ""
         if backend == "threads" and pool_size > 1 and len(resolved) > 1:
+            scheduler = self.scheduler_config.mode
             with ThreadPoolExecutor(max_workers=pool_size) as pool:
-                results = list(
-                    pool.map(
-                        lambda pair: self._one_result(*pair),
-                        enumerate(resolved),
+                if scheduler == "chunked":
+                    # Static chunks as indivisible futures; flattening
+                    # in submission order restores input order.
+                    futures = [
+                        pool.submit(self._chunk_results, chunk)
+                        for chunk in static_chunks(
+                            list(enumerate(resolved)),
+                            pool_size,
+                            self.parallel_config.chunk_size,
+                        )
+                    ]
+                    results = [
+                        result
+                        for future in futures
+                        for result in future.result()
+                    ]
+                else:
+                    results = list(
+                        pool.map(
+                            lambda pair: self._one_result(*pair),
+                            enumerate(resolved),
+                        )
                     )
-                )
             workers = pool_size
         else:
             backend = "serial"
@@ -498,6 +550,7 @@ class ExplanationSession:
             cache_base_misses=after["base_misses"] - before["base_misses"],
             workers=workers,
             parallel=backend,
+            scheduler=scheduler,
         )
 
     def _stream_local(
@@ -509,6 +562,22 @@ class ExplanationSession:
             self._summarizer_for(spec, config)
         pool_size = self._local_pool_size()
         if backend == "threads" and pool_size > 1 and len(resolved) > 1:
+            if self.scheduler_config.mode == "chunked":
+
+                def chunked() -> Iterator[BatchResult]:
+                    with ThreadPoolExecutor(max_workers=pool_size) as pool:
+                        futures = [
+                            pool.submit(self._chunk_results, chunk)
+                            for chunk in static_chunks(
+                                list(enumerate(resolved)),
+                                pool_size,
+                                self.parallel_config.chunk_size,
+                            )
+                        ]
+                        for future in as_completed(futures):
+                            yield from future.result()
+
+                return chunked()
 
             def threaded() -> Iterator[BatchResult]:
                 with ThreadPoolExecutor(max_workers=pool_size) as pool:
@@ -530,15 +599,25 @@ class ExplanationSession:
     # ------------------------------------------------------------------
     # Warm process-pool execution
     # ------------------------------------------------------------------
-    def _ensure_pool(self) -> float:
-        """Freeze + export + spawn at most once per graph version.
+    def _mp_context(self):
+        import multiprocessing
+
+        start_method = self.parallel_config.mp_start_method or (
+            os.environ.get("REPRO_MP_START_METHOD") or None
+        )
+        return (
+            multiprocessing.get_context(start_method)
+            if start_method
+            else multiprocessing.get_context()
+        )
+
+    def _ensure_export(self) -> float:
+        """Freeze + export at most once per graph version.
 
         Returns the seconds spent freezing/exporting *this* call — 0.0
         on a warm hit, which is exactly what a warm ``BatchReport``
         shows in ``freeze_seconds``.
         """
-        import multiprocessing
-
         freeze_seconds = 0.0
         if self._export is None:
             freeze_start = time.perf_counter()
@@ -546,19 +625,15 @@ class ExplanationSession:
             self._export = frozen.to_shared()
             self.stats.exports += 1
             freeze_seconds = time.perf_counter() - freeze_start
+        return freeze_seconds
+
+    def _ensure_chunked_pool(self) -> None:
+        """Spawn the legacy chunk executor at most once per version."""
         if self._pool is None:
-            start_method = self.parallel_config.mp_start_method or (
-                os.environ.get("REPRO_MP_START_METHOD") or None
-            )
-            context = (
-                multiprocessing.get_context(start_method)
-                if start_method
-                else multiprocessing.get_context()
-            )
             workers = max(1, self._local_pool_size())
             self._pool = ProcessPoolExecutor(
                 max_workers=workers,
-                mp_context=context,
+                mp_context=self._mp_context(),
                 initializer=_session_worker_init,
                 initargs=(
                     self._export.handle,
@@ -570,22 +645,109 @@ class ExplanationSession:
             )
             self._pool_workers = workers
             self.stats.pool_starts += 1
-        return freeze_seconds
 
-    def _chunked_jobs(self, resolved: list[_Resolved]) -> list[list]:
-        jobs = [
+    def _ensure_steal_pool(self) -> ElasticWorkerPool:
+        """Spawn the elastic work-stealing pool at most once per version.
+
+        Dispatches multiplex on one pool (results are routed per
+        dispatch id), so overlapping ``stream()``/``run()`` calls and
+        abandoned iterators all share it; only a pool that went broken
+        (dead worker) is scrapped and respawned here.
+        """
+        if self._steal_pool is not None and self._steal_pool.broken:
+            self._steal_pool = None
+        if self._steal_pool is None:
+            self._steal_pool = ElasticWorkerPool(
+                self._mp_context(),
+                self._export.handle,
+                (
+                    self.cache_config.closure_size,
+                    self.cache_config.partial_reuse,
+                ),
+                self.scheduler_config,
+                max(1, self._local_pool_size()),
+            )
+            self.stats.pool_starts += 1
+        return self._steal_pool
+
+    def _jobs(self, resolved: list[_Resolved]) -> list[tuple]:
+        return [
             (index, spec.name, config, request.task)
             for index, (request, spec, config) in enumerate(resolved)
         ]
-        chunk = self.parallel_config.chunk_size or max(
-            1, -(-len(jobs) // (4 * self._pool_workers))
-        )
-        return [jobs[i : i + chunk] for i in range(0, len(jobs), chunk)]
+
+    def _absorb_steal_stats(
+        self, pool: ElasticWorkerPool, before: tuple[int, int, int]
+    ) -> None:
+        """Fold one dispatch's scheduler counters into the session stats."""
+        steals, grows, shrinks = before
+        self.stats.steals += pool.steals - steals
+        self.stats.grows += pool.grows - grows
+        self.stats.shrinks += pool.shrinks - shrinks
+        if pool.peak_queue_depth > self.stats.peak_queue_depth:
+            self.stats.peak_queue_depth = pool.peak_queue_depth
+        if pool.broken:
+            self._steal_pool = None
 
     def _run_processes(self, resolved: list[_Resolved]) -> BatchReport:
+        if self.scheduler_config.mode == "work-stealing":
+            return self._run_stealing(resolved)
+        return self._run_chunked(resolved)
+
+    def _run_stealing(self, resolved: list[_Resolved]) -> BatchReport:
         start = time.perf_counter()
-        freeze_seconds = self._ensure_pool()
-        chunks = self._chunked_jobs(resolved)
+        freeze_seconds = self._ensure_export()
+        pool = self._ensure_steal_pool()
+        stats = dict.fromkeys(_STAT_KEYS, 0)
+        merged: list[tuple] = []
+        before = (pool.steals, pool.grows, pool.shrinks)
+        try:
+            for index, payload, latency, delta in pool.dispatch(
+                self._jobs(resolved)
+            ):
+                merged.append((index, payload, latency))
+                for key in _STAT_KEYS:
+                    stats[key] += delta[key]
+        finally:
+            workers = max(pool.size, 1)
+            self._absorb_steal_stats(pool, before)
+        merged.sort(key=lambda triple: triple[0])
+        frozen = self._frozen_view()
+        results = tuple(
+            BatchResult(
+                index=index,
+                task=resolved[index][0].task,
+                explanation=decode_explanation(
+                    payload, frozen, resolved[index][0].task
+                ),
+                seconds=seconds,
+            )
+            for index, payload, seconds in merged
+        )
+        return BatchReport(
+            method=self._report_method(resolved),
+            results=results,
+            freeze_seconds=freeze_seconds,
+            total_seconds=time.perf_counter() - start,
+            cache_hits=stats["hits"],
+            cache_misses=stats["misses"],
+            cache_patched=stats["patched"],
+            cache_base_hits=stats["base_hits"],
+            cache_base_misses=stats["base_misses"],
+            workers=workers,
+            parallel="processes",
+            scheduler="work-stealing",
+        )
+
+    def _run_chunked(self, resolved: list[_Resolved]) -> BatchReport:
+        start = time.perf_counter()
+        freeze_seconds = self._ensure_export()
+        self._ensure_chunked_pool()
+        chunks = static_chunks(
+            self._jobs(resolved),
+            self._pool_workers,
+            self.parallel_config.chunk_size,
+        )
         futures = [
             self._pool.submit(_session_run_chunk, chunk) for chunk in chunks
         ]
@@ -597,14 +759,17 @@ class ExplanationSession:
             for key in _STAT_KEYS:
                 stats[key] += delta[key]
         merged.sort(key=lambda triple: triple[0])
+        frozen = self._frozen_view()
         results = tuple(
             BatchResult(
                 index=index,
                 task=resolved[index][0].task,
-                explanation=explanation,
+                explanation=decode_explanation(
+                    payload, frozen, resolved[index][0].task
+                ),
                 seconds=seconds,
             )
-            for index, explanation, seconds in merged
+            for index, payload, seconds in merged
         )
         return BatchReport(
             method=self._report_method(resolved),
@@ -618,12 +783,23 @@ class ExplanationSession:
             cache_base_misses=stats["base_misses"],
             workers=min(self._pool_workers, len(chunks)),
             parallel="processes",
+            scheduler="chunked",
         )
 
     def _stream_processes(
         self, resolved: list[_Resolved]
     ) -> Iterator[BatchResult]:
-        chunks = self._chunked_jobs(resolved)
+        """Eagerly set up + submit; return the completion-order iterator."""
+        if self.scheduler_config.mode == "work-stealing":
+            return self._stream_stealing(resolved)
+        self._ensure_export()
+        self._ensure_chunked_pool()
+        frozen = self._frozen_view()
+        chunks = static_chunks(
+            self._jobs(resolved),
+            self._pool_workers,
+            self.parallel_config.chunk_size,
+        )
         futures = [
             self._pool.submit(_session_run_chunk, chunk) for chunk in chunks
         ]
@@ -631,12 +807,43 @@ class ExplanationSession:
         def results() -> Iterator[BatchResult]:
             for future in as_completed(futures):
                 chunk_results, _delta = future.result()
-                for index, explanation, seconds in chunk_results:
+                for index, payload, seconds in chunk_results:
                     yield BatchResult(
                         index=index,
                         task=resolved[index][0].task,
-                        explanation=explanation,
+                        explanation=decode_explanation(
+                            payload, frozen, resolved[index][0].task
+                        ),
                         seconds=seconds,
                     )
+
+        return results()
+
+    def _stream_stealing(
+        self, resolved: list[_Resolved]
+    ) -> Iterator[BatchResult]:
+        self._ensure_export()
+        pool = self._ensure_steal_pool()
+        frozen = self._frozen_view()
+        before = (pool.steals, pool.grows, pool.shrinks)
+        drain = pool.dispatch(self._jobs(resolved))
+
+        def results() -> Iterator[BatchResult]:
+            try:
+                for index, payload, latency, _delta in drain:
+                    yield BatchResult(
+                        index=index,
+                        task=resolved[index][0].task,
+                        explanation=decode_explanation(
+                            payload, frozen, resolved[index][0].task
+                        ),
+                        seconds=latency,
+                    )
+            finally:
+                # close() runs the drain's cleanup deterministically; an
+                # abandoned consumer forfeits only this batch's
+                # remaining results, the pool stays warm.
+                drain.close()
+                self._absorb_steal_stats(pool, before)
 
         return results()

@@ -10,6 +10,8 @@ Usage::
     repro-xsum batch --demo 100 --method ST --parallel processes --workers 4
     repro-xsum batch --demo 100 --no-partial-reuse
     repro-xsum batch --demo 100 --stream
+    repro-xsum batch --demo 100 --parallel processes --scheduler chunked
+    repro-xsum batch --demo 100 --parallel processes --min-workers 1 --max-workers 8
     repro-xsum list
 
 The ``batch`` subcommand serves a batch through the service API
@@ -18,8 +20,10 @@ pool, typed configs) over a JSONL task file (one :class:`SummaryTask`
 per line, see ``repro.core.batch.task_to_json`` for the schema) — or
 over ``--demo N`` user-centric tasks drawn from the workbench
 recommender when no file is given — and prints per-batch timing and
-closure-cache statistics. ``--stream`` prints each result as its chunk
-completes instead of waiting for the whole batch.
+closure-cache statistics. ``--stream`` prints each result the moment
+its worker finishes it (per task under the default work-stealing
+scheduler; per chunk with ``--scheduler chunked``). ``--min-workers``
+/ ``--max-workers`` bound the elastic pool.
 """
 
 from __future__ import annotations
@@ -64,6 +68,7 @@ def _run_batch(parser: argparse.ArgumentParser, args) -> int:
         EngineConfig,
         ExplanationSession,
         ParallelConfig,
+        SchedulerConfig,
     )
     from repro.core.batch import load_tasks_jsonl
     from repro.core.scenarios import Scenario
@@ -93,6 +98,11 @@ def _run_batch(parser: argparse.ArgumentParser, args) -> int:
             backend=None if args.parallel == "auto" else args.parallel,
             workers=args.workers,
         ),
+        scheduler=SchedulerConfig(
+            mode=args.scheduler,
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+        ),
         default_method=args.method,
     )
     with session:
@@ -102,12 +112,15 @@ def _run_batch(parser: argparse.ArgumentParser, args) -> int:
                 done += 1
                 print(
                     f"[{done}/{len(tasks)}] task #{result.index} "
-                    f"({result.seconds * 1000.0:.2f} ms, "
+                    f"({result.latency_ms:.2f} ms, "
                     f"{result.explanation.subgraph.num_edges} edges)"
                 )
-            return 0
-        report = session.run(tasks)
-        print(report.summary())
+        else:
+            report = session.run(tasks)
+            print(report.summary())
+        scheduler_line = session.stats.scheduler_line()
+        if scheduler_line:
+            print(scheduler_line)
     return 0
 
 
@@ -165,9 +178,30 @@ def main(argv: list[str] | None = None) -> int:
     batch_group.add_argument(
         "--stream",
         action="store_true",
-        help="stream results as chunks complete (service API "
-        "ExplanationSession.stream) instead of printing one report at "
-        "the end",
+        help="stream each result as its worker finishes it (service "
+        "API ExplanationSession.stream; per task under work-stealing, "
+        "per chunk under --scheduler chunked) instead of printing one "
+        "report at the end",
+    )
+    batch_group.add_argument(
+        "--scheduler",
+        choices=("work-stealing", "chunked"),
+        default="work-stealing",
+        help="batch dispatch discipline: work-stealing (shared task "
+        "queue, elastic worker pool, per-task streaming — default) or "
+        "chunked (legacy static ceil(n/4w) chunk dispatch)",
+    )
+    batch_group.add_argument(
+        "--min-workers",
+        type=int,
+        default=1,
+        help="elastic pool floor: idle shrink never goes below this",
+    )
+    batch_group.add_argument(
+        "--max-workers",
+        type=int,
+        default=0,
+        help="elastic pool ceiling; 0 = max(initial workers, cpu count)",
     )
     batch_group.add_argument(
         "--partial-reuse",

@@ -511,12 +511,22 @@ class TerminalClosureCache:
 
 @dataclass(frozen=True)
 class BatchResult:
-    """One task's outcome inside a batch."""
+    """One task's outcome inside a batch.
+
+    ``seconds`` is worker-measured compute time — the clock starts when
+    a worker picks the task up and stops when its summary is done, so
+    queue wait and result-pipe transit are excluded on every backend.
+    """
 
     index: int
     task: SummaryTask
     explanation: SubgraphExplanation
     seconds: float
+
+    @property
+    def latency_ms(self) -> float:
+        """Worker-measured per-task latency in milliseconds."""
+        return self.seconds * 1000.0
 
 
 @dataclass(frozen=True)
@@ -534,6 +544,9 @@ class BatchReport:
     cache_base_misses: int = 0
     workers: int = 0
     parallel: str = "serial"
+    #: Dispatch discipline that produced this report: "work-stealing"
+    #: or "chunked" for pooled backends, "" for serial runs.
+    scheduler: str = ""
 
     @property
     def explanations(self) -> list[SubgraphExplanation]:
@@ -544,6 +557,22 @@ class BatchReport:
     def task_seconds(self) -> list[float]:
         """Per-task wall-clock seconds, in input order."""
         return [r.seconds for r in self.results]
+
+    @property
+    def latency_p50_ms(self) -> float:
+        """Median worker-measured task latency (ms); 0.0 when empty."""
+        return self._latency_percentile(0.50)
+
+    @property
+    def latency_p95_ms(self) -> float:
+        """95th-percentile worker-measured task latency (ms)."""
+        return self._latency_percentile(0.95)
+
+    def _latency_percentile(self, q: float) -> float:
+        if not self.results:
+            return 0.0
+        ordered = sorted(r.latency_ms for r in self.results)
+        return ordered[min(len(ordered) - 1, int(len(ordered) * q))]
 
     @property
     def throughput(self) -> float:
@@ -560,20 +589,23 @@ class BatchReport:
     def summary(self) -> str:
         """Human-readable one-screen report."""
         seconds = self.task_seconds
-        lines = [
+        headline = (
             f"batch method={self.method} tasks={len(self.results)} "
-            f"parallel={self.parallel} workers={self.workers}",
+            f"parallel={self.parallel} workers={self.workers}"
+        )
+        if self.scheduler:
+            headline += f" scheduler={self.scheduler}"
+        lines = [
+            headline,
             f"  total      {self.total_seconds * 1000.0:10.1f} ms",
             f"  freeze     {self.freeze_seconds * 1000.0:10.1f} ms",
             f"  throughput {self.throughput:10.1f} tasks/s",
         ]
         if seconds:
-            ordered = sorted(seconds)
-            p50 = ordered[len(ordered) // 2]
-            p95 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.95))]
             lines.append(
                 f"  per-task   mean {sum(seconds) / len(seconds) * 1000.0:.2f} ms"
-                f" | p50 {p50 * 1000.0:.2f} ms | p95 {p95 * 1000.0:.2f} ms"
+                f" | p50 {self.latency_p50_ms:.2f} ms"
+                f" | p95 {self.latency_p95_ms:.2f} ms"
                 f" | max {max(seconds) * 1000.0:.2f} ms"
             )
         if self.cache_hits or self.cache_misses:
@@ -643,7 +675,9 @@ class BatchSummarizer:
     "processes" / None for auto), ``chunk_size``, ``mp_start_method``,
     and ``**params`` forwarded to the summarizer (lam,
     weight_influence, prize_policy, use_edge_weights, strong_pruning,
-    engine, canonical).
+    engine, canonical). The shim rides the session's scheduler: batch
+    dispatch defaults to work-stealing (bit-identical results), with
+    ``scheduler="chunked"`` restoring static chunk dispatch.
     """
 
     #: Auto-backend thresholds (mirrors ExplanationSession, which owns
@@ -676,6 +710,7 @@ class BatchSummarizer:
         parallel: str | None = None,
         chunk_size: int | None = None,
         mp_start_method: str | None = None,
+        scheduler: str | None = None,
         **params,
     ) -> None:
         warnings.warn(
@@ -699,6 +734,7 @@ class BatchSummarizer:
             EngineConfig,
             ExplanationSession,
             ParallelConfig,
+            SchedulerConfig,
         )
 
         self.graph = graph
@@ -711,6 +747,7 @@ class BatchSummarizer:
         ) or None
         self.closure_cache_size = closure_cache_size
         self.partial_reuse = partial_reuse
+        self.scheduler = scheduler
         self._params = dict(params)
         self._session = ExplanationSession(
             graph,
@@ -724,6 +761,11 @@ class BatchSummarizer:
                 workers=workers,
                 chunk_size=chunk_size,
                 mp_start_method=self.mp_start_method,
+            ),
+            scheduler=(
+                SchedulerConfig(mode=scheduler)
+                if scheduler is not None
+                else None
             ),
             default_method=method,
         )

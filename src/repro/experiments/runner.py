@@ -154,8 +154,9 @@ def _batch(config) -> tuple[str, object]:
     The programmatic mirror of ``repro-xsum batch --demo``: every
     user-centric PGPR task at the config's k_max, served through the
     workbench's long-lived :class:`~repro.api.ExplanationSession`
-    (shared frozen view + closure cache), reported in the batch
-    engine's standard format.
+    (shared frozen view + closure cache, work-stealing dispatch when a
+    pool runs), reported in the batch engine's standard format plus a
+    scheduler-counter line when any dispatch rebalancing happened.
     """
     from repro.core.scenarios import Scenario
 
@@ -171,7 +172,11 @@ def _batch(config) -> tuple[str, object]:
         # processes-backend run can't leave a pool or /dev/shm blocks
         # behind — the serial caches stay warm for later experiments.
         bench.session.release_pool()
-    return report.summary(), report
+    text = report.summary()
+    scheduler_line = bench.session.stats.scheduler_line()
+    if scheduler_line:
+        text += "\n" + scheduler_line
+    return text, report
 
 
 def _userstudy(config) -> tuple[str, object]:

@@ -1,0 +1,36 @@
+"""Serving layer: the work-stealing scheduler behind the session API.
+
+Three pieces, consumed by :class:`repro.api.ExplanationSession`:
+
+- :class:`SchedulerConfig` (:mod:`repro.serving.config`) — dispatch
+  discipline ("work-stealing" / "chunked") and the elastic-pool bounds
+  (``min_workers`` / ``max_workers``, grow pressure, idle shrink).
+- :class:`ElasticWorkerPool` (:mod:`repro.serving.pool`) — the shared
+  task queue, per-task result pipe, steal accounting, and grow/shrink
+  machinery over the shared-memory graph plane.
+- :mod:`repro.serving.wire` — the compact edge-list result format
+  (parent-CSR int arrays + weights) workers ship back instead of
+  pickled subgraph objects.
+"""
+
+from repro.serving.config import (
+    SCHEDULER_MODES,
+    SchedulerConfig,
+    static_chunks,
+)
+from repro.serving.pool import ElasticWorkerPool
+from repro.serving.wire import (
+    WireExplanation,
+    decode_explanation,
+    encode_explanation,
+)
+
+__all__ = [
+    "SCHEDULER_MODES",
+    "ElasticWorkerPool",
+    "SchedulerConfig",
+    "WireExplanation",
+    "decode_explanation",
+    "encode_explanation",
+    "static_chunks",
+]

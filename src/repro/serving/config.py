@@ -1,0 +1,97 @@
+"""Scheduler configuration for the serving layer.
+
+One frozen dataclass governs *how a batch's tasks reach workers* —
+orthogonal to :class:`repro.api.ParallelConfig`, which picks the backend
+(serial / threads / processes) and the nominal pool size. The scheduler
+decides what happens once a backend is chosen:
+
+- ``mode="work-stealing"`` (default): every task goes into one shared
+  queue and each worker pulls the next task the moment it is free, so a
+  slow group task occupies exactly one worker instead of stalling a
+  whole pre-assigned chunk. Under the process backend this also enables
+  the elastic pool (grow under queue pressure, shrink back on idle) and
+  per-task result streaming.
+- ``mode="chunked"``: the pre-scheduler behavior — tasks are split into
+  static ``ceil(n / (4 * workers))`` chunks submitted as indivisible
+  units. Kept as the fallback for spawn-constrained platforms (one
+  worker round-trip per chunk instead of per task) and as the baseline
+  the work-stealing CI gate measures against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Valid dispatch disciplines.
+SCHEDULER_MODES = ("work-stealing", "chunked")
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """How batch tasks are handed to workers.
+
+    Parameters
+    ----------
+    mode:
+        "work-stealing" (shared task queue, per-task pulls, elastic
+        pool, per-task streaming — the default) or "chunked" (static
+        chunk dispatch, the legacy discipline).
+    min_workers:
+        Elastic-pool floor: idle shrink never retires below this many
+        workers (process backend, work-stealing mode only).
+    max_workers:
+        Elastic-pool ceiling. 0 (default) means "the larger of the
+        initial pool size and the CPU count" — so a pool pinned below
+        the core count may grow toward the hardware under pressure,
+        while a pool already at (or above) core count never grows.
+    grow_pressure:
+        Grow one worker whenever the estimated queue backlog (submitted
+        minus finished minus one in-flight task per worker) exceeds
+        ``grow_pressure * current_workers`` and the pool is below
+        ``max_workers``.
+    shrink_idle_seconds:
+        Idle workers are retired once the pool has been idle (no task
+        finished, none outstanding) at least this long. Shrinking
+        happens at the next dispatch — down to the larger of
+        ``min_workers`` and that dispatch's own batch size, so a warm
+        worker is never retired just to be regrown for the jobs
+        arriving in the same call; the pool has no background timer
+        thread.
+    """
+
+    mode: str = "work-stealing"
+    min_workers: int = 1
+    max_workers: int = 0
+    grow_pressure: float = 2.0
+    shrink_idle_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in SCHEDULER_MODES:
+            raise ValueError(
+                f"unknown scheduler mode {self.mode!r}; expected one of "
+                f"{SCHEDULER_MODES}"
+            )
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if self.max_workers < 0:
+            raise ValueError("max_workers must be >= 0 (0 = auto)")
+        if self.max_workers and self.max_workers < self.min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if self.grow_pressure <= 0:
+            raise ValueError("grow_pressure must be positive")
+        if self.shrink_idle_seconds < 0:
+            raise ValueError("shrink_idle_seconds must be >= 0")
+
+
+def static_chunks(items: list, workers: int, chunk_size: int | None) -> list:
+    """Split ``items`` into the legacy static chunks.
+
+    ``chunk_size`` overrides; the default is ``ceil(n / (4 * workers))``
+    — the formula the chunked scheduler has always used, shared here so
+    the session's process and thread paths (and the benchmark that
+    gates work-stealing against it) all chunk identically.
+    """
+    if not items:
+        return []
+    size = chunk_size or max(1, -(-len(items) // (4 * max(1, workers))))
+    return [items[i : i + size] for i in range(0, len(items), size)]

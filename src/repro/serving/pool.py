@@ -1,0 +1,480 @@
+"""Elastic work-stealing worker pool over the shared-memory graph plane.
+
+The chunked process backend pre-splits a batch into static chunks and
+hands each to ``ProcessPoolExecutor`` as an indivisible unit: one slow
+group task stalls every task behind it in its chunk, results surface a
+whole chunk at a time, and the pool's size is frozen at first spawn.
+This module replaces all three properties for the serving layer:
+
+- **Shared task queue, per-task pulls.** The parent puts every job on
+  one ``multiprocessing.Queue``; each worker takes the next job the
+  moment it finishes its current one. Scheduling is emergent — a heavy
+  task simply occupies one worker while the others drain the queue.
+- **Steal accounting.** Jobs are nominally assigned round-robin at
+  submission (job *i* → worker slot ``i % pool``, the static-chunk
+  layout); a job finished by any other worker counts as a *steal*, so
+  ``ElasticWorkerPool.steals`` measures exactly the rebalancing a
+  static schedule would have missed.
+- **Elastic sizing.** While draining, the parent grows the pool one
+  worker at a time whenever the estimated backlog exceeds
+  ``grow_pressure x size`` (bounded by ``max_workers``); once the pool
+  has sat idle past ``shrink_idle_seconds``, the next dispatch retires
+  workers down to the larger of ``min_workers`` and what its own batch
+  needs — a warm worker is never retired just to be regrown for the
+  jobs arriving in the same call.
+- **Per-task result pipe.** Every finished job is posted to a result
+  queue as a compact :mod:`repro.serving.wire` payload with its
+  worker-measured latency and closure-cache counter delta — the parent
+  streams results in completion order instead of chunk order.
+
+Dispatches are multiplexed: every job and result is tagged with a
+dispatch id, and results that belong to another (still-open) dispatch
+are routed to that dispatch's buffer instead of being consumed — so a
+partially-drained ``stream()`` can overlap a later ``run()`` on the
+same pool, and an abandoned iterator merely orphans its own buffer
+(its in-flight jobs finish and are dropped) while the pool stays warm.
+
+Failure semantics: a task-level exception re-raises in the parent and
+fails *its* batch only — the pool keeps serving. An unexpectedly dead
+worker raises
+:class:`~concurrent.futures.process.BrokenProcessPool`, which the
+session's fallback machinery already demotes to a local run; only then
+does the pool mark itself broken (a shared queue of unknown residual
+state is scrapped, never reused) and the session respawns a fresh pool
+on the next process-backed call.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import time
+from collections import deque
+from collections.abc import Iterator
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.serving.config import SchedulerConfig
+
+#: One job: (task index, method name, EngineConfig, SummaryTask).
+Job = tuple
+#: One drained result: (index, wire payload, latency_seconds, counters).
+TaskResult = tuple
+
+#: Worker-side state (graph, frozen view, cache, summarizer memo), one
+#: per process — shared by the work-stealing workers here and the
+#: chunked executor workers in :mod:`repro.api.session`, so both paths
+#: memoize summarizers identically.
+_WORKER: dict = {}
+
+
+def _init_worker_state(handle, cache_config: tuple[int, bool]) -> None:
+    """Attach the shared graph; summarizers are built on first use."""
+    from repro.graph.shared import attach_knowledge_graph
+
+    graph = attach_knowledge_graph(handle)
+    _WORKER["graph"] = graph
+    _WORKER["frozen"] = graph.freeze()
+    _WORKER["cache_config"] = cache_config
+    _WORKER["cache"] = None
+    _WORKER["summarizers"] = {}
+
+
+def _worker_summarizer(name: str, config):
+    """Per-worker summarizer memo, keyed like the parent session's."""
+    from repro.api.registry import method_spec
+    from repro.core.batch import TerminalClosureCache
+
+    key = (name, config)
+    summarizer = _WORKER["summarizers"].get(key)
+    if summarizer is None:
+        spec = method_spec(name)
+        cache = None
+        if spec.uses_closure_cache:
+            cache = _WORKER["cache"]
+            if cache is None:
+                size, partial_reuse = _WORKER["cache_config"]
+                cache = TerminalClosureCache(
+                    size, partial_reuse=partial_reuse
+                )
+                _WORKER["cache"] = cache
+        summarizer = spec.build(_WORKER["graph"], config, cache)
+        _WORKER["summarizers"][key] = summarizer
+    return summarizer
+
+
+def _steal_worker_main(
+    handle, cache_config, task_queue, result_queue, worker_id: int
+) -> None:
+    """Worker loop: attach once, then pull jobs until poisoned.
+
+    Posts ``("result", worker_id, dispatch_id, index, payload, latency,
+    delta)`` per finished job, ``("error", worker_id, dispatch_id,
+    index, exception)`` for task-level failures (the worker itself
+    keeps serving), and ``("exit", worker_id)`` after consuming a
+    ``None`` poison pill.
+    """
+    from repro.core.batch import _STAT_KEYS, _cache_counters
+    from repro.serving.wire import encode_explanation
+
+    _init_worker_state(handle, cache_config)
+    while True:
+        try:
+            job = task_queue.get()
+        except (EOFError, OSError):  # queues torn down under us
+            return
+        if job is None:
+            result_queue.put(("exit", worker_id))
+            return
+        dispatch_id, index, name, config, task = job
+        before = _cache_counters(_WORKER["cache"])
+        start = time.perf_counter()
+        try:
+            explanation = _worker_summarizer(name, config).summarize(task)
+        except Exception as error:
+            result_queue.put(
+                ("error", worker_id, dispatch_id, index, error)
+            )
+            continue
+        latency = time.perf_counter() - start
+        after = _cache_counters(_WORKER["cache"])
+        delta = {key: after[key] - before[key] for key in _STAT_KEYS}
+        payload = encode_explanation(explanation, _WORKER["frozen"])
+        result_queue.put(
+            ("result", worker_id, dispatch_id, index, payload, latency, delta)
+        )
+
+
+class ElasticWorkerPool:
+    """Parent-side owner of the work-stealing worker fleet.
+
+    Parameters
+    ----------
+    context:
+        The ``multiprocessing`` context (start method) to spawn under.
+    handle:
+        Picklable :class:`~repro.graph.shared.SharedGraphHandle` the
+        workers attach.
+    cache_config:
+        ``(closure_size, partial_reuse)`` for each worker's own cache.
+    config:
+        The :class:`SchedulerConfig` sizing/pressure knobs.
+    initial_workers:
+        Nominal pool size (the session's resolved worker count); the
+        pool starts here, clamped into ``[min_workers, max_workers]``.
+    """
+
+    #: Drain-loop tick: how often liveness/growth are re-checked while
+    #: waiting on the result queue.
+    POLL_SECONDS = 0.05
+    #: Patience for graceful retirements before workers are terminated.
+    JOIN_SECONDS = 5.0
+
+    def __init__(
+        self,
+        context,
+        handle,
+        cache_config: tuple[int, bool],
+        config: SchedulerConfig,
+        initial_workers: int,
+    ) -> None:
+        self._context = context
+        self._handle = handle
+        self._cache_config = cache_config
+        self.config = config
+        self.min_workers = max(1, config.min_workers)
+        initial = max(self.min_workers, initial_workers)
+        self.max_workers = config.max_workers or max(
+            initial, os.cpu_count() or 1
+        )
+        self.max_workers = max(self.max_workers, self.min_workers)
+        initial = min(initial, self.max_workers)
+        self._task_queue = context.Queue()
+        self._result_queue = context.Queue()
+        self._workers: dict = {}
+        self._next_worker_id = 0
+        self.steals = 0
+        self.grows = 0
+        self.shrinks = 0
+        self.peak_queue_depth = 0
+        self.broken = False
+        #: dispatch id -> buffered messages awaiting that dispatch's
+        #: drain. An entry exists from submission until the drain's
+        #: finally block (or forever, bounded by the batch size, for an
+        #: iterator the caller obtained but never consumed); messages
+        #: for unknown ids — dispatches already abandoned mid-drain —
+        #: are dropped on arrival.
+        self._buffers: dict[int, object] = {}
+        self._next_dispatch_id = 0
+        self._idle_since = time.monotonic()
+        try:
+            for _ in range(initial):
+                self._spawn()
+        except BaseException:
+            # Partial spawn (fork/exec failure): terminate what started
+            # so the caller's fallback path inherits no stray children.
+            self._abort()
+            raise
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Current number of (believed-alive) workers."""
+        return len(self._workers)
+
+    def _spawn(self) -> None:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        process = self._context.Process(
+            target=_steal_worker_main,
+            args=(
+                self._handle,
+                self._cache_config,
+                self._task_queue,
+                self._result_queue,
+                worker_id,
+            ),
+            daemon=True,
+        )
+        process.start()
+        self._workers[worker_id] = process
+
+    def _retire(self, worker_id: int) -> None:
+        process = self._workers.pop(worker_id, None)
+        if process is not None:
+            process.join(timeout=self.JOIN_SECONDS)
+
+    def _handle_exit(self, worker_id: int) -> None:
+        """One worker consumed a poison pill: retire and account it.
+
+        If open dispatches still need a pool and the last worker just
+        left (a stray pill from a timed-out shrink), respawn the floor.
+        """
+        self._retire(worker_id)
+        self.shrinks += 1
+        if self._buffers and not self._workers:
+            self._spawn()
+            self.grows += 1
+
+    def _route(self, message) -> None:
+        """Buffer a result/error for the dispatch it belongs to.
+
+        Messages for unknown dispatch ids — batches abandoned mid-drain
+        — are dropped; their workers' effort is already sunk.
+        """
+        buffer = self._buffers.get(message[2])
+        if buffer is not None:
+            buffer.append(message)
+
+    def maybe_shrink(self, incoming: int = 0) -> int:
+        """Retire idle workers the next batch will not need.
+
+        The floor is the larger of ``min_workers`` and the incoming
+        batch size (capped at ``max_workers``) — a warm worker is never
+        retired just to be regrown for the jobs arriving in the same
+        call. Returns how many workers were retired. Called at dispatch
+        start (with the batch size) — the pool deliberately has no
+        timer thread, so shrinking is observable (and testable) at
+        well-defined points.
+        """
+        floor = max(self.min_workers, min(incoming, self.max_workers))
+        extra = self.size - floor
+        if self.broken or extra <= 0:
+            return 0
+        idle = time.monotonic() - self._idle_since
+        if idle < self.config.shrink_idle_seconds:
+            return 0
+        for _ in range(extra):
+            self._task_queue.put(None)
+        retired = 0
+        deadline = time.monotonic() + self.JOIN_SECONDS + extra
+        while retired < extra and time.monotonic() < deadline:
+            try:
+                message = self._result_queue.get(timeout=self.POLL_SECONDS)
+            except queue.Empty:
+                continue
+            if message[0] == "exit":
+                self._retire(message[1])
+                retired += 1
+                self.shrinks += 1
+            else:
+                # A straggler from a still-open dispatch: buffer it for
+                # that dispatch's drain, never drop it.
+                self._route(message)
+        return retired
+
+    def _maybe_grow(self, outstanding: int) -> None:
+        backlog = max(0, outstanding - self.size)
+        if backlog > self.peak_queue_depth:
+            self.peak_queue_depth = backlog
+        if (
+            self.size < self.max_workers
+            and backlog > self.config.grow_pressure * self.size
+        ):
+            self._spawn()
+            self.grows += 1
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, jobs: list[Job]) -> Iterator[TaskResult]:
+        """Submit every job now; return the completion-order drain.
+
+        Submission is eager (workers start computing immediately); the
+        returned iterator yields ``(index, payload, latency, counters)``
+        per task as results land. Dispatches multiplex: a later
+        dispatch may start (and fully drain) while an earlier one is
+        only partially consumed — each drain routes messages that
+        belong to other open dispatches into their buffers. Abandoning
+        an iterator — including via a task error propagating out —
+        forfeits only that batch's remaining results (its in-flight
+        jobs finish and are dropped); the pool stays warm.
+        """
+        if self.broken:
+            raise BrokenProcessPool("work-stealing pool is broken")
+        self.maybe_shrink(incoming=len(jobs))
+        if not self._workers:  # floor after pathological retirements
+            self._spawn()
+        dispatch_id = self._next_dispatch_id
+        self._next_dispatch_id += 1
+        slots = sorted(self._workers)
+        nominal = {
+            job[0]: slots[position % len(slots)]
+            for position, job in enumerate(jobs)
+        }
+        self._buffers[dispatch_id] = deque()
+        for job in jobs:
+            self._task_queue.put((dispatch_id, *job))
+        return self._drain(dispatch_id, len(jobs), nominal)
+
+    def _drain(
+        self, dispatch_id: int, total: int, nominal: dict
+    ) -> Iterator[TaskResult]:
+        outstanding = total
+        buffer = self._buffers[dispatch_id]
+        try:
+            while outstanding:
+                if buffer:
+                    message = buffer.popleft()
+                else:
+                    self._maybe_grow(outstanding)
+                    try:
+                        message = self._result_queue.get(
+                            timeout=self.POLL_SECONDS
+                        )
+                    except queue.Empty:
+                        self._ensure_alive()
+                        continue
+                    except (OSError, ValueError) as error:
+                        # Queues closed under us: the pool was aborted
+                        # (worker death seen by a sibling drain) or
+                        # shut down while this iterator was alive.
+                        raise BrokenProcessPool(
+                            "work-stealing pool torn down mid-drain"
+                        ) from error
+                    if message[0] == "exit":  # stray timed-out pill
+                        self._handle_exit(message[1])
+                        continue
+                    if message[2] != dispatch_id:
+                        self._route(message)
+                        continue
+                if message[0] == "result":
+                    (
+                        _kind,
+                        worker_id,
+                        _dispatch,
+                        index,
+                        payload,
+                        latency,
+                        delta,
+                    ) = message
+                    outstanding -= 1
+                    if nominal.get(index, worker_id) != worker_id:
+                        self.steals += 1
+                    self._idle_since = time.monotonic()
+                    yield index, payload, latency, delta
+                else:  # "error": fail this batch; the pool keeps serving
+                    raise message[4]
+        finally:
+            self._idle_since = time.monotonic()
+            self._buffers.pop(dispatch_id, None)
+
+    def _ensure_alive(self) -> None:
+        """Raise ``BrokenProcessPool`` if any worker died unexpectedly.
+
+        Called only when the result queue looks idle. Pending "exit"
+        acks are consumed first (and their workers retired in place) so
+        a gracefully-poisoned worker is never mistaken for a crash;
+        results/errors that raced in are routed to their dispatch
+        buffers (possibly the calling drain's own).
+        """
+        while True:
+            try:
+                message = self._result_queue.get_nowait()
+            except queue.Empty:
+                break
+            if message[0] == "exit":
+                self._handle_exit(message[1])
+            else:
+                self._route(message)
+        dead = [
+            worker_id
+            for worker_id, process in self._workers.items()
+            if not process.is_alive()
+        ]
+        if dead:
+            self._abort()
+            raise BrokenProcessPool(
+                f"{len(dead)} work-stealing worker(s) died unexpectedly"
+            )
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def _close_queues(self) -> None:
+        for q in (self._task_queue, self._result_queue):
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+
+    def _abort(self) -> None:
+        """Terminate everything now; the pool is unusable afterwards."""
+        self.broken = True
+        for process in self._workers.values():
+            if process.is_alive():
+                process.terminate()
+        for process in self._workers.values():
+            process.join(timeout=self.JOIN_SECONDS)
+        self._workers.clear()
+        self._close_queues()
+
+    def shutdown(self) -> None:
+        """Graceful teardown: poison every worker, join, close queues."""
+        if self.broken:
+            self._close_queues()
+            return
+        self.broken = True
+        for _ in range(len(self._workers)):
+            self._task_queue.put(None)
+        deadline = time.monotonic() + self.JOIN_SECONDS
+        remaining = dict(self._workers)
+        while remaining and time.monotonic() < deadline:
+            try:
+                message = self._result_queue.get(timeout=self.POLL_SECONDS)
+            except queue.Empty:
+                for worker_id, process in list(remaining.items()):
+                    if not process.is_alive():
+                        remaining.pop(worker_id)
+                continue
+            if message[0] == "exit":
+                remaining.pop(message[1], None)
+        for process in self._workers.values():
+            process.join(timeout=0.5)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=self.JOIN_SECONDS)
+        self._workers.clear()
+        self._close_queues()

@@ -1,0 +1,154 @@
+"""Compact worker→parent wire format for summary explanations.
+
+Process-backend workers used to ship each result back as a pickled
+:class:`~repro.core.explanation.SubgraphExplanation` — a dict-of-dicts
+subgraph whose every node id travels as a Python string object, plus a
+redundant copy of the task the parent already holds. Since worker and
+parent attach the *same* exported frozen view, node identity can travel
+as dense CSR integers instead:
+
+- nodes: one ``array('q')`` of parent-CSR indices, in the subgraph's
+  insertion order;
+- adjacency: a local CSR (offsets / targets / weights) over positions
+  into that node list, rows and row entries in the original dict
+  insertion order;
+- names / relations: side tables by local position, with relation
+  strings deduplicated through a tiny vocabulary.
+
+Rehydration (:func:`decode_explanation`) rebuilds the adjacency dict
+directly from those rows — the same replay technique
+:func:`repro.graph.shared.attach_knowledge_graph` uses — so the decoded
+subgraph is bit-identical to the worker's: same node order, same
+neighbor order inside every row, same names/relations insertion order,
+same edge count and mutation counter. The task is *not* shipped at all;
+the parent re-attaches its own copy, which is equal by construction.
+
+Explanations whose subgraph mentions a node outside the frozen view
+(possible only for exotic custom methods) fall back to the pickled
+object — :func:`encode_explanation` returns the explanation itself and
+:func:`decode_explanation` passes it through.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+
+from repro.core.explanation import SubgraphExplanation
+from repro.core.scenarios import SummaryTask
+from repro.graph.csr import FrozenGraph
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+
+@dataclass(frozen=True)
+class WireExplanation:
+    """One summary explanation as flat arrays over parent-CSR node ids."""
+
+    #: Parent-CSR index of each subgraph node, insertion order.
+    nodes: array
+    #: Local CSR over positions into ``nodes`` (symmetric adjacency).
+    offsets: array
+    targets: array
+    weights: array
+    #: ``(position, display name)`` pairs, insertion order.
+    names: tuple[tuple[int, str], ...]
+    #: ``(position_a, position_b, vocab index)`` triples, insertion order.
+    relations: tuple[tuple[int, int, int], ...]
+    relation_vocab: tuple[str, ...]
+    num_edges: int
+    version: int
+    method: str
+    params: dict
+
+
+def encode_explanation(
+    explanation: SubgraphExplanation, frozen: FrozenGraph
+) -> WireExplanation | SubgraphExplanation:
+    """Flatten an explanation into arrays of parent-CSR node indices.
+
+    Returns the explanation itself (pickled-object fallback) when any
+    subgraph node is missing from the frozen view.
+    """
+    subgraph = explanation.subgraph
+    index = frozen._index
+    positions: dict[str, int] = {}
+    nodes = array("q")
+    for node in subgraph.nodes():
+        slot = index.get(node)
+        if slot is None:
+            return explanation
+        positions[node] = len(positions)
+        nodes.append(slot)
+    offsets = array("q", [0])
+    targets = array("q")
+    weights = array("d")
+    for node in subgraph.nodes():
+        for neighbor, weight in subgraph.neighbors(node).items():
+            targets.append(positions[neighbor])
+            weights.append(weight)
+        offsets.append(len(targets))
+    names = tuple(
+        (positions[node], name) for node, name in subgraph._names.items()
+    )
+    vocab: dict[str, int] = {}
+    relations = tuple(
+        (positions[a], positions[b], vocab.setdefault(rel, len(vocab)))
+        for (a, b), rel in subgraph._relations.items()
+    )
+    return WireExplanation(
+        nodes=nodes,
+        offsets=offsets,
+        targets=targets,
+        weights=weights,
+        names=names,
+        relations=relations,
+        relation_vocab=tuple(vocab),
+        num_edges=subgraph.num_edges,
+        version=subgraph.version,
+        method=explanation.method,
+        params=dict(explanation.params),
+    )
+
+
+def decode_explanation(
+    payload: WireExplanation | SubgraphExplanation,
+    frozen: FrozenGraph,
+    task: SummaryTask,
+) -> SubgraphExplanation:
+    """Rehydrate a wire payload against the parent's frozen view.
+
+    The adjacency dict is rebuilt row by row in the encoded order, so
+    iteration order (nodes, per-row neighbors, names, relations) is
+    bit-identical to the worker-side original; ``task`` is the parent's
+    own copy of the request's task.
+    """
+    if isinstance(payload, SubgraphExplanation):
+        return payload
+    ids = frozen.ids
+    local = [ids[i] for i in payload.nodes]
+    offsets, targets, weights = (
+        payload.offsets,
+        payload.targets,
+        payload.weights,
+    )
+    adjacency: dict[str, dict[str, float]] = {}
+    for position, node in enumerate(local):
+        row = {}
+        for slot in range(offsets[position], offsets[position + 1]):
+            row[local[targets[slot]]] = weights[slot]
+        adjacency[node] = row
+    subgraph = KnowledgeGraph()
+    subgraph._adjacency = adjacency
+    subgraph._names = {local[p]: name for p, name in payload.names}
+    subgraph._relations = {
+        (local[pa], local[pb]): payload.relation_vocab[r]
+        for pa, pb, r in payload.relations
+    }
+    subgraph._num_edges = payload.num_edges
+    subgraph._version = payload.version
+    return SubgraphExplanation(
+        subgraph=subgraph,
+        task=task,
+        method=payload.method,
+        params=dict(payload.params),
+    )

@@ -1,0 +1,58 @@
+"""SchedulerConfig validation and the shared static-chunk formula."""
+
+import pytest
+
+from repro.serving import SchedulerConfig, static_chunks
+
+
+class TestSchedulerConfig:
+    def test_defaults_are_work_stealing(self):
+        config = SchedulerConfig()
+        assert config.mode == "work-stealing"
+        assert config.min_workers == 1
+        assert config.max_workers == 0  # auto: max(initial, cpu count)
+
+    def test_chunked_mode_accepted(self):
+        assert SchedulerConfig(mode="chunked").mode == "chunked"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="scheduler mode"):
+            SchedulerConfig(mode="round-robin")
+
+    def test_min_workers_validated(self):
+        with pytest.raises(ValueError, match="min_workers"):
+            SchedulerConfig(min_workers=0)
+
+    def test_max_workers_validated(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            SchedulerConfig(max_workers=-1)
+        with pytest.raises(ValueError, match="max_workers"):
+            SchedulerConfig(min_workers=4, max_workers=2)
+
+    def test_grow_pressure_validated(self):
+        with pytest.raises(ValueError, match="grow_pressure"):
+            SchedulerConfig(grow_pressure=0.0)
+
+    def test_shrink_idle_validated(self):
+        with pytest.raises(ValueError, match="shrink_idle_seconds"):
+            SchedulerConfig(shrink_idle_seconds=-1.0)
+
+
+class TestStaticChunks:
+    def test_legacy_formula_pinned(self):
+        # ceil(64 / (4 * 4)) = 4 -> 16 chunks of 4: the exact split the
+        # chunked scheduler has always produced.
+        chunks = static_chunks(list(range(64)), 4, None)
+        assert [len(c) for c in chunks] == [4] * 16
+        assert [x for c in chunks for x in c] == list(range(64))
+
+    def test_explicit_chunk_size_wins(self):
+        chunks = static_chunks(list(range(10)), 4, 3)
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+
+    def test_empty_input(self):
+        assert static_chunks([], 4, None) == []
+
+    def test_single_worker(self):
+        chunks = static_chunks(list(range(8)), 1, None)
+        assert [len(c) for c in chunks] == [2, 2, 2, 2]

@@ -1,0 +1,119 @@
+"""Wire-format rehydration: bit-identical SubgraphExplanations.
+
+The compact edge-list format replaces pickled subgraph objects on the
+worker→parent result pipe; these tests pin that a decoded explanation
+is indistinguishable from the original — same node insertion order,
+same neighbor order inside every adjacency row, same name/relation
+side tables (content *and* order), same counters — for real summaries
+from all four methods, plus the structural edge cases.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.explanation import SubgraphExplanation
+from repro.core.scenarios import Scenario
+from repro.core.summarizer import Summarizer
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.serving import WireExplanation, decode_explanation, encode_explanation
+
+
+def assert_bit_identical(got: SubgraphExplanation, want: SubgraphExplanation):
+    g, w = got.subgraph, want.subgraph
+    assert list(g.nodes()) == list(w.nodes())
+    for node in w.nodes():
+        assert list(g.neighbors(node).items()) == (
+            list(w.neighbors(node).items())
+        ), node
+    assert list(g._names.items()) == list(w._names.items())
+    assert list(g._relations.items()) == list(w._relations.items())
+    assert g.num_edges == w.num_edges
+    assert g.version == w.version
+    assert got.method == want.method
+    assert got.params == want.params
+    assert got.task is want.task
+
+
+@pytest.mark.parametrize("method", ["ST", "ST-fast", "PCST", "Union"])
+@pytest.mark.parametrize("scenario", list(Scenario))
+def test_round_trip_is_bit_identical(method, scenario, test_bench):
+    task = next(iter(test_bench.tasks(scenario, "PGPR", 4).values()))
+    explanation = Summarizer(test_bench.graph, method=method).summarize(task)
+    frozen = test_bench.graph.freeze()
+    wire = encode_explanation(explanation, frozen)
+    assert isinstance(wire, WireExplanation)
+    decoded = decode_explanation(wire, frozen, task)
+    assert_bit_identical(decoded, explanation)
+
+
+def test_wire_is_smaller_than_pickled_explanation(test_bench):
+    task = next(
+        iter(test_bench.tasks(Scenario.USER_CENTRIC, "PGPR", 4).values())
+    )
+    explanation = Summarizer(test_bench.graph, method="ST").summarize(task)
+    frozen = test_bench.graph.freeze()
+    wire = encode_explanation(explanation, frozen)
+    assert len(pickle.dumps(wire)) < len(pickle.dumps(explanation))
+
+
+def test_names_and_relations_survive(toy_graph):
+    toy_graph.set_name("i:0", "The Matrix")
+    toy_graph.set_name("e:genre:0", "sci-fi")
+    from repro.graph.subgraph import edge_subgraph
+
+    sub = edge_subgraph(
+        toy_graph, [("i:0", "u:0"), ("i:0", "e:genre:0")]
+    )
+    explanation = SubgraphExplanation(
+        subgraph=sub, task=_tiny_task(), method="X", params={"lam": 2.0}
+    )
+    frozen = toy_graph.freeze()
+    wire = encode_explanation(explanation, frozen)
+    assert isinstance(wire, WireExplanation)
+    decoded = decode_explanation(wire, frozen, explanation.task)
+    assert_bit_identical(decoded, explanation)
+    assert decoded.subgraph.name("i:0") == "The Matrix"
+    assert decoded.subgraph.relation("i:0", "e:genre:0") == "genre"
+
+
+def test_isolated_nodes_survive(toy_graph):
+    sub = KnowledgeGraph()
+    sub.add_node("u:0")
+    sub.add_node("i:1")
+    explanation = SubgraphExplanation(
+        subgraph=sub, task=_tiny_task(), method="Echo"
+    )
+    frozen = toy_graph.freeze()
+    wire = encode_explanation(explanation, frozen)
+    assert isinstance(wire, WireExplanation)
+    decoded = decode_explanation(wire, frozen, explanation.task)
+    assert_bit_identical(decoded, explanation)
+    assert decoded.subgraph.num_edges == 0
+
+
+def test_unknown_node_falls_back_to_pickled_object(toy_graph):
+    sub = KnowledgeGraph()
+    sub.add_node("u:999")  # not in the frozen view
+    explanation = SubgraphExplanation(
+        subgraph=sub, task=_tiny_task(), method="Echo"
+    )
+    frozen = toy_graph.freeze()
+    payload = encode_explanation(explanation, frozen)
+    assert payload is explanation
+    assert decode_explanation(payload, frozen, explanation.task) is (
+        explanation
+    )
+
+
+def _tiny_task():
+    from repro.core.scenarios import SummaryTask
+
+    return SummaryTask(
+        scenario=Scenario.USER_CENTRIC,
+        terminals=("u:0", "i:1"),
+        paths=(),
+        anchors=("i:1",),
+        focus=("u:0",),
+        k=1,
+    )
