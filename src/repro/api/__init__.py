@@ -14,6 +14,12 @@ The pieces:
 - :mod:`repro.api.registry` — the method routing table ("st",
   "st-fast", "pcst", "union"), user-extensible via
   :func:`register_method`.
+- :mod:`repro.api.protocol` — the versioned over-the-wire schema
+  (``protocol_version`` envelopes, strict decode validation, lossless
+  task/request/result/report codecs) shared by the network serving
+  tier (:mod:`repro.serving.server` / :mod:`repro.serving.client`),
+  the CLI ``batch`` subcommand's JSONL files and
+  :meth:`BatchReport.to_dict`.
 - :class:`SchedulerConfig` (re-exported from :mod:`repro.serving`) —
   the dispatch discipline: work-stealing with an elastic worker pool
   and per-task streaming (default), or legacy static chunking.
@@ -32,6 +38,7 @@ Minimal use::
 """
 
 from repro.api.config import CacheConfig, EngineConfig, ParallelConfig
+from repro.api.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.api.registry import (
     MethodSpec,
     available_methods,
@@ -51,7 +58,9 @@ __all__ = [
     "EngineConfig",
     "ExplanationSession",
     "MethodSpec",
+    "PROTOCOL_VERSION",
     "ParallelConfig",
+    "ProtocolError",
     "SchedulerConfig",
     "SessionStats",
     "SummaryRequest",

@@ -12,18 +12,27 @@ Usage::
     repro-xsum batch --demo 100 --stream
     repro-xsum batch --demo 100 --parallel processes --scheduler chunked
     repro-xsum batch --demo 100 --parallel processes --min-workers 1 --max-workers 8
+    repro-xsum serve --port 7737 --max-pending 64 --idle-ttl 30
     repro-xsum list
 
 The ``batch`` subcommand serves a batch through the service API
 (:class:`repro.api.ExplanationSession`: freeze/export once, warm worker
 pool, typed configs) over a JSONL task file (one :class:`SummaryTask`
-per line, see ``repro.core.batch.task_to_json`` for the schema) — or
+per line, see ``repro.api.protocol.task_to_json`` for the schema) — or
 over ``--demo N`` user-centric tasks drawn from the workbench
 recommender when no file is given — and prints per-batch timing and
 closure-cache statistics. ``--stream`` prints each result the moment
 its worker finishes it (per task under the default work-stealing
 scheduler; per chunk with ``--scheduler chunked``). ``--min-workers``
 / ``--max-workers`` bound the elastic pool.
+
+The ``serve`` subcommand starts the network front door
+(:class:`repro.serving.ExplanationServer`): the workbench graph hosted
+as session ``"default"``, spoken to over the length-prefixed
+:mod:`repro.api.protocol` envelopes by
+:class:`repro.serving.ExplanationClient` (or anything that implements
+the framing spec in the README). ``--max-pending`` bounds admission
+per graph; ``--idle-ttl`` releases pooled resources of idle sessions.
 """
 
 from __future__ import annotations
@@ -124,6 +133,59 @@ def _run_batch(parser: argparse.ArgumentParser, args) -> int:
     return 0
 
 
+def _run_serve(parser: argparse.ArgumentParser, args) -> int:
+    """The ``serve`` subcommand: asyncio front door over the workbench."""
+    import asyncio
+
+    from repro.api import ParallelConfig, SchedulerConfig
+    from repro.serving.server import ExplanationServer, ServerConfig
+
+    bench = Workbench.get(_config(args))
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_pending=args.max_pending,
+            pool_idle_ttl_seconds=args.idle_ttl,
+        )
+    except ValueError as error:
+        parser.error(str(error))
+    server = ExplanationServer(
+        bench.graph,
+        config,
+        parallel=ParallelConfig(
+            backend=None if args.parallel == "auto" else args.parallel,
+            workers=args.workers,
+        ),
+        scheduler=SchedulerConfig(
+            mode=args.scheduler,
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+        ),
+        default_method=args.method,
+    )
+
+    async def serve() -> None:
+        await server.start()
+        print(
+            f"serving graph 'default' "
+            f"({bench.graph.num_nodes} nodes, {bench.graph.num_edges} "
+            f"edges) on {config.host}:{server.port} — ctrl-c to stop"
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("\nserver stopped")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and regenerate the requested experiment."""
     parser = argparse.ArgumentParser(
@@ -133,7 +195,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="table1|table2|table3|fig2..fig17|userstudy|batch|list",
+        help="table1|table2|table3|fig2..fig17|userstudy|batch|serve|list",
     )
     parser.add_argument(
         "--scale", choices=("test", "ci", "paper"), default="ci"
@@ -213,15 +275,50 @@ def main(argv: list[str] | None = None) -> int:
         "closures bit-identical to cold runs; --no-partial-reuse "
         "restores always-fresh boosted closures",
     )
+    serve_group = parser.add_argument_group("serve")
+    serve_group.add_argument(
+        "--host", default="127.0.0.1", help="serve: bind address"
+    )
+    serve_group.add_argument(
+        "--port",
+        type=int,
+        default=7737,
+        help="serve: TCP port (0 = ephemeral, printed at startup)",
+    )
+    serve_group.add_argument(
+        "--max-pending",
+        type=int,
+        default=32,
+        help="serve: per-graph admission bound; past it requests get "
+        "an immediate typed 'overloaded' error frame",
+    )
+    serve_group.add_argument(
+        "--idle-ttl",
+        type=float,
+        default=0.0,
+        help="serve: release a session's worker pool and shared-memory "
+        "export after this many idle seconds (0 = never)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
-        names = ["table1", "table2", "table3", *_FIGURES, "userstudy", "batch"]
+        names = [
+            "table1",
+            "table2",
+            "table3",
+            *_FIGURES,
+            "userstudy",
+            "batch",
+            "serve",
+        ]
         print("\n".join(names))
         return 0
 
     if args.experiment == "batch":
         return _run_batch(parser, args)
+
+    if args.experiment == "serve":
+        return _run_serve(parser, args)
 
     if args.experiment == "table1":
         result = table1_example()

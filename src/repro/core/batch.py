@@ -60,11 +60,10 @@ from dataclasses import dataclass
 from pathlib import Path as FilePath
 
 from repro.core.explanation import SubgraphExplanation
-from repro.core.scenarios import Scenario, SummaryTask
+from repro.core.scenarios import SummaryTask
 from repro.core.summarizer import METHODS
 from repro.graph.heap import AddressableHeap
 from repro.graph.knowledge_graph import KnowledgeGraph
-from repro.graph.paths import Path
 from repro.graph.shortest_paths import dijkstra_frozen, dijkstra_indexed
 
 #: Cache-key marker for base-cost (all-unit) Dijkstra runs — a sentinel
@@ -548,6 +547,26 @@ class BatchReport:
     #: or "chunked" for pooled backends, "" for serial runs.
     scheduler: str = ""
 
+    def to_dict(self) -> dict:
+        """Lossless plain-JSON form of the whole report.
+
+        Delegates to :func:`repro.api.protocol.report_to_json` so server
+        responses, bench artifacts and :meth:`from_dict` all share one
+        versioned schema. Includes every constructor field (scheduler,
+        all five cache counters) plus the derived ``latency_p50_ms`` /
+        ``latency_p95_ms`` / ``throughput`` for artifact consumers.
+        """
+        from repro.api import protocol
+
+        return protocol.report_to_json(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatchReport":
+        """Rebuild a report from :meth:`to_dict` output (lossless)."""
+        from repro.api import protocol
+
+        return protocol.report_from_json(data)
+
     @property
     def explanations(self) -> list[SubgraphExplanation]:
         """Per-task explanations, in input order."""
@@ -794,36 +813,41 @@ class BatchSummarizer:
 
 
 # ----------------------------------------------------------------------
-# JSONL task files (one task per line) for the CLI `batch` subcommand
+# JSONL task files (one task per line) for the CLI `batch` subcommand.
+# The task codec itself moved to repro.api.protocol (the versioned
+# over-the-wire schema shared with the network tier); the old names
+# remain as thin deprecated wrappers, and the JSONL helpers route
+# through the protocol module without warning — file I/O stays a
+# batch-layer concern, only the schema ownership moved.
 # ----------------------------------------------------------------------
 def task_to_json(task: SummaryTask) -> dict:
-    """Plain-JSON form of a task (inverse of :func:`task_from_json`)."""
-    return {
-        "scenario": task.scenario.value,
-        "terminals": list(task.terminals),
-        "paths": [list(p.nodes) for p in task.paths],
-        "anchors": list(task.anchors),
-        "focus": list(task.focus),
-        "k": task.k,
-    }
+    """Plain-JSON form of a task (inverse of :func:`task_from_json`).
+
+    .. deprecated::
+        Moved to :func:`repro.api.protocol.task_to_json`.
+    """
+    from repro.api import protocol
+
+    protocol._warn_legacy("task_to_json")
+    return protocol.task_to_json(task)
 
 
 def task_from_json(data: dict) -> SummaryTask:
-    """Build a task from its JSON form; raises on malformed input."""
-    return SummaryTask(
-        scenario=Scenario(data["scenario"]),
-        terminals=tuple(data["terminals"]),
-        paths=tuple(
-            Path(nodes=tuple(nodes)) for nodes in data.get("paths", [])
-        ),
-        anchors=tuple(data.get("anchors", [])),
-        focus=tuple(data.get("focus", [])),
-        k=int(data.get("k", 0)),
-    )
+    """Build a task from its JSON form; raises on malformed input.
+
+    .. deprecated::
+        Moved to :func:`repro.api.protocol.task_from_json`.
+    """
+    from repro.api import protocol
+
+    protocol._warn_legacy("task_from_json")
+    return protocol.task_from_json(data)
 
 
 def load_tasks_jsonl(path: str | FilePath) -> list[SummaryTask]:
     """Read tasks from a JSONL file, skipping blank lines."""
+    from repro.api import protocol
+
     tasks = []
     with open(path, encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
@@ -831,7 +855,7 @@ def load_tasks_jsonl(path: str | FilePath) -> list[SummaryTask]:
             if not line:
                 continue
             try:
-                tasks.append(task_from_json(json.loads(line)))
+                tasks.append(protocol.task_from_json(json.loads(line)))
             except (KeyError, TypeError, ValueError) as error:
                 raise ValueError(
                     f"{path}:{line_number}: bad task line ({error})"
@@ -843,6 +867,8 @@ def dump_tasks_jsonl(
     tasks: Sequence[SummaryTask], path: str | FilePath
 ) -> None:
     """Write tasks to a JSONL file (one task per line)."""
+    from repro.api import protocol
+
     with open(path, "w", encoding="utf-8") as handle:
         for task in tasks:
-            handle.write(json.dumps(task_to_json(task)) + "\n")
+            handle.write(json.dumps(protocol.task_to_json(task)) + "\n")

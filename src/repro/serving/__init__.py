@@ -1,6 +1,7 @@
-"""Serving layer: the work-stealing scheduler behind the session API.
+"""Serving layer: scheduler, wire formats, and the network front door.
 
-Three pieces, consumed by :class:`repro.api.ExplanationSession`:
+The in-process pieces, consumed by
+:class:`repro.api.ExplanationSession`:
 
 - :class:`SchedulerConfig` (:mod:`repro.serving.config`) — dispatch
   discipline ("work-stealing" / "chunked") and the elastic-pool bounds
@@ -11,6 +12,22 @@ Three pieces, consumed by :class:`repro.api.ExplanationSession`:
 - :mod:`repro.serving.wire` — the compact edge-list result format
   (parent-CSR int arrays + weights) workers ship back instead of
   pickled subgraph objects.
+
+The network tier, layered on top of the session:
+
+- :mod:`repro.serving.frames` — length-prefixed frame transport with
+  bounds checking (json default, msgpack optional).
+- :class:`ExplanationServer` / :class:`ServerConfig` / helper
+  :class:`ServerThread` (:mod:`repro.serving.server`) — the asyncio
+  TCP front door: multi-tenant named sessions, admission control,
+  per-task result streaming, mutation RPCs and an idle-pool reaper.
+- :class:`ExplanationClient` (:mod:`repro.serving.client`) — the
+  blocking client mirroring the session surface, with reconnect and
+  typed :class:`ServerError` / :class:`OverloadedError` failures.
+
+The network-tier names are exported lazily (PEP 562): the session
+imports this package's scheduler plumbing while the server imports the
+session, so eager re-export would be circular.
 """
 
 from repro.serving.config import (
@@ -25,6 +42,17 @@ from repro.serving.wire import (
     encode_explanation,
 )
 
+#: Lazily exported network-tier names -> defining submodule.
+_NETWORK_EXPORTS = {
+    "ExplanationServer": "repro.serving.server",
+    "ServerConfig": "repro.serving.server",
+    "ServerThread": "repro.serving.server",
+    "MUTATION_OPS": "repro.serving.server",
+    "ExplanationClient": "repro.serving.client",
+    "ServerError": "repro.serving.client",
+    "OverloadedError": "repro.serving.client",
+}
+
 __all__ = [
     "SCHEDULER_MODES",
     "ElasticWorkerPool",
@@ -33,4 +61,22 @@ __all__ = [
     "decode_explanation",
     "encode_explanation",
     "static_chunks",
+    *sorted(_NETWORK_EXPORTS),
 ]
+
+
+def __getattr__(name: str):
+    if name in _NETWORK_EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_NETWORK_EXPORTS[name])
+        value = getattr(module, name)
+        globals()[name] = value  # cache: __getattr__ runs once per name
+        return value
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_NETWORK_EXPORTS))

@@ -1,0 +1,284 @@
+"""Thin blocking client for :class:`repro.serving.server.ExplanationServer`.
+
+:class:`ExplanationClient` mirrors the in-process
+:class:`~repro.api.ExplanationSession` surface — ``explain`` /
+``run`` / ``stream`` take :class:`~repro.api.SummaryRequest`\\ s or bare
+:class:`~repro.core.scenarios.SummaryTask`\\ s — but moves the work
+over TCP: requests are encoded with :mod:`repro.api.protocol`, framed
+by :mod:`repro.serving.frames`, and the decoded results are
+bit-identical to what the server's session produced (the payload codec
+preserves every iteration order).
+
+Failure semantics:
+
+- Server-reported problems raise :class:`ServerError` carrying the
+  typed protocol ``code``; admission-control rejections raise the
+  :class:`OverloadedError` subclass so callers can branch to backoff
+  without string matching.
+- A dead connection (server restarted, idle socket reaped) triggers
+  one transparent reconnect-and-retry for *idempotent* request kinds —
+  every summarization read is one — before the error propagates.
+  Reconnects are lazy: the socket is (re)dialed on the next call, so a
+  client object constructed before the server starts still works.
+- ``stream`` yields each :class:`~repro.core.batch.BatchResult` as its
+  frame arrives — task by task under the server's work-stealing
+  scheduler — and verifies the terminating ``end`` frame's count.
+"""
+
+from __future__ import annotations
+
+import socket
+from collections.abc import Iterable, Iterator
+
+from repro.api import protocol
+from repro.api.requests import SummaryRequest, as_request
+from repro.core.batch import BatchReport, BatchResult
+from repro.core.explanation import SubgraphExplanation
+from repro.core.scenarios import SummaryTask
+from repro.serving.frames import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    get_codec,
+    read_frame,
+    write_frame,
+)
+
+
+class ServerError(RuntimeError):
+    """The server answered with a typed ``error`` frame."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+    @staticmethod
+    def from_frame(frame: dict) -> "ServerError":
+        code = frame.get("code", "internal")
+        message = frame.get("message", "")
+        if code == "overloaded":
+            return OverloadedError(code, message)
+        return ServerError(code, message)
+
+
+class OverloadedError(ServerError):
+    """Admission control rejected the request; retry with backoff."""
+
+
+class ExplanationClient:
+    """Blocking TCP client bound to one named graph on one server.
+
+    ``graph`` selects the server-side session ("default" matches a
+    server constructed from a bare graph). The socket dials lazily on
+    first use and redials once per call after a connection failure
+    when ``reconnect`` is on.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        graph: str = "default",
+        *,
+        codec: str = "json",
+        timeout: float | None = 60.0,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        reconnect: bool = True,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.graph = graph
+        self.timeout = timeout
+        self.max_frame_bytes = max_frame_bytes
+        self.reconnect = reconnect
+        self._codec = get_codec(codec)
+        self._sock: socket.socket | None = None
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    def _connection(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        return self._sock
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        """Close the socket (the client redials if used again)."""
+        self._drop_connection()
+
+    def __enter__(self) -> "ExplanationClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _send_request(self, kind: str, body: dict) -> None:
+        frame = protocol.envelope(kind, {"graph": self.graph, **body})
+        write_frame(
+            self._connection(),
+            self._codec.encode(frame),
+            self.max_frame_bytes,
+        )
+
+    def _read_response(self) -> tuple[str, dict]:
+        payload = read_frame(self._connection(), self.max_frame_bytes)
+        kind, frame = protocol.open_envelope(self._codec.decode(payload))
+        if kind == "error":
+            raise ServerError.from_frame(frame)
+        return kind, frame
+
+    def _call(self, kind: str, body: dict) -> tuple[str, dict]:
+        """One request/response round trip, with one reconnect retry."""
+        try:
+            self._send_request(kind, body)
+            return self._read_response()
+        except (FrameError, OSError):
+            self._drop_connection()
+            if not self.reconnect:
+                raise
+        # Retry exactly once on a fresh connection; a second failure
+        # means the server really is gone and propagates.
+        self._send_request(kind, body)
+        return self._read_response()
+
+    @staticmethod
+    def _expect_kind(kind: str, frame: dict, want: str) -> dict:
+        if kind != want:
+            raise ServerError(
+                "bad-frame",
+                f"expected a {want!r} response, got {kind!r}",
+            )
+        return frame
+
+    # ------------------------------------------------------------------
+    # Session-mirror surface
+    # ------------------------------------------------------------------
+    def ping(self) -> list[str]:
+        """Round-trip liveness check; returns the hosted graph names."""
+        kind, frame = self._call("ping", {})
+        return self._expect_kind(kind, frame, "pong").get("graphs", [])
+
+    def methods(self) -> list[str]:
+        """Summarization methods registered on the server."""
+        kind, frame = self._call("methods", {})
+        return self._expect_kind(kind, frame, "methods")["methods"]
+
+    def stats(self) -> dict:
+        """Server + session counters for this client's graph."""
+        kind, frame = self._call("stats", {})
+        return self._expect_kind(kind, frame, "stats")
+
+    def explain(
+        self, item: SummaryRequest | SummaryTask
+    ) -> SubgraphExplanation:
+        """Summarize one task; bit-identical to the in-process session."""
+        request = as_request(item)
+        kind, frame = self._call(
+            "explain", {"request": protocol.request_to_json(request)}
+        )
+        body = self._expect_kind(kind, frame, "explanation")
+        return protocol.explanation_from_json(
+            body["explanation"], request.task
+        )
+
+    def run(
+        self, items: Iterable[SummaryRequest | SummaryTask]
+    ) -> BatchReport:
+        """Serve a batch; the full report decodes losslessly."""
+        kind, frame = self._call("run", {"requests": self._encode(items)})
+        body = self._expect_kind(kind, frame, "report")
+        return protocol.report_from_json(body["report"])
+
+    def stream(
+        self, items: Iterable[SummaryRequest | SummaryTask]
+    ) -> Iterator[BatchResult]:
+        """Yield results as their frames arrive (completion order).
+
+        The request is sent with the reconnect retry, but once the
+        first frame is in flight a connection failure propagates —
+        silently re-running a half-consumed stream could double-serve
+        side-effect-sensitive callers.
+        """
+        body = {"requests": self._encode(items)}
+        try:
+            self._send_request("stream", body)
+        except (FrameError, OSError):
+            self._drop_connection()
+            if not self.reconnect:
+                raise
+            self._send_request("stream", body)
+        count = 0
+        while True:
+            kind, frame = self._read_response()
+            if kind == "end":
+                declared = frame.get("count")
+                if declared != count:
+                    raise ServerError(
+                        "bad-frame",
+                        f"stream ended after {count} result(s) but "
+                        f"declared {declared}",
+                    )
+                return
+            body = self._expect_kind(kind, frame, "result")
+            count += 1
+            yield protocol.result_from_json(body["result"])
+
+    # ------------------------------------------------------------------
+    # Graph mutation + resource RPCs
+    # ------------------------------------------------------------------
+    def mutate(self, ops: list[dict]) -> int:
+        """Apply graph edits server-side; returns the new graph version.
+
+        Each op is ``{"op": name, "args": [...]}`` with names from
+        :data:`repro.serving.server.MUTATION_OPS`. The server applies
+        them serialized against in-flight work; the session invalidates
+        its derived state on the next request.
+        """
+        kind, frame = self._call("mutate", {"ops": ops})
+        return self._expect_kind(kind, frame, "ok")["version"]
+
+    def add_edge(
+        self,
+        source: str,
+        target: str,
+        weight: float = 1.0,
+        relation: str = "",
+    ) -> int:
+        return self.mutate(
+            [{"op": "add_edge", "args": [source, target, weight, relation]}]
+        )
+
+    def set_weight(self, source: str, target: str, weight: float) -> int:
+        return self.mutate(
+            [{"op": "set_weight", "args": [source, target, weight]}]
+        )
+
+    def remove_edge(self, source: str, target: str) -> int:
+        return self.mutate([{"op": "remove_edge", "args": [source, target]}])
+
+    def remove_node(self, node: str) -> int:
+        return self.mutate([{"op": "remove_node", "args": [node]}])
+
+    def release_pool(self) -> None:
+        """Ask the server to drop this graph's pooled resources now."""
+        kind, frame = self._call("release", {})
+        self._expect_kind(kind, frame, "ok")
+
+    def _encode(
+        self, items: Iterable[SummaryRequest | SummaryTask]
+    ) -> list[dict]:
+        return [
+            protocol.request_to_json(as_request(item)) for item in items
+        ]

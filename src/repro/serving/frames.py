@@ -1,0 +1,201 @@
+"""Length-prefixed frame transport for the network serving tier.
+
+One frame = a 4-byte big-endian unsigned length prefix (``!I``)
+followed by exactly that many payload bytes. The payload is an encoded
+:mod:`repro.api.protocol` envelope; this module only moves bytes and
+enforces the two transport-level invariants the protocol's error codes
+name:
+
+- ``frame-too-large`` — a peer declaring a length above the receiver's
+  bound is rejected *before* any payload is read
+  (:class:`FrameTooLarge`), so a hostile or confused peer cannot make
+  the receiver buffer gigabytes.
+- a stream that ends mid-frame (connection cut between prefix and
+  payload, or inside the prefix after at least one byte) raises
+  :class:`TruncatedFrame` — distinct from a clean EOF *between* frames,
+  which reads as ``None`` / ``ConnectionClosed`` and means the peer
+  simply hung up.
+
+Payload encoding is pluggable via :func:`get_codec`: ``"json"`` (always
+available, UTF-8) and ``"msgpack"`` when the optional dependency is
+installed — the import is gated so the serving tier works on bare
+installs, and asking for msgpack without it raises an actionable error
+instead of an ImportError mid-connection.
+
+Both sync (blocking socket; the client) and asyncio (StreamReader /
+StreamWriter; the server) read/write pairs are provided, sharing the
+same bounds checking.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from asyncio import IncompleteReadError, StreamReader, StreamWriter
+
+#: Frame length prefix: 4-byte big-endian unsigned int.
+_PREFIX = struct.Struct("!I")
+
+#: Default cap on a single frame's payload. A whole-batch report for
+#: thousands of tasks fits comfortably; anything larger is almost
+#: certainly a confused or hostile peer.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class FrameError(ConnectionError):
+    """Base class for transport-level framing failures."""
+
+
+class FrameTooLarge(FrameError):
+    """A peer declared (or asked us to send) an over-bound frame."""
+
+    def __init__(self, declared: int, bound: int) -> None:
+        super().__init__(
+            f"frame of {declared} bytes exceeds the {bound}-byte bound"
+        )
+        self.declared = declared
+        self.bound = bound
+
+
+class TruncatedFrame(FrameError):
+    """The stream ended partway through a frame."""
+
+
+class ConnectionClosed(FrameError):
+    """Clean EOF between frames — the peer hung up."""
+
+
+# ----------------------------------------------------------------------
+# Payload codecs
+# ----------------------------------------------------------------------
+class _JsonCodec:
+    name = "json"
+
+    @staticmethod
+    def encode(obj: dict) -> bytes:
+        return json.dumps(obj, separators=(",", ":")).encode("utf-8")
+
+    @staticmethod
+    def decode(payload: bytes) -> dict:
+        return json.loads(payload.decode("utf-8"))
+
+
+class _MsgpackCodec:
+    name = "msgpack"
+
+    def __init__(self) -> None:
+        import msgpack  # gated: optional dependency
+
+        self._packb = msgpack.packb
+        self._unpackb = msgpack.unpackb
+
+    def encode(self, obj: dict) -> bytes:
+        return self._packb(obj, use_bin_type=True)
+
+    def decode(self, payload: bytes) -> dict:
+        return self._unpackb(payload, raw=False)
+
+
+#: Codec names accepted by :func:`get_codec`.
+CODECS = ("json", "msgpack")
+
+
+def get_codec(name: str):
+    """Resolve a payload codec by name; availability-checked."""
+    if name == "json":
+        return _JsonCodec()
+    if name == "msgpack":
+        try:
+            return _MsgpackCodec()
+        except ImportError as error:
+            raise ValueError(
+                "codec 'msgpack' requires the optional msgpack package "
+                "(not installed); use codec='json'"
+            ) from error
+    raise ValueError(f"unknown codec {name!r}; choose from {CODECS}")
+
+
+def _check_outbound(payload: bytes, max_bytes: int) -> bytes:
+    if len(payload) > max_bytes:
+        raise FrameTooLarge(len(payload), max_bytes)
+    return _PREFIX.pack(len(payload)) + payload
+
+
+# ----------------------------------------------------------------------
+# Blocking socket I/O (client side)
+# ----------------------------------------------------------------------
+def write_frame(
+    sock: socket.socket, payload: bytes, max_bytes: int = MAX_FRAME_BYTES
+) -> None:
+    """Send one frame over a blocking socket."""
+    sock.sendall(_check_outbound(payload, max_bytes))
+
+
+def read_frame(
+    sock: socket.socket, max_bytes: int = MAX_FRAME_BYTES
+) -> bytes:
+    """Receive one frame from a blocking socket.
+
+    Raises :class:`ConnectionClosed` on clean EOF before any prefix
+    byte, :class:`TruncatedFrame` if the stream dies mid-frame, and
+    :class:`FrameTooLarge` on an over-bound declared length.
+    """
+    prefix = _recv_exactly(sock, _PREFIX.size, at_boundary=True)
+    (length,) = _PREFIX.unpack(prefix)
+    if length > max_bytes:
+        raise FrameTooLarge(length, max_bytes)
+    return _recv_exactly(sock, length, at_boundary=False)
+
+
+def _recv_exactly(
+    sock: socket.socket, count: int, at_boundary: bool
+) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if at_boundary and remaining == count:
+                raise ConnectionClosed("peer closed the connection")
+            raise TruncatedFrame(
+                f"stream ended {remaining} byte(s) short of a "
+                f"{count}-byte read"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# Asyncio stream I/O (server side)
+# ----------------------------------------------------------------------
+async def write_frame_async(
+    writer: StreamWriter, payload: bytes, max_bytes: int = MAX_FRAME_BYTES
+) -> None:
+    """Send one frame over an asyncio stream (drains the buffer)."""
+    writer.write(_check_outbound(payload, max_bytes))
+    await writer.drain()
+
+
+async def read_frame_async(
+    reader: StreamReader, max_bytes: int = MAX_FRAME_BYTES
+) -> bytes:
+    """Receive one frame from an asyncio stream (same errors as sync)."""
+    try:
+        prefix = await reader.readexactly(_PREFIX.size)
+    except IncompleteReadError as error:
+        if not error.partial:
+            raise ConnectionClosed("peer closed the connection") from None
+        raise TruncatedFrame(
+            "stream ended inside a frame length prefix"
+        ) from None
+    (length,) = _PREFIX.unpack(prefix)
+    if length > max_bytes:
+        raise FrameTooLarge(length, max_bytes)
+    try:
+        return await reader.readexactly(length)
+    except IncompleteReadError:
+        raise TruncatedFrame(
+            f"stream ended inside a {length}-byte frame payload"
+        ) from None

@@ -1,0 +1,626 @@
+"""Asyncio network front door over :class:`repro.api.ExplanationSession`.
+
+:class:`ExplanationServer` turns the in-process session facade into a
+TCP service: clients speak length-prefixed :mod:`repro.api.protocol`
+envelopes (framing in :mod:`repro.serving.frames`) and get back the
+same summaries — bit-identical, because the payload codec preserves
+node/neighbor/relation iteration order — that a local
+``ExplanationSession.run()`` would produce.
+
+Architecture
+------------
+- **Multi-tenant named sessions.** The server hosts one or more named
+  graphs (a bare graph becomes ``"default"``). Each name owns a
+  :class:`_SessionHost`: a lazily created warm ``ExplanationSession``
+  plus a dedicated single-thread executor. All blocking work for a
+  graph — summarization, mutation, pool release — runs on that one
+  thread, so concurrent clients are serialized *per graph* (sessions
+  are not thread-safe) while distinct graphs proceed in parallel, and
+  the asyncio loop never blocks.
+- **Admission control.** Each host tracks in-flight + queued requests;
+  past ``ServerConfig.max_pending`` the server answers immediately
+  with a typed ``overloaded`` error frame instead of letting latency
+  grow unbounded (the client raises
+  :class:`~repro.serving.client.OverloadedError` and can back off).
+  The counter mutates only on the event-loop thread, so no lock.
+- **Streaming.** ``stream`` frames each ``BatchResult`` the moment the
+  session's scheduler yields it: a pump on the session thread pushes
+  results into an asyncio queue via ``call_soon_threadsafe`` and the
+  handler writes one ``result`` frame per item, then an ``end`` frame
+  with the count. Under work-stealing dispatch the first frame leaves
+  the server while later tasks are still computing.
+- **Mutation RPCs.** ``mutate`` applies graph edits on the session
+  thread (serialized against in-flight runs). Edits bump the graph's
+  version counter, which the session's ``_refresh`` notices on the
+  next request — derived state (frozen view, shm export, pools,
+  closure cache) is invalidated exactly as in-process callers get.
+- **Idle reaper.** A background task watches each host's idle clock
+  and calls ``release_pool()`` on sessions idle past
+  ``pool_idle_ttl_seconds`` — returning worker processes and the
+  shared-memory export to the OS while keeping the cheap serial state
+  warm. This closes the ROADMAP carry-over that the elastic pool only
+  shrank while a dispatch was draining: the TTL now shrinks it to
+  zero between bursts.
+
+Error taxonomy: transport violations (oversized frame) get an error
+frame before the connection closes; protocol violations (bad JSON,
+unknown version, malformed request) get a typed error frame and the
+connection stays usable; task failures get ``task-error``. See
+:data:`repro.api.protocol.ERROR_CODES`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections.abc import Mapping
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.api import protocol
+from repro.api.config import CacheConfig, EngineConfig, ParallelConfig
+from repro.api.registry import available_methods
+from repro.api.session import ExplanationSession
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.serving.config import SchedulerConfig
+from repro.serving.frames import (
+    MAX_FRAME_BYTES,
+    ConnectionClosed,
+    FrameTooLarge,
+    TruncatedFrame,
+    get_codec,
+    read_frame_async,
+    write_frame_async,
+)
+
+#: Graph mutation RPC ops -> KnowledgeGraph method names. Every one
+#: bumps the graph version, which invalidates the session's derived
+#: state on its next request.
+MUTATION_OPS = {
+    "add_edge": "add_edge",
+    "remove_edge": "remove_edge",
+    "remove_node": "remove_node",
+    "set_weight": "set_weight",
+    "set_name": "set_name",
+    "add_node": "add_node",
+}
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Network front-door knobs (validated at construction).
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.port`` after start — what the tests and the self-hosting
+    bench harness do). ``max_pending`` bounds each graph's in-flight +
+    queued requests before admission control answers ``overloaded``.
+    ``pool_idle_ttl_seconds=0`` disables the idle reaper.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_pending: int = 32
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    codec: str = "json"
+    pool_idle_ttl_seconds: float = 0.0
+    reap_interval_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.max_frame_bytes < 64:
+            raise ValueError("max_frame_bytes must be >= 64")
+        if self.pool_idle_ttl_seconds < 0:
+            raise ValueError("pool_idle_ttl_seconds must be >= 0")
+        if self.reap_interval_seconds <= 0:
+            raise ValueError("reap_interval_seconds must be > 0")
+        get_codec(self.codec)  # fail fast on unknown/unavailable codec
+
+
+class _SessionHost:
+    """One named graph's session, executor, and admission state."""
+
+    def __init__(self, name: str, graph: KnowledgeGraph, make_session) -> None:
+        self.name = name
+        self.graph = graph
+        self._make_session = make_session
+        self._session: ExplanationSession | None = None
+        # One thread per graph: serializes all session access without
+        # blocking the event loop; distinct graphs run concurrently.
+        self.executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"session-{name}"
+        )
+        self.pending = 0  # event-loop-thread only; no lock needed
+        self.last_active = time.monotonic()
+
+    @property
+    def session(self) -> ExplanationSession:
+        if self._session is None:
+            self._session = self._make_session(self.graph)
+        return self._session
+
+    def session_if_created(self) -> ExplanationSession | None:
+        return self._session
+
+    def close(self) -> None:
+        self.executor.shutdown(wait=True, cancel_futures=True)
+        if self._session is not None:
+            self._session.close()
+
+
+class ExplanationServer:
+    """TCP front door serving explanation summaries for named graphs.
+
+    ``graphs`` is either a single :class:`KnowledgeGraph` (hosted as
+    ``"default"``) or a mapping of name -> graph. The remaining keyword
+    configs are forwarded to every lazily created
+    :class:`~repro.api.ExplanationSession`.
+
+    Lifecycle: ``await start()`` binds the socket (``server.port`` is
+    then live), ``await stop()`` closes connections and sessions.
+    Synchronous callers use :class:`ServerThread`.
+    """
+
+    def __init__(
+        self,
+        graphs: KnowledgeGraph | Mapping[str, KnowledgeGraph],
+        config: ServerConfig | None = None,
+        *,
+        engine: EngineConfig | None = None,
+        cache: CacheConfig | None = None,
+        parallel: ParallelConfig | None = None,
+        scheduler: SchedulerConfig | None = None,
+        default_method: str = "st",
+    ) -> None:
+        if isinstance(graphs, KnowledgeGraph):
+            graphs = {"default": graphs}
+        if not graphs:
+            raise ValueError("server needs at least one graph to host")
+        self.config = config if config is not None else ServerConfig()
+        self._codec = get_codec(self.config.codec)
+
+        def make_session(graph: KnowledgeGraph) -> ExplanationSession:
+            return ExplanationSession(
+                graph,
+                engine=engine,
+                cache=cache,
+                parallel=parallel,
+                scheduler=scheduler,
+                default_method=default_method,
+            )
+
+        self._hosts = {
+            name: _SessionHost(name, graph, make_session)
+            for name, graph in graphs.items()
+        }
+        self._server: asyncio.AbstractServer | None = None
+        self._reaper: asyncio.Task | None = None
+        self.port: int | None = None
+        #: Served-request counters, for the ``stats`` RPC and tests.
+        self.frames_in = 0
+        self.frames_out = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket and start the idle reaper."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.pool_idle_ttl_seconds > 0:
+            self._reaper = asyncio.create_task(self._reap_idle_pools())
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Close the socket, the reaper, and every hosted session."""
+        if self._reaper is not None:
+            self._reaper.cancel()
+            try:
+                await self._reaper
+            except asyncio.CancelledError:
+                pass
+            self._reaper = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        loop = asyncio.get_running_loop()
+        for host in self._hosts.values():
+            await loop.run_in_executor(None, host.close)
+
+    async def _reap_idle_pools(self) -> None:
+        """Release pooled resources of sessions idle past the TTL."""
+        ttl = self.config.pool_idle_ttl_seconds
+        while True:
+            await asyncio.sleep(self.config.reap_interval_seconds)
+            now = time.monotonic()
+            loop = asyncio.get_running_loop()
+            for host in self._hosts.values():
+                session = host.session_if_created()
+                if (
+                    session is None
+                    or host.pending
+                    or now - host.last_active < ttl
+                ):
+                    continue
+                if (
+                    session._pool is None
+                    and session._steal_pool is None
+                    and session._export is None
+                ):
+                    continue  # nothing pooled to release
+                # On the session thread: serialized behind any work
+                # admitted between this check and the call.
+                await loop.run_in_executor(
+                    host.executor, session.release_pool
+                )
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        bound = self.config.max_frame_bytes
+        try:
+            while True:
+                try:
+                    payload = await read_frame_async(reader, bound)
+                except FrameTooLarge as error:
+                    # Tell the peer why, then hang up: the oversized
+                    # payload is still in flight and unskippable.
+                    await self._send(
+                        writer,
+                        protocol.error_frame("frame-too-large", str(error)),
+                    )
+                    return
+                except (ConnectionClosed, TruncatedFrame):
+                    return
+                self.frames_in += 1
+                await self._dispatch(writer, payload)
+        except (ConnectionResetError, BrokenPipeError, TimeoutError):
+            pass  # peer vanished mid-response; nothing to tell it
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, frame: dict) -> None:
+        await write_frame_async(
+            writer, self._codec.encode(frame), self.config.max_frame_bytes
+        )
+        self.frames_out += 1
+
+    async def _dispatch(
+        self, writer: asyncio.StreamWriter, payload: bytes
+    ) -> None:
+        """Decode one request frame and answer it (errors included)."""
+        try:
+            try:
+                data = self._codec.decode(payload)
+            except ValueError as error:
+                raise protocol.ProtocolError(
+                    "bad-frame", f"undecodable frame ({error})"
+                ) from None
+            kind, frame = protocol.open_envelope(data)
+            handler = getattr(self, f"_op_{kind.replace('-', '_')}", None)
+            if handler is None:
+                raise protocol.ProtocolError(
+                    "bad-request", f"unknown request kind {kind!r}"
+                )
+            await handler(writer, frame)
+        except protocol.ProtocolError as error:
+            await self._send(
+                writer, protocol.error_frame(error.code, str(error))
+            )
+
+    def _host_for(self, frame: dict) -> _SessionHost:
+        name = frame.get("graph", "default")
+        host = self._hosts.get(name)
+        if host is None:
+            raise protocol.ProtocolError(
+                "unknown-graph",
+                f"no graph named {name!r}; hosted: "
+                f"{sorted(self._hosts)}",
+            )
+        return host
+
+    def _admit(self, host: _SessionHost) -> None:
+        """Admission control: raise ``overloaded`` past the bound."""
+        if host.pending >= self.config.max_pending:
+            self.rejected += 1
+            raise protocol.ProtocolError(
+                "overloaded",
+                f"graph {host.name!r} has {host.pending} pending "
+                f"request(s) (bound {self.config.max_pending}); retry "
+                "with backoff",
+            )
+        host.pending += 1
+        host.last_active = time.monotonic()
+
+    def _release(self, host: _SessionHost) -> None:
+        host.pending -= 1
+        host.last_active = time.monotonic()
+
+    async def _run_on_session(self, host: _SessionHost, fn, *args):
+        """Run blocking session work on the host's thread; map errors."""
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(host.executor, fn, *args)
+        except protocol.ProtocolError:
+            raise
+        except (ValueError, KeyError, TypeError) as error:
+            raise protocol.ProtocolError(
+                "task-error", f"{type(error).__name__}: {error}"
+            ) from error
+        except Exception as error:  # pool/shm infrastructure failures
+            raise protocol.ProtocolError(
+                "internal", f"{type(error).__name__}: {error}"
+            ) from error
+
+    # ------------------------------------------------------------------
+    # Request handlers (one per envelope kind)
+    # ------------------------------------------------------------------
+    async def _op_ping(self, writer, frame) -> None:
+        await self._send(
+            writer, protocol.envelope("pong", {"graphs": sorted(self._hosts)})
+        )
+
+    async def _op_methods(self, writer, frame) -> None:
+        await self._send(
+            writer,
+            protocol.envelope(
+                "methods", {"methods": list(available_methods())}
+            ),
+        )
+
+    async def _op_stats(self, writer, frame) -> None:
+        host = self._host_for(frame)
+        session = host.session_if_created()
+        stats = {}
+        if session is not None:
+            stats = {
+                key: getattr(session.stats, key)
+                for key in vars(session.stats)
+            }
+        await self._send(
+            writer,
+            protocol.envelope(
+                "stats",
+                {
+                    "graph": host.name,
+                    "session": stats,
+                    "pending": host.pending,
+                    "server": {
+                        "frames_in": self.frames_in,
+                        "frames_out": self.frames_out,
+                        "rejected": self.rejected,
+                    },
+                },
+            ),
+        )
+
+    async def _op_explain(self, writer, frame) -> None:
+        host = self._host_for(frame)
+        request = protocol.request_from_json(
+            protocol._expect(frame, "request", dict, "explain")
+        )
+        self._admit(host)
+        try:
+            explanation = await self._run_on_session(
+                host, host.session.explain, request
+            )
+        finally:
+            self._release(host)
+        await self._send(
+            writer,
+            protocol.envelope(
+                "explanation",
+                {"explanation": protocol.explanation_to_json(explanation)},
+            ),
+        )
+
+    async def _op_run(self, writer, frame) -> None:
+        host = self._host_for(frame)
+        requests = self._decode_requests(frame, "run")
+        self._admit(host)
+        try:
+            report = await self._run_on_session(
+                host, host.session.run, requests
+            )
+        finally:
+            self._release(host)
+        await self._send(
+            writer,
+            protocol.envelope(
+                "report", {"report": protocol.report_to_json(report)}
+            ),
+        )
+
+    async def _op_stream(self, writer, frame) -> None:
+        """Frame each result the moment the scheduler yields it."""
+        host = self._host_for(frame)
+        requests = self._decode_requests(frame, "stream")
+        self._admit(host)
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+        done = object()
+
+        def pump() -> None:
+            # Session thread: drive the stream, hand each result to the
+            # event loop as soon as the scheduler yields it.
+            try:
+                for result in host.session.stream(requests):
+                    loop.call_soon_threadsafe(queue.put_nowait, result)
+                loop.call_soon_threadsafe(queue.put_nowait, done)
+            except BaseException as error:  # delivered, not swallowed
+                loop.call_soon_threadsafe(queue.put_nowait, error)
+
+        future = loop.run_in_executor(host.executor, pump)
+        count = 0
+        try:
+            while True:
+                item = await queue.get()
+                if item is done:
+                    break
+                if isinstance(item, BaseException):
+                    raise protocol.ProtocolError(
+                        "task-error", f"{type(item).__name__}: {item}"
+                    )
+                await self._send(
+                    writer,
+                    protocol.envelope(
+                        "result", {"result": protocol.result_to_json(item)}
+                    ),
+                )
+                count += 1
+        finally:
+            await asyncio.wait([future])
+            self._release(host)
+        await self._send(writer, protocol.envelope("end", {"count": count}))
+
+    async def _op_mutate(self, writer, frame) -> None:
+        """Apply graph edits, serialized against in-flight session work."""
+        host = self._host_for(frame)
+        ops = protocol._expect(frame, "ops", list, "mutate")
+        plan = []
+        for op in ops:
+            name = protocol._expect(op, "op", str, "mutate op")
+            if name not in MUTATION_OPS:
+                raise protocol.ProtocolError(
+                    "bad-request",
+                    f"unknown mutation op {name!r}; supported: "
+                    f"{sorted(MUTATION_OPS)}",
+                )
+            args = op.get("args", [])
+            if not isinstance(args, list):
+                raise protocol.ProtocolError(
+                    "bad-request", "mutate op 'args' must be a list"
+                )
+            plan.append((MUTATION_OPS[name], args))
+        self._admit(host)
+
+        def apply() -> int:
+            for method, args in plan:
+                getattr(host.graph, method)(*args)
+            return host.graph.version
+
+        try:
+            version = await self._run_on_session(host, apply)
+        finally:
+            self._release(host)
+        await self._send(
+            writer,
+            protocol.envelope(
+                "ok", {"graph": host.name, "version": version}
+            ),
+        )
+
+    async def _op_release(self, writer, frame) -> None:
+        """Drop a session's pooled resources now (client-driven shrink)."""
+        host = self._host_for(frame)
+        session = host.session_if_created()
+        if session is not None:
+            self._admit(host)
+            try:
+                await self._run_on_session(host, session.release_pool)
+            finally:
+                self._release(host)
+        await self._send(
+            writer, protocol.envelope("ok", {"graph": host.name})
+        )
+
+    @staticmethod
+    def _decode_requests(frame: dict, what: str):
+        items = protocol._expect(frame, "requests", list, what)
+        return [protocol.request_from_json(item) for item in items]
+
+
+class ServerThread:
+    """Run an :class:`ExplanationServer` on a background event loop.
+
+    For tests, the demo and the bench harness: construction blocks
+    until the socket is bound (``.port`` is live), ``stop()`` shuts
+    the server and the loop down. Usable as a context manager.
+    """
+
+    def __init__(self, server: ExplanationServer) -> None:
+        self.server = server
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="explanation-server", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+
+        async def main() -> None:
+            try:
+                await self.server.start()
+            except BaseException as error:
+                self._startup_error = error
+                raise
+            finally:
+                self._started.set()
+
+        try:
+            self._loop.run_until_complete(main())
+            self._loop.run_forever()
+        except BaseException:
+            pass
+        finally:
+            # Drain whatever the stop left behind (half-closed
+            # transports, cancelled handlers) so closing the loop
+            # doesn't strand callbacks that would warn at GC time.
+            try:
+                pending = asyncio.all_tasks(self._loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    self._loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+                self._loop.run_until_complete(
+                    self._loop.shutdown_asyncgens()
+                )
+            except BaseException:
+                pass
+            self._loop.close()
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None
+        return self.server.port
+
+    def stop(self) -> None:
+        if self._loop.is_closed():
+            return
+
+        async def shutdown() -> None:
+            await self.server.stop()
+            self._loop.stop()
+
+        asyncio.run_coroutine_threadsafe(shutdown(), self._loop)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

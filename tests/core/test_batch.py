@@ -2,13 +2,15 @@
 
 import pytest
 
+# The task codec moved to the versioned protocol module; the batch
+# names survive only as deprecated shims (pinned in
+# tests/serving/test_protocol.py).
+from repro.api.protocol import task_from_json, task_to_json
 from repro.core.batch import (
     BatchSummarizer,
     TerminalClosureCache,
     dump_tasks_jsonl,
     load_tasks_jsonl,
-    task_from_json,
-    task_to_json,
 )
 from repro.core.scenarios import Scenario, SummaryTask
 from repro.core.summarizer import METHODS, Summarizer
