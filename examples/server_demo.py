@@ -4,8 +4,8 @@ Shows the serving tier from the outside — an `ExplanationServer`
 hosted on a background thread, a blocking `ExplanationClient` speaking
 the versioned length-prefixed protocol, per-task result streaming over
 the wire, mutation RPCs that invalidate the warm session, typed error
-frames, and the admission-control overload path. Runs in a few
-seconds::
+frames, the admission-control overload path, and supervised recovery
+from an injected worker crash. Runs in a few seconds::
 
     python examples/server_demo.py
 
@@ -17,7 +17,7 @@ import time
 
 import numpy as np
 
-from repro.api import SummaryRequest
+from repro.api import ParallelConfig, ResilienceConfig, SummaryRequest
 from repro.core.scenarios import user_centric_task
 from repro.data import (
     ExternalSchema,
@@ -30,6 +30,8 @@ from repro.recommenders import PGPRRecommender
 from repro.serving import (
     ExplanationClient,
     ExplanationServer,
+    Fault,
+    FaultPlan,
     ServerConfig,
     ServerError,
     ServerThread,
@@ -109,7 +111,32 @@ def main() -> None:
             except ServerError as error:
                 print(f"typed error frame: code={error.code!r} ({error})")
 
-    print("\nserver stopped; see README 'Network serving' for the protocol")
+    # 3. Resilience: the same batch survives a worker crash. A seeded
+    # FaultPlan kills the worker holding task #2 mid-run; supervision
+    # re-queues the leased task, respawns the worker in place, and the
+    # batch completes with every result intact — the only trace is the
+    # worker_deaths counter.
+    chaos_server = ExplanationServer(
+        graph,
+        ServerConfig(max_pending=16),
+        parallel=ParallelConfig(backend="processes", workers=2),
+        resilience=ResilienceConfig(max_task_retries=2),
+        faults=FaultPlan((Fault("crash", at=2),)),
+    )
+    with ServerThread(chaos_server) as hosted:
+        with ExplanationClient("127.0.0.1", hosted.port) as client:
+            print("\ninjecting one worker crash into the same batch:")
+            report = client.run(requests)
+            stats = client.stats()["session"]
+            print(
+                f"  {len(report.results)} results, "
+                f"{report.failed} failed, {report.retried} retried | "
+                f"worker_deaths={stats['worker_deaths']} "
+                f"task_retries={stats['task_retries']}"
+            )
+            assert report.failed == 0 and stats["worker_deaths"] == 1
+
+    print("\nserver stopped; see README 'Resilience' for the failure modes")
 
 
 if __name__ == "__main__":

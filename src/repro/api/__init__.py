@@ -23,6 +23,13 @@ The pieces:
 - :class:`SchedulerConfig` (re-exported from :mod:`repro.serving`) —
   the dispatch discipline: work-stealing with an elastic worker pool
   and per-task streaming (default), or legacy static chunking.
+- :class:`ResilienceConfig` (re-exported from :mod:`repro.serving`) —
+  supervised recovery on the process backend: per-task retry budget
+  and deadline, worker-respawn circuit breaker, error isolation.
+- :class:`TaskFailure` (:mod:`repro.core.batch`) — the typed per-task
+  failure (cause ``crash`` / ``timeout`` / ``error``) a
+  :class:`BatchResult` carries instead of an explanation when a task
+  exhausted its retries.
 
 Minimal use::
 
@@ -48,8 +55,8 @@ from repro.api.registry import (
 )
 from repro.api.requests import SummaryRequest
 from repro.api.session import ExplanationSession, SessionStats
-from repro.core.batch import BatchReport, BatchResult
-from repro.serving.config import SchedulerConfig
+from repro.core.batch import BatchReport, BatchResult, TaskFailure
+from repro.serving.config import ResilienceConfig, SchedulerConfig
 
 __all__ = [
     "BatchReport",
@@ -61,9 +68,11 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ParallelConfig",
     "ProtocolError",
+    "ResilienceConfig",
     "SchedulerConfig",
     "SessionStats",
     "SummaryRequest",
+    "TaskFailure",
     "available_methods",
     "method_spec",
     "register_method",

@@ -57,7 +57,12 @@ from collections.abc import Mapping
 
 from repro.api.config import EngineConfig
 from repro.api.requests import SummaryRequest
-from repro.core.batch import BatchReport, BatchResult
+from repro.core.batch import (
+    FAILURE_CAUSES,
+    BatchReport,
+    BatchResult,
+    TaskFailure,
+)
 from repro.core.explanation import SubgraphExplanation
 from repro.core.pcst_summary import PrizePolicy
 from repro.core.scenarios import Scenario, SummaryTask
@@ -77,6 +82,7 @@ ERROR_CODES = (
     "unknown-graph",    # request names a graph the server doesn't host
     "overloaded",       # admission control rejected the request
     "task-error",       # the summarization itself raised
+    "deadline-exceeded",  # the client's deadline expired before the work ran
     "internal",         # unexpected server-side failure
 )
 
@@ -86,14 +92,16 @@ class ProtocolError(ValueError):
 
     ``code`` is one of :data:`ERROR_CODES`; the server echoes it in the
     typed error frame so clients can branch without string-matching
-    messages.
+    messages. ``extra`` keyword hints (e.g. ``retry_after_ms`` on
+    ``overloaded``) travel into the frame via :func:`error_frame`.
     """
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(self, code: str, message: str, **extra) -> None:
         if code not in ERROR_CODES:
             raise ValueError(f"unknown protocol error code {code!r}")
         super().__init__(message)
         self.code = code
+        self.extra = extra
 
 
 def _expect(data, key: str, kind, what: str):
@@ -169,11 +177,18 @@ def open_envelope(data) -> tuple[str, dict]:
     return kind, data
 
 
-def error_frame(code: str, message: str) -> dict:
-    """A typed error response frame."""
+def error_frame(code: str, message: str, **extra) -> dict:
+    """A typed error response frame.
+
+    ``extra`` carries optional machine-readable hints alongside the
+    code — e.g. ``retry_after_ms`` on ``overloaded`` frames, which
+    backoff-aware clients honor as a floor on their next attempt.
+    Unknown hints are ignored by older clients (they only read
+    ``code``/``message``), so adding one is not a version bump.
+    """
     if code not in ERROR_CODES:
         raise ValueError(f"unknown protocol error code {code!r}")
-    return envelope("error", {"code": code, "message": message})
+    return envelope("error", {"code": code, "message": message, **extra})
 
 
 # ----------------------------------------------------------------------
@@ -403,21 +418,57 @@ def explanation_from_json(data: dict, task: SummaryTask) -> SubgraphExplanation:
 # BatchResult / BatchReport
 # ----------------------------------------------------------------------
 def result_to_json(result: BatchResult) -> dict:
-    """One streamed result frame body — self-contained (task included)."""
-    return {
+    """One streamed result frame body — self-contained (task included).
+
+    A failed result (typed :class:`~repro.core.batch.TaskFailure`
+    instead of an explanation) travels as a ``failure`` object in
+    place of the ``explanation`` key, so a streaming client still
+    receives exactly one frame per submitted task and can branch on
+    which key is present.
+    """
+    data = {
         "index": result.index,
         "seconds": result.seconds,
         "task": task_to_json(result.task),
-        "explanation": explanation_to_json(result.explanation),
     }
+    if result.failure is not None:
+        data["failure"] = {
+            "cause": result.failure.cause,
+            "message": result.failure.message,
+            "retries": result.failure.retries,
+        }
+    else:
+        data["explanation"] = explanation_to_json(result.explanation)
+    return data
 
 
 def result_from_json(data: dict) -> BatchResult:
     """Rebuild one result; the explanation reuses the decoded task."""
     task = task_from_json(_expect(data, "task", dict, "result"))
     seconds = _expect(data, "seconds", (int, float), "result")
+    index = _expect(data, "index", int, "result")
+    if "failure" in data:
+        body = _expect(data, "failure", dict, "result")
+        cause = _expect(body, "cause", str, "failure")
+        if cause not in FAILURE_CAUSES:
+            raise ProtocolError(
+                "bad-request",
+                f"unknown failure cause {cause!r}; expected one of "
+                f"{FAILURE_CAUSES}",
+            )
+        return BatchResult(
+            index=index,
+            task=task,
+            explanation=None,
+            seconds=float(seconds),
+            failure=TaskFailure(
+                cause=cause,
+                message=_expect(body, "message", str, "failure"),
+                retries=_expect(body, "retries", int, "failure"),
+            ),
+        )
     return BatchResult(
-        index=_expect(data, "index", int, "result"),
+        index=index,
         task=task,
         explanation=explanation_from_json(
             _expect(data, "explanation", dict, "result"), task
@@ -452,6 +503,8 @@ def report_to_json(report: BatchReport) -> dict:
     """
     data = {name: getattr(report, name) for name, _kind in _REPORT_FIELDS}
     data["results"] = [result_to_json(result) for result in report.results]
+    data["retried"] = report.retried
+    data["failed"] = report.failed  # derived; recomputed on decode
     data["latency_p50_ms"] = report.latency_p50_ms
     data["latency_p95_ms"] = report.latency_p95_ms
     data["throughput"] = report.throughput
@@ -465,8 +518,14 @@ def report_from_json(data: dict) -> BatchReport:
     for name, kind in _REPORT_FIELDS:
         value = _expect(data, name, kind, "report")
         kwargs[name] = float(value) if kind == (int, float) else value
+    # Optional on decode: reports written before the resilience layer
+    # existed (old BENCH artifacts) have no "retried" field.
+    retried = data.get("retried", 0)
+    if isinstance(retried, bool) or not isinstance(retried, int):
+        raise ProtocolError("bad-request", "report['retried'] must be an int")
     return BatchReport(
         results=tuple(result_from_json(result) for result in results),
+        retried=retried,
         **kwargs,
     )
 

@@ -75,13 +75,19 @@ from repro.core.batch import (
     _STAT_KEYS,
     BatchReport,
     BatchResult,
+    TaskFailure,
     TerminalClosureCache,
     _cache_counters,
 )
 from repro.core.scenarios import SummaryTask
 from repro.graph.knowledge_graph import KnowledgeGraph
 from repro.serving import pool as serving_pool
-from repro.serving.config import SchedulerConfig, static_chunks
+from repro.serving.config import (
+    ResilienceConfig,
+    SchedulerConfig,
+    static_chunks,
+)
+from repro.serving.faults import FaultPlan
 from repro.serving.pool import ElasticWorkerPool
 from repro.serving.wire import decode_explanation, encode_explanation
 
@@ -105,6 +111,14 @@ class SessionStats:
     have missed), ``grows`` / ``shrinks`` count elastic pool resizes,
     and ``peak_queue_depth`` is the deepest backlog (submitted minus
     finished minus one in-flight task per worker) any run observed.
+
+    The resilience counters describe supervised recovery:
+    ``worker_deaths`` is how many unexpectedly dead workers were
+    replaced in place, ``task_timeouts`` how many per-task deadlines
+    the monitor enforced, ``task_retries`` how many task re-queues
+    those incidents cost, and ``local_fallbacks`` how many whole
+    batches were demoted to a local run (the blast radius supervision
+    exists to avoid — 0 on a healthy process backend).
     """
 
     freezes: int = 0
@@ -117,6 +131,10 @@ class SessionStats:
     grows: int = 0
     shrinks: int = 0
     peak_queue_depth: int = 0
+    worker_deaths: int = 0
+    task_retries: int = 0
+    task_timeouts: int = 0
+    local_fallbacks: int = 0
 
     def scheduler_line(self) -> str | None:
         """One report line of scheduler activity; None when there was none.
@@ -130,6 +148,22 @@ class SessionStats:
             f"  scheduler  steals={self.steals} grows={self.grows} "
             f"shrinks={self.shrinks} "
             f"peak_queue_depth={self.peak_queue_depth}"
+        )
+
+    def resilience_line(self) -> str | None:
+        """One report line of recovery activity; None when all quiet."""
+        if not (
+            self.worker_deaths
+            or self.task_retries
+            or self.task_timeouts
+            or self.local_fallbacks
+        ):
+            return None
+        return (
+            f"  resilience worker_deaths={self.worker_deaths} "
+            f"task_retries={self.task_retries} "
+            f"task_timeouts={self.task_timeouts} "
+            f"local_fallbacks={self.local_fallbacks}"
         )
 
 
@@ -191,6 +225,14 @@ class ExplanationSession:
     default_method:
         Registered method used for requests that don't name one
         (default "st").
+    resilience:
+        :class:`repro.serving.ResilienceConfig` governing supervised
+        recovery on the work-stealing process backend: per-task retry
+        budget, per-task deadline, worker-respawn circuit breaker.
+    faults:
+        Optional :class:`repro.serving.FaultPlan` threaded into worker
+        job envelopes — deterministic fault injection for tests and
+        chaos drills. None (the default) injects nothing.
     """
 
     #: Auto-backend thresholds: below either, worker startup + IPC
@@ -206,6 +248,8 @@ class ExplanationSession:
         parallel: ParallelConfig | None = None,
         scheduler: SchedulerConfig | None = None,
         default_method: str = "st",
+        resilience: ResilienceConfig | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.graph = graph
         self.engine_config = engine if engine is not None else EngineConfig()
@@ -216,6 +260,10 @@ class ExplanationSession:
         self.scheduler_config = (
             scheduler if scheduler is not None else SchedulerConfig()
         )
+        self.resilience_config = (
+            resilience if resilience is not None else ResilienceConfig()
+        )
+        self._faults = faults
         self.default_method = method_spec(default_method).name
         self.stats = SessionStats()
         self._version: int | None = None
@@ -370,13 +418,10 @@ class ExplanationSession:
                 return self._run_processes(resolved)
             except _PROCESS_FALLBACK_ERRORS as error:
                 self.release_pool()
-                warnings.warn(
-                    f"process backend unavailable ({error!r}); falling "
-                    "back to a local run",
-                    RuntimeWarning,
-                    stacklevel=2,
+                backend = self._demote_to_local(
+                    f"process backend unavailable ({error!r})",
+                    len(resolved),
                 )
-                backend = self._local_fallback(len(resolved))
         return self._run_local(resolved, backend)
 
     def stream(
@@ -406,13 +451,10 @@ class ExplanationSession:
                 return self._stream_processes(resolved)
             except _PROCESS_FALLBACK_ERRORS as error:
                 self.release_pool()
-                warnings.warn(
-                    f"process backend unavailable ({error!r}); falling "
-                    "back to a local run",
-                    RuntimeWarning,
-                    stacklevel=2,
+                backend = self._demote_to_local(
+                    f"process backend unavailable ({error!r})",
+                    len(resolved),
                 )
-                backend = self._local_fallback(len(resolved))
         return self._stream_local(resolved, backend)
 
     # ------------------------------------------------------------------
@@ -423,6 +465,26 @@ class ExplanationSession:
             return "threads"
         return "serial"
 
+    def _demote_to_local(
+        self, reason: str, num_tasks: int, *, stacklevel: int = 3
+    ) -> str:
+        """Warn once, count the demotion, and pick the local backend.
+
+        Every path that abandons the process backend mid-request funnels
+        through here so the RuntimeWarning wording, the
+        ``SessionStats.local_fallbacks`` counter, and the
+        threads-vs-serial choice can never drift apart. Demotion is the
+        whole-batch blast radius that worker supervision exists to make
+        rare; the counter is what chaos tests pin to 0.
+        """
+        self.stats.local_fallbacks += 1
+        warnings.warn(
+            f"{reason}; falling back to a local run",
+            RuntimeWarning,
+            stacklevel=stacklevel,
+        )
+        return self._local_fallback(num_tasks)
+
     def _resolve_backend(self, resolved: list[_Resolved]) -> str:
         choice = self.parallel_config.backend or "auto"
         num_tasks = len(resolved)
@@ -431,13 +493,12 @@ class ExplanationSession:
             if num_tasks == 0:
                 return "serial"
             if not process_safe:
-                warnings.warn(
+                return self._demote_to_local(
                     "batch contains methods registered at runtime "
-                    "(not process-safe); running locally",
-                    RuntimeWarning,
-                    stacklevel=3,
+                    "(not process-safe)",
+                    num_tasks,
+                    stacklevel=4,
                 )
-                return self._local_fallback(num_tasks)
             return choice
         if choice != "auto":
             return choice
@@ -666,6 +727,8 @@ class ExplanationSession:
                 ),
                 self.scheduler_config,
                 max(1, self._local_pool_size()),
+                resilience=self.resilience_config,
+                faults=self._faults,
             )
             self.stats.pool_starts += 1
         return self._steal_pool
@@ -676,18 +739,75 @@ class ExplanationSession:
             for index, (request, spec, config) in enumerate(resolved)
         ]
 
+    def _steal_counters(self, pool: ElasticWorkerPool) -> tuple:
+        """Snapshot the pool counters one dispatch folds deltas against."""
+        return (
+            pool.steals,
+            pool.grows,
+            pool.shrinks,
+            pool.worker_deaths,
+            pool.task_retries,
+            pool.task_timeouts,
+        )
+
     def _absorb_steal_stats(
-        self, pool: ElasticWorkerPool, before: tuple[int, int, int]
+        self, pool: ElasticWorkerPool, before: tuple
     ) -> None:
-        """Fold one dispatch's scheduler counters into the session stats."""
-        steals, grows, shrinks = before
+        """Fold one dispatch's scheduler + resilience counters into stats."""
+        steals, grows, shrinks, deaths, retries, timeouts = before
         self.stats.steals += pool.steals - steals
         self.stats.grows += pool.grows - grows
         self.stats.shrinks += pool.shrinks - shrinks
+        self.stats.worker_deaths += pool.worker_deaths - deaths
+        self.stats.task_retries += pool.task_retries - retries
+        self.stats.task_timeouts += pool.task_timeouts - timeouts
         if pool.peak_queue_depth > self.stats.peak_queue_depth:
             self.stats.peak_queue_depth = pool.peak_queue_depth
         if pool.broken:
             self._steal_pool = None
+
+    def _steal_result(
+        self,
+        resolved: list[_Resolved],
+        frozen,
+        index: int,
+        payload,
+        seconds: float,
+        failure: TaskFailure | None,
+    ) -> BatchResult:
+        """One drain yield → one BatchResult, demoting bad payloads.
+
+        A payload the wire codec cannot decode (e.g. an injected
+        "malformed" frame, or genuine corruption) becomes a typed
+        ``TaskFailure(cause="error")`` instead of poisoning the whole
+        batch — the same isolation contract worker crashes get.
+        """
+        task = resolved[index][0].task
+        if failure is None:
+            try:
+                explanation = decode_explanation(payload, frozen, task)
+            except Exception as error:
+                failure = TaskFailure(
+                    cause="error",
+                    message=(
+                        "undecodable result payload "
+                        f"({type(error).__name__}: {error})"
+                    ),
+                )
+            else:
+                return BatchResult(
+                    index=index,
+                    task=task,
+                    explanation=explanation,
+                    seconds=seconds,
+                )
+        return BatchResult(
+            index=index,
+            task=task,
+            explanation=None,
+            seconds=seconds,
+            failure=failure,
+        )
 
     def _run_processes(self, resolved: list[_Resolved]) -> BatchReport:
         if self.scheduler_config.mode == "work-stealing":
@@ -700,29 +820,25 @@ class ExplanationSession:
         pool = self._ensure_steal_pool()
         stats = dict.fromkeys(_STAT_KEYS, 0)
         merged: list[tuple] = []
-        before = (pool.steals, pool.grows, pool.shrinks)
+        before = self._steal_counters(pool)
         try:
-            for index, payload, latency, delta in pool.dispatch(
+            for index, payload, latency, delta, failure in pool.dispatch(
                 self._jobs(resolved)
             ):
-                merged.append((index, payload, latency))
+                merged.append((index, payload, latency, failure))
                 for key in _STAT_KEYS:
                     stats[key] += delta[key]
         finally:
             workers = max(pool.size, 1)
+            retried = pool.task_retries - before[4]
             self._absorb_steal_stats(pool, before)
-        merged.sort(key=lambda triple: triple[0])
+        merged.sort(key=lambda entry: entry[0])
         frozen = self._frozen_view()
         results = tuple(
-            BatchResult(
-                index=index,
-                task=resolved[index][0].task,
-                explanation=decode_explanation(
-                    payload, frozen, resolved[index][0].task
-                ),
-                seconds=seconds,
+            self._steal_result(
+                resolved, frozen, index, payload, seconds, failure
             )
-            for index, payload, seconds in merged
+            for index, payload, seconds, failure in merged
         )
         return BatchReport(
             method=self._report_method(resolved),
@@ -737,6 +853,7 @@ class ExplanationSession:
             workers=workers,
             parallel="processes",
             scheduler="work-stealing",
+            retried=retried,
         )
 
     def _run_chunked(self, resolved: list[_Resolved]) -> BatchReport:
@@ -825,19 +942,14 @@ class ExplanationSession:
         self._ensure_export()
         pool = self._ensure_steal_pool()
         frozen = self._frozen_view()
-        before = (pool.steals, pool.grows, pool.shrinks)
+        before = self._steal_counters(pool)
         drain = pool.dispatch(self._jobs(resolved))
 
         def results() -> Iterator[BatchResult]:
             try:
-                for index, payload, latency, _delta in drain:
-                    yield BatchResult(
-                        index=index,
-                        task=resolved[index][0].task,
-                        explanation=decode_explanation(
-                            payload, frozen, resolved[index][0].task
-                        ),
-                        seconds=latency,
+                for index, payload, latency, _delta, failure in drain:
+                    yield self._steal_result(
+                        resolved, frozen, index, payload, latency, failure
                     )
             finally:
                 # close() runs the drain's cleanup deterministically; an

@@ -80,6 +80,7 @@ def _run_batch(parser: argparse.ArgumentParser, args) -> int:
         SchedulerConfig,
     )
     from repro.core.batch import load_tasks_jsonl
+    from repro.serving.config import ResilienceConfig
     from repro.core.scenarios import Scenario
 
     bench = Workbench.get(_config(args))
@@ -113,12 +114,22 @@ def _run_batch(parser: argparse.ArgumentParser, args) -> int:
             max_workers=args.max_workers,
         ),
         default_method=args.method,
+        resilience=ResilienceConfig(
+            max_task_retries=args.max_task_retries,
+            task_timeout_seconds=args.task_timeout,
+        ),
     )
     with session:
         if args.stream:
             done = 0
             for result in session.stream(tasks):
                 done += 1
+                if result.failure is not None:
+                    print(
+                        f"[{done}/{len(tasks)}] task #{result.index} "
+                        f"FAILED: {result.failure}"
+                    )
+                    continue
                 print(
                     f"[{done}/{len(tasks)}] task #{result.index} "
                     f"({result.latency_ms:.2f} ms, "
@@ -127,9 +138,12 @@ def _run_batch(parser: argparse.ArgumentParser, args) -> int:
         else:
             report = session.run(tasks)
             print(report.summary())
-        scheduler_line = session.stats.scheduler_line()
-        if scheduler_line:
-            print(scheduler_line)
+        for line in (
+            session.stats.scheduler_line(),
+            session.stats.resilience_line(),
+        ):
+            if line:
+                print(line)
     return 0
 
 
@@ -138,6 +152,7 @@ def _run_serve(parser: argparse.ArgumentParser, args) -> int:
     import asyncio
 
     from repro.api import ParallelConfig, SchedulerConfig
+    from repro.serving.config import ResilienceConfig
     from repro.serving.server import ExplanationServer, ServerConfig
 
     bench = Workbench.get(_config(args))
@@ -163,6 +178,10 @@ def _run_serve(parser: argparse.ArgumentParser, args) -> int:
             max_workers=args.max_workers,
         ),
         default_method=args.method,
+        resilience=ResilienceConfig(
+            max_task_retries=args.max_task_retries,
+            task_timeout_seconds=args.task_timeout,
+        ),
     )
 
     async def serve() -> None:
@@ -264,6 +283,23 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=0,
         help="elastic pool ceiling; 0 = max(initial workers, cpu count)",
+    )
+    batch_group.add_argument(
+        "--max-task-retries",
+        type=int,
+        default=2,
+        help="process backend: times a crashed/timed-out task is "
+        "re-queued onto a replacement worker before it fails "
+        "individually as a typed TaskFailure (batch and serve)",
+    )
+    batch_group.add_argument(
+        "--task-timeout",
+        type=float,
+        default=0.0,
+        help="process backend: per-task deadline in seconds; a worker "
+        "holding one task longer is terminated and replaced, the task "
+        "retried or failed individually (0 = no deadline; batch and "
+        "serve)",
     )
     batch_group.add_argument(
         "--partial-reuse",

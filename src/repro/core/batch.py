@@ -508,6 +508,42 @@ class TerminalClosureCache:
         return path
 
 
+#: Valid ``TaskFailure.cause`` values: the worker process died while
+#: holding the task ("crash"), the task blew its per-task deadline and
+#: its worker was terminated ("timeout"), or the task itself raised /
+#: produced an undecodable result ("error").
+FAILURE_CAUSES = ("crash", "timeout", "error")
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Why one task inside a batch did not produce an explanation.
+
+    Carried on :attr:`BatchResult.failure` when the resilience layer
+    (see :class:`repro.serving.config.ResilienceConfig`) exhausts a
+    task's retry budget — the batch's other tasks complete normally.
+    ``retries`` is how many times this task was re-queued before the
+    pool gave up on it.
+    """
+
+    cause: str
+    message: str = ""
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cause not in FAILURE_CAUSES:
+            raise ValueError(
+                f"unknown failure cause {self.cause!r}; expected one of "
+                f"{FAILURE_CAUSES}"
+            )
+        if self.retries < 0:
+            raise ValueError("failure retries must be >= 0")
+
+    def __str__(self) -> str:
+        note = f" after {self.retries} retry(ies)" if self.retries else ""
+        return f"[{self.cause}]{note} {self.message}".rstrip()
+
+
 @dataclass(frozen=True)
 class BatchResult:
     """One task's outcome inside a batch.
@@ -515,12 +551,30 @@ class BatchResult:
     ``seconds`` is worker-measured compute time — the clock starts when
     a worker picks the task up and stops when its summary is done, so
     queue wait and result-pipe transit are excluded on every backend.
+
+    Exactly one of ``explanation`` / ``failure`` is set: a task the
+    resilience layer gave up on (crash/timeout past the retry budget,
+    undecodable result) carries a typed :class:`TaskFailure` instead
+    of an explanation, so streamed batches still yield one result per
+    task and end-count verification holds over the wire.
     """
 
     index: int
     task: SummaryTask
-    explanation: SubgraphExplanation
+    explanation: SubgraphExplanation | None
     seconds: float
+    failure: TaskFailure | None = None
+
+    def __post_init__(self) -> None:
+        if (self.explanation is None) == (self.failure is None):
+            raise ValueError(
+                "exactly one of explanation/failure must be set"
+            )
+
+    @property
+    def ok(self) -> bool:
+        """True when the task produced an explanation."""
+        return self.failure is None
 
     @property
     def latency_ms(self) -> float:
@@ -546,6 +600,10 @@ class BatchReport:
     #: Dispatch discipline that produced this report: "work-stealing"
     #: or "chunked" for pooled backends, "" for serial runs.
     scheduler: str = ""
+    #: How many task re-queues (after worker crashes / deadline kills)
+    #: this batch absorbed; 0 on an incident-free run. The companion
+    #: ``failed`` count is derived from the results.
+    retried: int = 0
 
     def to_dict(self) -> dict:
         """Lossless plain-JSON form of the whole report.
@@ -569,8 +627,13 @@ class BatchReport:
 
     @property
     def explanations(self) -> list[SubgraphExplanation]:
-        """Per-task explanations, in input order."""
+        """Per-task explanations, in input order (None for failures)."""
         return [r.explanation for r in self.results]
+
+    @property
+    def failed(self) -> int:
+        """Tasks that ended as typed :class:`TaskFailure` results."""
+        return sum(1 for r in self.results if r.failure is not None)
 
     @property
     def task_seconds(self) -> list[float]:
@@ -639,6 +702,11 @@ class BatchReport:
                 f"  patched    {self.cache_patched} closures derived "
                 f"from base runs (λ-aware reuse; "
                 f"{self.cache_base_hits}/{base_total} base-run hits)"
+            )
+        if self.failed or self.retried:
+            lines.append(
+                f"  resilience {self.failed} task(s) failed, "
+                f"{self.retried} retry(ies) absorbed"
             )
         return "\n".join(lines)
 

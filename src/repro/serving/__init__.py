@@ -6,9 +6,16 @@ The in-process pieces, consumed by
 - :class:`SchedulerConfig` (:mod:`repro.serving.config`) — dispatch
   discipline ("work-stealing" / "chunked") and the elastic-pool bounds
   (``min_workers`` / ``max_workers``, grow pressure, idle shrink).
+- :class:`ResilienceConfig` (:mod:`repro.serving.config`) — per-task
+  retry budget, per-task deadline, and the worker-respawn circuit
+  breaker governing supervised recovery.
 - :class:`ElasticWorkerPool` (:mod:`repro.serving.pool`) — the shared
-  task queue, per-task result pipe, steal accounting, and grow/shrink
-  machinery over the shared-memory graph plane.
+  task queue, per-task result pipe, steal accounting, grow/shrink
+  machinery, and worker supervision (lease tracking, in-place
+  respawn, per-task retry) over the shared-memory graph plane.
+- :class:`Fault` / :class:`FaultPlan` (:mod:`repro.serving.faults`) —
+  seeded, picklable fault directives (crash / hang / delay /
+  malformed / overload) for deterministic chaos testing.
 - :mod:`repro.serving.wire` — the compact edge-list result format
   (parent-CSR int arrays + weights) workers ship back instead of
   pickled subgraph objects.
@@ -32,9 +39,11 @@ session, so eager re-export would be circular.
 
 from repro.serving.config import (
     SCHEDULER_MODES,
+    ResilienceConfig,
     SchedulerConfig,
     static_chunks,
 )
+from repro.serving.faults import FAULT_KINDS, Fault, FaultPlan
 from repro.serving.pool import ElasticWorkerPool
 from repro.serving.wire import (
     WireExplanation,
@@ -54,8 +63,12 @@ _NETWORK_EXPORTS = {
 }
 
 __all__ = [
+    "FAULT_KINDS",
     "SCHEDULER_MODES",
     "ElasticWorkerPool",
+    "Fault",
+    "FaultPlan",
+    "ResilienceConfig",
     "SchedulerConfig",
     "WireExplanation",
     "decode_explanation",

@@ -13,21 +13,40 @@ Failure semantics:
 
 - Server-reported problems raise :class:`ServerError` carrying the
   typed protocol ``code``; admission-control rejections raise the
-  :class:`OverloadedError` subclass so callers can branch to backoff
+  :class:`OverloadedError` subclass (with the server's
+  ``retry_after_ms`` hint attached) so callers can branch to backoff
   without string matching.
 - A dead connection (server restarted, idle socket reaped) triggers
   one transparent reconnect-and-retry for *idempotent* request kinds —
   every summarization read is one — before the error propagates.
   Reconnects are lazy: the socket is (re)dialed on the next call, so a
   client object constructed before the server starts still works.
+- With ``retries > 0`` the client absorbs overload rejections and
+  connection failures itself: jittered exponential backoff (seeded,
+  so tests are deterministic), floored at the server's
+  ``retry_after_ms`` hint, bounded by the per-call ``deadline``.
+  The default is 0 — failing fast is the right contract for callers
+  that own their retry loop, and it keeps overload latency typed and
+  immediate.
+- ``explain`` / ``run`` / ``stream`` accept ``deadline`` (seconds of
+  total budget, client clock). The remaining budget travels as the
+  optional ``deadline_ms`` request field; the server drops work whose
+  deadline expired while queued (typed ``deadline-exceeded``) instead
+  of computing summaries nobody is waiting for.
 - ``stream`` yields each :class:`~repro.core.batch.BatchResult` as its
   frame arrives — task by task under the server's work-stealing
-  scheduler — and verifies the terminating ``end`` frame's count.
+  scheduler, failed tasks as typed ``failure`` results in place — and
+  verifies the terminating ``end`` frame's count, so "exactly one
+  frame per submitted task" holds even under injected worker crashes.
+  Backoff retries cover only the window before the first frame is
+  consumed; a half-consumed stream propagates its error.
 """
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from collections.abc import Iterable, Iterator
 
 from repro.api import protocol
@@ -56,12 +75,24 @@ class ServerError(RuntimeError):
         code = frame.get("code", "internal")
         message = frame.get("message", "")
         if code == "overloaded":
-            return OverloadedError(code, message)
+            error = OverloadedError(code, message)
+            hint = frame.get("retry_after_ms")
+            if isinstance(hint, (int, float)) and not isinstance(
+                hint, bool
+            ):
+                error.retry_after_ms = float(hint)
+            return error
         return ServerError(code, message)
 
 
 class OverloadedError(ServerError):
-    """Admission control rejected the request; retry with backoff."""
+    """Admission control rejected the request; retry with backoff.
+
+    ``retry_after_ms`` is the server's backoff-floor hint (None when
+    the frame carried none — an older server).
+    """
+
+    retry_after_ms: float | None = None
 
 
 class ExplanationClient:
@@ -71,6 +102,13 @@ class ExplanationClient:
     server constructed from a bare graph). The socket dials lazily on
     first use and redials once per call after a connection failure
     when ``reconnect`` is on.
+
+    ``retries`` (default 0: fail fast) arms jittered exponential
+    backoff for overload rejections and connection failures:
+    attempt ``n`` sleeps ``min(cap, base * 2**n)`` scaled by a random
+    factor in [0.5, 1.0] from ``random.Random(backoff_seed)``, floored
+    at the server's ``retry_after_ms`` hint, and never past the
+    per-call ``deadline``.
     """
 
     def __init__(
@@ -83,13 +121,25 @@ class ExplanationClient:
         timeout: float | None = 60.0,
         max_frame_bytes: int = MAX_FRAME_BYTES,
         reconnect: bool = True,
+        retries: int = 0,
+        backoff_base_seconds: float = 0.05,
+        backoff_cap_seconds: float = 2.0,
+        backoff_seed: int | None = None,
     ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff_base_seconds < 0 or backoff_cap_seconds < 0:
+            raise ValueError("backoff seconds must be >= 0")
         self.host = host
         self.port = port
         self.graph = graph
         self.timeout = timeout
         self.max_frame_bytes = max_frame_bytes
         self.reconnect = reconnect
+        self.retries = retries
+        self.backoff_base_seconds = backoff_base_seconds
+        self.backoff_cap_seconds = backoff_cap_seconds
+        self._backoff_rng = random.Random(backoff_seed)
         self._codec = get_codec(codec)
         self._sock: socket.socket | None = None
 
@@ -139,7 +189,7 @@ class ExplanationClient:
             raise ServerError.from_frame(frame)
         return kind, frame
 
-    def _call(self, kind: str, body: dict) -> tuple[str, dict]:
+    def _call_once(self, kind: str, body: dict) -> tuple[str, dict]:
         """One request/response round trip, with one reconnect retry."""
         try:
             self._send_request(kind, body)
@@ -152,6 +202,85 @@ class ExplanationClient:
         # means the server really is gone and propagates.
         self._send_request(kind, body)
         return self._read_response()
+
+    # ------------------------------------------------------------------
+    # Deadline + backoff plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _expires(deadline: float | None) -> float | None:
+        """Caller's seconds-of-budget -> absolute monotonic expiry."""
+        if deadline is None:
+            return None
+        if deadline < 0:
+            raise ValueError("deadline must be >= 0 seconds")
+        return time.monotonic() + deadline
+
+    @staticmethod
+    def _with_deadline(body: dict, expires: float | None) -> dict:
+        """Stamp the *remaining* budget into the request body.
+
+        Recomputed per attempt, so a retried request tells the server
+        how much patience is actually left, not the original budget.
+        """
+        if expires is None:
+            return body
+        remaining = expires - time.monotonic()
+        if remaining <= 0:
+            raise ServerError(
+                "deadline-exceeded",
+                "call deadline expired client-side before the request "
+                "was sent",
+            )
+        return {**body, "deadline_ms": remaining * 1000.0}
+
+    def _retry_delay(
+        self, attempt: int, expires: float | None, floor_ms: float | None
+    ) -> float | None:
+        """Next backoff sleep; None when the call must fail instead.
+
+        Jittered exponential — ``min(cap, base * 2**attempt)`` scaled
+        into [0.5, 1.0] so a thundering herd of retrying clients
+        decorrelates — floored at the server's ``retry_after_ms`` hint,
+        and refused entirely when sleeping would cross the deadline.
+        """
+        if attempt >= self.retries:
+            return None
+        delay = min(
+            self.backoff_cap_seconds,
+            self.backoff_base_seconds * (2**attempt),
+        )
+        delay *= 0.5 + 0.5 * self._backoff_rng.random()
+        if floor_ms is not None:
+            delay = max(delay, floor_ms / 1000.0)
+        if expires is not None and time.monotonic() + delay >= expires:
+            return None
+        return delay
+
+    def _call(
+        self, kind: str, body: dict, *, expires: float | None = None
+    ) -> tuple[str, dict]:
+        """Round trip with backoff retries for overload / dead server."""
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(
+                    kind, self._with_deadline(body, expires)
+                )
+            except OverloadedError as error:
+                delay = self._retry_delay(
+                    attempt, expires, error.retry_after_ms
+                )
+                if delay is None:
+                    raise
+            except (FrameError, OSError):
+                self._drop_connection()
+                if not self.reconnect:
+                    raise
+                delay = self._retry_delay(attempt, expires, None)
+                if delay is None:
+                    raise
+            time.sleep(delay)
+            attempt += 1
 
     @staticmethod
     def _expect_kind(kind: str, frame: dict, want: str) -> dict:
@@ -181,12 +310,17 @@ class ExplanationClient:
         return self._expect_kind(kind, frame, "stats")
 
     def explain(
-        self, item: SummaryRequest | SummaryTask
+        self,
+        item: SummaryRequest | SummaryTask,
+        *,
+        deadline: float | None = None,
     ) -> SubgraphExplanation:
         """Summarize one task; bit-identical to the in-process session."""
         request = as_request(item)
         kind, frame = self._call(
-            "explain", {"request": protocol.request_to_json(request)}
+            "explain",
+            {"request": protocol.request_to_json(request)},
+            expires=self._expires(deadline),
         )
         body = self._expect_kind(kind, frame, "explanation")
         return protocol.explanation_from_json(
@@ -194,34 +328,67 @@ class ExplanationClient:
         )
 
     def run(
-        self, items: Iterable[SummaryRequest | SummaryTask]
+        self,
+        items: Iterable[SummaryRequest | SummaryTask],
+        *,
+        deadline: float | None = None,
     ) -> BatchReport:
         """Serve a batch; the full report decodes losslessly."""
-        kind, frame = self._call("run", {"requests": self._encode(items)})
+        kind, frame = self._call(
+            "run",
+            {"requests": self._encode(items)},
+            expires=self._expires(deadline),
+        )
         body = self._expect_kind(kind, frame, "report")
         return protocol.report_from_json(body["report"])
 
     def stream(
-        self, items: Iterable[SummaryRequest | SummaryTask]
+        self,
+        items: Iterable[SummaryRequest | SummaryTask],
+        *,
+        deadline: float | None = None,
     ) -> Iterator[BatchResult]:
         """Yield results as their frames arrive (completion order).
 
-        The request is sent with the reconnect retry, but once the
-        first frame is in flight a connection failure propagates —
-        silently re-running a half-consumed stream could double-serve
-        side-effect-sensitive callers.
+        Backoff retries (when armed) cover only the opening — the send
+        plus the first response frame, which is where overload
+        rejections land. Once a result frame is consumed a failure
+        propagates: silently re-running a half-consumed stream could
+        double-serve side-effect-sensitive callers.
         """
-        body = {"requests": self._encode(items)}
-        try:
-            self._send_request("stream", body)
-        except (FrameError, OSError):
-            self._drop_connection()
-            if not self.reconnect:
-                raise
-            self._send_request("stream", body)
+        request_body = {"requests": self._encode(items)}
+        expires = self._expires(deadline)
+        attempt = 0
+        while True:
+            try:
+                framed = self._with_deadline(request_body, expires)
+                try:
+                    self._send_request("stream", framed)
+                    kind, frame = self._read_response()
+                except (FrameError, OSError):
+                    self._drop_connection()
+                    if not self.reconnect:
+                        raise
+                    self._send_request("stream", framed)
+                    kind, frame = self._read_response()
+                break
+            except OverloadedError as error:
+                delay = self._retry_delay(
+                    attempt, expires, error.retry_after_ms
+                )
+                if delay is None:
+                    raise
+            except (FrameError, OSError):
+                self._drop_connection()
+                if not self.reconnect:
+                    raise
+                delay = self._retry_delay(attempt, expires, None)
+                if delay is None:
+                    raise
+            time.sleep(delay)
+            attempt += 1
         count = 0
         while True:
-            kind, frame = self._read_response()
             if kind == "end":
                 declared = frame.get("count")
                 if declared != count:
@@ -234,6 +401,7 @@ class ExplanationClient:
             body = self._expect_kind(kind, frame, "result")
             count += 1
             yield protocol.result_from_json(body["result"])
+            kind, frame = self._read_response()
 
     # ------------------------------------------------------------------
     # Graph mutation + resource RPCs

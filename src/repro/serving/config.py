@@ -1,4 +1,4 @@
-"""Scheduler configuration for the serving layer.
+"""Scheduler and resilience configuration for the serving layer.
 
 One frozen dataclass governs *how a batch's tasks reach workers* —
 orthogonal to :class:`repro.api.ParallelConfig`, which picks the backend
@@ -16,6 +16,15 @@ decides what happens once a backend is chosen:
   units. Kept as the fallback for spawn-constrained platforms (one
   worker round-trip per chunk instead of per task) and as the baseline
   the work-stealing CI gate measures against.
+
+A second frozen dataclass, :class:`ResilienceConfig`, governs *what
+happens when workers misbehave* on the work-stealing process backend:
+how many times a crashed or timed-out task is re-queued before it
+fails individually (as a typed
+:class:`~repro.core.batch.TaskFailure`), how long a single task may
+run before its worker is terminated and replaced, and how many worker
+respawns the pool tolerates before tripping the circuit breaker back
+to the session's whole-batch local fallback.
 """
 
 from __future__ import annotations
@@ -81,6 +90,52 @@ class SchedulerConfig:
             raise ValueError("grow_pressure must be positive")
         if self.shrink_idle_seconds < 0:
             raise ValueError("shrink_idle_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Per-task blast radius under the work-stealing process backend.
+
+    Parameters
+    ----------
+    max_task_retries:
+        How many times a task whose worker crashed (or blew its
+        deadline) is re-queued onto a replacement worker before it
+        fails *individually* — surfacing as a
+        :class:`~repro.core.batch.TaskFailure` on its
+        :class:`~repro.core.batch.BatchResult` while every other task
+        completes normally. 0 fails the task on its first crash.
+    task_timeout_seconds:
+        Per-task deadline: a worker holding one task's lease longer
+        than this is terminated and replaced, and the task is retried
+        or failed with cause ``"timeout"``. 0 (default) disables the
+        deadline monitor.
+    max_worker_respawns:
+        Circuit breaker: total replacement workers the pool will spawn
+        over its lifetime before deciding the environment itself is
+        broken and raising ``BrokenProcessPool`` (which the session
+        demotes to its local fallback, exactly as before supervision
+        existed). 0 disables supervision entirely — the first dead
+        worker breaks the pool, the legacy behavior.
+    isolate_errors:
+        When True, a task-level exception inside a worker becomes a
+        ``TaskFailure(cause="error")`` on that task's result instead
+        of raising in the parent and failing the whole batch. Default
+        False preserves the historical raise-through contract.
+    """
+
+    max_task_retries: int = 2
+    task_timeout_seconds: float = 0.0
+    max_worker_respawns: int = 8
+    isolate_errors: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_task_retries < 0:
+            raise ValueError("max_task_retries must be >= 0")
+        if self.task_timeout_seconds < 0:
+            raise ValueError("task_timeout_seconds must be >= 0 (0 = off)")
+        if self.max_worker_respawns < 0:
+            raise ValueError("max_worker_respawns must be >= 0 (0 = off)")
 
 
 def static_chunks(items: list, workers: int, chunk_size: int | None) -> list:

@@ -1,0 +1,174 @@
+"""Deterministic fault injection for the serving stack.
+
+Proving that the resilience layer works — leased tasks re-queued after
+a worker crash, hung workers terminated at their deadline, malformed
+result frames demoted to typed failures, overloaded clients backing
+off — needs failures that happen *on demand, at a pinned task, every
+run*. Killing random PIDs and racing ``sleep()`` calls cannot pin a
+``SessionStats.worker_deaths == 1`` assertion; a seeded
+:class:`FaultPlan` can.
+
+A plan is a frozen, picklable set of :class:`Fault` directives keyed
+by task index (or, server-side, request ordinal). The parent pool
+threads the matching directive into each job envelope it submits
+(:meth:`FaultPlan.for_task` also sees the attempt number, so a fault
+with ``attempts=1`` fires on the first try and lets the retry
+succeed — the supervised-recovery scenario — while ``attempts`` large
+keeps firing until the retry budget is spent — the typed-failure
+scenario). Workers apply their directive *after* posting the lease
+message, so the parent always knows which task died with the worker.
+
+Fault kinds
+-----------
+- ``"crash"`` — the worker hard-exits (``os._exit``) while holding the
+  task's lease, after a short grace so the queue feeder thread flushes
+  the lease message. Models OOM kills / segfaults.
+- ``"hang"`` — the worker sleeps ``seconds`` (default far past any
+  deadline) before computing. Models wedged workers; the pool's
+  deadline monitor terminates it.
+- ``"delay"`` — the worker sleeps ``seconds`` then computes normally.
+  Models slow tasks; server-side, delays one request's handling so
+  deadline expiry is testable without luck.
+- ``"malformed"`` — the worker computes but posts an undecodable
+  result payload. Models codec/transport corruption; the parent
+  demotes it to a typed ``TaskFailure(cause="error")``.
+- ``"overload"`` — server loop only: the matching request is rejected
+  with a typed ``overloaded`` frame (and its ``retry_after_ms`` hint)
+  regardless of actual queue depth, so client backoff is testable
+  deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+
+#: Every directive kind a plan may carry. Workers apply the first
+#: three; "malformed" corrupts the result payload post-compute;
+#: "overload" is consulted only by the server loop.
+FAULT_KINDS = ("crash", "hang", "delay", "malformed", "overload")
+
+#: Grace before a "crash" hard-exits: long enough for the queue feeder
+#: thread to flush the already-posted lease message to the parent.
+CRASH_FLUSH_SECONDS = 0.2
+
+#: Default "hang" duration when none is given — far past any sane
+#: task deadline, so an unarmed monitor is an obvious test failure
+#: (timeout) instead of a silent pass.
+HANG_SECONDS = 3600.0
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure, pinned to a task index (or request ordinal).
+
+    ``attempts`` bounds how many tries of the task the fault fires on:
+    the default 1 fires only on the first attempt (``attempt == 0``),
+    so a retried task succeeds — the recovery scenario. A larger value
+    keeps firing through retries until the budget is spent.
+    """
+
+    kind: str
+    at: int
+    seconds: float = 0.0
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if self.at < 0:
+            raise ValueError("fault 'at' must be >= 0")
+        if self.seconds < 0:
+            raise ValueError("fault 'seconds' must be >= 0")
+        if self.attempts < 1:
+            raise ValueError("fault 'attempts' must be >= 1")
+
+    def apply_in_worker(self) -> None:
+        """Execute the pre-compute side of this fault inside a worker.
+
+        Called after the lease message is posted. "crash" never
+        returns; "hang"/"delay" sleep (a hang is terminated by the
+        parent's deadline monitor mid-sleep); "malformed"/"overload"
+        are no-ops here (handled post-compute / server-side).
+        """
+        if self.kind == "crash":
+            time.sleep(max(self.seconds, CRASH_FLUSH_SECONDS))
+            os._exit(1)
+        elif self.kind == "hang":
+            time.sleep(self.seconds or HANG_SECONDS)
+        elif self.kind == "delay":
+            time.sleep(self.seconds)
+
+    def corrupt(self, payload):
+        """The "malformed" post-compute step: an undecodable payload."""
+        return ("corrupt-result-frame", self.kind, self.at)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible set of fault directives for one run.
+
+    ``seed`` documents (and, via :meth:`scatter`, produces) the plan's
+    randomness; two plans built from the same seed and shape are equal,
+    so a failing chaos test names everything needed to replay it.
+    """
+
+    faults: tuple[Fault, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def for_task(self, index: int, attempt: int = 0) -> Fault | None:
+        """The directive armed for this (task, attempt), if any.
+
+        First match wins; a fault stops firing once ``attempt`` reaches
+        its ``attempts`` budget.
+        """
+        for fault in self.faults:
+            if fault.at == index and attempt < fault.attempts:
+                return fault
+        return None
+
+    def for_request(self, ordinal: int) -> Fault | None:
+        """Server-loop lookup: faults keyed by request arrival ordinal."""
+        return self.for_task(ordinal, 0)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    @classmethod
+    def scatter(
+        cls,
+        seed: int,
+        num_tasks: int,
+        *,
+        crashes: int = 0,
+        hangs: int = 0,
+        hang_seconds: float = HANG_SECONDS,
+    ) -> "FaultPlan":
+        """Scatter crash/hang faults over distinct task indices.
+
+        The selection is drawn from ``random.Random(seed)`` only, so
+        the same (seed, num_tasks, crashes, hangs) always yields the
+        same plan — what lets the resilience benchmark compare 0/1/2
+        injected crashes on identical workloads.
+        """
+        wanted = crashes + hangs
+        if wanted > num_tasks:
+            raise ValueError(
+                f"cannot scatter {wanted} fault(s) over {num_tasks} task(s)"
+            )
+        picks = random.Random(seed).sample(range(num_tasks), wanted)
+        faults = tuple(
+            Fault(kind="crash", at=index) for index in picks[:crashes]
+        ) + tuple(
+            Fault(kind="hang", at=index, seconds=hang_seconds)
+            for index in picks[crashes:]
+        )
+        return cls(faults=faults, seed=seed)

@@ -34,14 +34,38 @@ partially-drained ``stream()`` can overlap a later ``run()`` on the
 same pool, and an abandoned iterator merely orphans its own buffer
 (its in-flight jobs finish and are dropped) while the pool stays warm.
 
-Failure semantics: a task-level exception re-raises in the parent and
-fails *its* batch only — the pool keeps serving. An unexpectedly dead
-worker raises
-:class:`~concurrent.futures.process.BrokenProcessPool`, which the
-session's fallback machinery already demotes to a local run; only then
-does the pool mark itself broken (a shared queue of unknown residual
-state is scrapped, never reused) and the session respawns a fresh pool
-on the next process-backed call.
+Failure semantics (see :class:`repro.serving.config.ResilienceConfig`):
+
+- **Task errors** re-raise in the parent and fail *their* batch only —
+  the pool keeps serving — unless ``isolate_errors`` demotes them to
+  typed :class:`~repro.core.batch.TaskFailure` results.
+- **Worker crashes are supervised.** Every worker posts a *lease*
+  message the moment it pulls a job, so the parent always knows which
+  task an unexpectedly dead worker held. The dead worker is replaced
+  in place and its leased task re-queued (each job envelope carries an
+  attempt counter); past ``max_task_retries`` the task fails
+  *individually* as a ``TaskFailure(cause="crash")`` while the rest of
+  the batch completes untouched.
+- **Per-task deadlines.** With ``task_timeout_seconds`` armed, a
+  worker holding one lease past the deadline is terminated, replaced,
+  and its task retried or failed with cause ``"timeout"``. (A worker
+  past its deadline is inside task compute — or an injected hang —
+  not holding a queue lock, so termination is pipe-safe; the rare
+  worker that finishes in the same instant may leave a stale duplicate
+  result, which the drain's per-dispatch done-set drops.)
+- **Circuit breaker.** Only when the lifetime respawn budget
+  (``max_worker_respawns``) is spent, or spawning a replacement itself
+  fails, does the pool abort and raise
+  :class:`~concurrent.futures.process.BrokenProcessPool` — which the
+  session's fallback machinery demotes to a local run exactly as
+  before supervision existed. ``max_worker_respawns=0`` restores the
+  legacy first-death-breaks-the-pool behavior.
+
+There is one unavoidable race: a worker that dies *between* pulling a
+job and its lease message flushing to the parent loses that task
+untraceably (the drain would wait forever on a task nobody holds).
+The window is microseconds of queue-feeder time; injected crash
+faults sleep past it deliberately (:data:`repro.serving.faults.CRASH_FLUSH_SECONDS`).
 """
 
 from __future__ import annotations
@@ -53,11 +77,14 @@ from collections import deque
 from collections.abc import Iterator
 from concurrent.futures.process import BrokenProcessPool
 
-from repro.serving.config import SchedulerConfig
+from repro.core.batch import _STAT_KEYS, TaskFailure
+from repro.serving.config import ResilienceConfig, SchedulerConfig
+from repro.serving.faults import FaultPlan
 
 #: One job: (task index, method name, EngineConfig, SummaryTask).
 Job = tuple
-#: One drained result: (index, wire payload, latency_seconds, counters).
+#: One drained result: ``(index, payload, latency_seconds, counters,
+#: failure)`` — exactly one of payload/failure is non-None.
 TaskResult = tuple
 
 #: Worker-side state (graph, frozen view, cache, summarizer memo), one
@@ -107,13 +134,18 @@ def _steal_worker_main(
 ) -> None:
     """Worker loop: attach once, then pull jobs until poisoned.
 
-    Posts ``("result", worker_id, dispatch_id, index, payload, latency,
+    Posts ``("lease", worker_id, dispatch_id, index)`` the moment a
+    job is pulled — the supervision breadcrumb that lets the parent
+    re-queue this exact task if the worker dies holding it — then
+    ``("result", worker_id, dispatch_id, index, payload, latency,
     delta)`` per finished job, ``("error", worker_id, dispatch_id,
     index, exception)`` for task-level failures (the worker itself
     keeps serving), and ``("exit", worker_id)`` after consuming a
-    ``None`` poison pill.
+    ``None`` poison pill. An injected fault directive riding the job
+    envelope is applied *after* the lease post, so chaos tests always
+    crash/hang traceably.
     """
-    from repro.core.batch import _STAT_KEYS, _cache_counters
+    from repro.core.batch import _cache_counters
     from repro.serving.wire import encode_explanation
 
     _init_worker_state(handle, cache_config)
@@ -125,7 +157,10 @@ def _steal_worker_main(
         if job is None:
             result_queue.put(("exit", worker_id))
             return
-        dispatch_id, index, name, config, task = job
+        dispatch_id, index, _attempt, fault, name, config, task = job
+        result_queue.put(("lease", worker_id, dispatch_id, index))
+        if fault is not None:
+            fault.apply_in_worker()  # crash never returns; hang sleeps
         before = _cache_counters(_WORKER["cache"])
         start = time.perf_counter()
         try:
@@ -139,6 +174,8 @@ def _steal_worker_main(
         after = _cache_counters(_WORKER["cache"])
         delta = {key: after[key] - before[key] for key in _STAT_KEYS}
         payload = encode_explanation(explanation, _WORKER["frozen"])
+        if fault is not None and fault.kind == "malformed":
+            payload = fault.corrupt(payload)
         result_queue.put(
             ("result", worker_id, dispatch_id, index, payload, latency, delta)
         )
@@ -161,6 +198,12 @@ class ElasticWorkerPool:
     initial_workers:
         Nominal pool size (the session's resolved worker count); the
         pool starts here, clamped into ``[min_workers, max_workers]``.
+    resilience:
+        :class:`~repro.serving.config.ResilienceConfig` retry budget /
+        deadline / circuit-breaker knobs (defaults applied when None).
+    faults:
+        Optional deterministic :class:`~repro.serving.faults.FaultPlan`
+        threaded into job envelopes — chaos-test injection only.
     """
 
     #: Drain-loop tick: how often liveness/growth are re-checked while
@@ -176,11 +219,17 @@ class ElasticWorkerPool:
         cache_config: tuple[int, bool],
         config: SchedulerConfig,
         initial_workers: int,
+        resilience: ResilienceConfig | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self._context = context
         self._handle = handle
         self._cache_config = cache_config
         self.config = config
+        self.resilience = (
+            resilience if resilience is not None else ResilienceConfig()
+        )
+        self._faults = faults
         self.min_workers = max(1, config.min_workers)
         initial = max(self.min_workers, initial_workers)
         self.max_workers = config.max_workers or max(
@@ -196,7 +245,20 @@ class ElasticWorkerPool:
         self.grows = 0
         self.shrinks = 0
         self.peak_queue_depth = 0
+        self.worker_deaths = 0
+        self.task_retries = 0
+        self.task_timeouts = 0
+        self.respawns = 0
         self.broken = False
+        #: worker id -> ((dispatch_id, index), lease monotonic time):
+        #: which task each worker currently holds, per its last lease
+        #: message — the supervision state crash recovery reads.
+        self._leases: dict[int, tuple] = {}
+        #: (dispatch_id, index) -> submitted job envelope, kept from
+        #: submission until the result lands (or the dispatch's drain
+        #: closes) so a crashed/timed-out task can be re-queued
+        #: without shipping the envelope back through the lease pipe.
+        self._inflight: dict[tuple[int, int], tuple] = {}
         #: dispatch id -> buffered messages awaiting that dispatch's
         #: drain. An entry exists from submission until the drain's
         #: finally block (or forever, bounded by the batch size, for an
@@ -258,7 +320,7 @@ class ElasticWorkerPool:
             self.grows += 1
 
     def _route(self, message) -> None:
-        """Buffer a result/error for the dispatch it belongs to.
+        """Buffer a result/error/failure for the dispatch it belongs to.
 
         Messages for unknown dispatch ids — batches abandoned mid-drain
         — are dropped; their workers' effort is already sunk.
@@ -266,6 +328,124 @@ class ElasticWorkerPool:
         buffer = self._buffers.get(message[2])
         if buffer is not None:
             buffer.append(message)
+
+    def _absorb(self, message):
+        """Fold one raw queue message into the supervision state.
+
+        Lease messages are recorded and consumed (returns None);
+        result/error messages clear their worker's lease and the
+        task's in-flight envelope, then pass through. "exit" passes
+        through untouched — each consumer has its own retirement
+        accounting.
+        """
+        kind = message[0]
+        if kind == "lease":
+            _kind, worker_id, dispatch_id, index = message
+            self._leases[worker_id] = (
+                (dispatch_id, index),
+                time.monotonic(),
+            )
+            return None
+        if kind in ("result", "error"):
+            self._leases.pop(message[1], None)
+            self._inflight.pop((message[2], message[3]), None)
+        return message
+
+    def _envelope(self, dispatch_id: int, attempt: int, job: Job) -> tuple:
+        """Wrap one job for the task queue, arming any injected fault."""
+        index = job[0]
+        fault = None
+        if self._faults is not None:
+            fault = self._faults.for_task(index, attempt)
+            if fault is not None and fault.kind == "overload":
+                fault = None  # server-loop directive, not a worker one
+        return (dispatch_id, index, attempt, fault, *job[1:])
+
+    def _replace_worker(self) -> None:
+        """Spawn a supervision replacement or trip the circuit breaker.
+
+        The respawn budget is a pool-lifetime total: an environment
+        where workers keep dying (OOM churn, broken libc, a fault plan
+        with ``attempts`` past the retry budget) eventually stops
+        burning processes and falls back to the session's local run.
+        """
+        self.respawns += 1
+        if self.respawns > self.resilience.max_worker_respawns:
+            self._abort()
+            raise BrokenProcessPool(
+                f"circuit breaker open: {self.respawns - 1} worker "
+                "respawn(s) already spent "
+                f"(max_worker_respawns={self.resilience.max_worker_respawns})"
+            )
+        try:
+            self._spawn()
+        except OSError as error:
+            self._abort()
+            raise BrokenProcessPool(
+                "cannot spawn a replacement worker"
+            ) from error
+
+    def _redo_or_fail(self, key: tuple[int, int], cause: str, detail: str) -> None:
+        """Re-queue a crashed/timed-out task, or fail it individually.
+
+        ``key`` is the task's ``(dispatch_id, index)``. The envelope's
+        attempt counter carries how many times it already failed; past
+        ``max_task_retries`` a typed :class:`TaskFailure` is routed to
+        the dispatch's buffer in place of a result, so the batch still
+        completes with one outcome per task.
+        """
+        envelope = self._inflight.get(key)
+        if envelope is None:
+            return  # dispatch abandoned; nothing left to redo
+        dispatch_id, index, attempt = envelope[0], envelope[1], envelope[2]
+        if attempt < self.resilience.max_task_retries:
+            self.task_retries += 1
+            requeued = self._envelope(
+                dispatch_id, attempt + 1, (index, *envelope[4:])
+            )
+            self._inflight[key] = requeued
+            self._task_queue.put(requeued)
+        else:
+            self._inflight.pop(key, None)
+            self._route(
+                (
+                    "failure",
+                    None,
+                    dispatch_id,
+                    index,
+                    TaskFailure(
+                        cause=cause, message=detail, retries=attempt
+                    ),
+                )
+            )
+
+    def _check_deadlines(self) -> None:
+        """Terminate and replace workers stuck past the task deadline.
+
+        Armed by ``ResilienceConfig.task_timeout_seconds``; checked on
+        the drain's empty-queue polls (a hung worker means the queue
+        eventually looks idle, so the monitor always gets its turn).
+        """
+        timeout = self.resilience.task_timeout_seconds
+        if not timeout or not self._leases:
+            return
+        now = time.monotonic()
+        for worker_id, (key, since) in list(self._leases.items()):
+            if now - since < timeout:
+                continue
+            self._leases.pop(worker_id, None)
+            self.task_timeouts += 1
+            process = self._workers.pop(worker_id, None)
+            if process is not None:
+                process.terminate()
+                process.join(timeout=self.JOIN_SECONDS)
+            self._replace_worker()
+            self._redo_or_fail(
+                key,
+                "timeout",
+                f"task {key[1]} exceeded its {timeout:.3g}s deadline "
+                f"on worker {worker_id}",
+            )
 
     def maybe_shrink(self, incoming: int = 0) -> int:
         """Retire idle workers the next batch will not need.
@@ -291,8 +471,11 @@ class ElasticWorkerPool:
         deadline = time.monotonic() + self.JOIN_SECONDS + extra
         while retired < extra and time.monotonic() < deadline:
             try:
-                message = self._result_queue.get(timeout=self.POLL_SECONDS)
+                raw = self._result_queue.get(timeout=self.POLL_SECONDS)
             except queue.Empty:
+                continue
+            message = self._absorb(raw)
+            if message is None:
                 continue
             if message[0] == "exit":
                 self._retire(message[1])
@@ -322,8 +505,10 @@ class ElasticWorkerPool:
         """Submit every job now; return the completion-order drain.
 
         Submission is eager (workers start computing immediately); the
-        returned iterator yields ``(index, payload, latency, counters)``
-        per task as results land. Dispatches multiplex: a later
+        returned iterator yields ``(index, payload, latency, counters,
+        failure)`` per task as results land — ``failure`` is a typed
+        :class:`TaskFailure` (and ``payload`` None) for tasks the
+        resilience layer gave up on. Dispatches multiplex: a later
         dispatch may start (and fully drain) while an earlier one is
         only partially consumed — each drain routes messages that
         belong to other open dispatches into their buffers. Abandoning
@@ -345,7 +530,9 @@ class ElasticWorkerPool:
         }
         self._buffers[dispatch_id] = deque()
         for job in jobs:
-            self._task_queue.put((dispatch_id, *job))
+            envelope = self._envelope(dispatch_id, 0, job)
+            self._inflight[(dispatch_id, job[0])] = envelope
+            self._task_queue.put(envelope)
         return self._drain(dispatch_id, len(jobs), nominal)
 
     def _drain(
@@ -353,6 +540,11 @@ class ElasticWorkerPool:
     ) -> Iterator[TaskResult]:
         outstanding = total
         buffer = self._buffers[dispatch_id]
+        #: Indices already concluded for this dispatch. A deadline-kill
+        #: can race the victim's final result onto the queue after its
+        #: task was re-queued; whichever outcome lands second is a
+        #: stale duplicate and must not double-decrement outstanding.
+        done: set[int] = set()
         try:
             while outstanding:
                 if buffer:
@@ -360,10 +552,11 @@ class ElasticWorkerPool:
                 else:
                     self._maybe_grow(outstanding)
                     try:
-                        message = self._result_queue.get(
+                        raw = self._result_queue.get(
                             timeout=self.POLL_SECONDS
                         )
                     except queue.Empty:
+                        self._check_deadlines()
                         self._ensure_alive()
                         continue
                     except (OSError, ValueError) as error:
@@ -373,13 +566,20 @@ class ElasticWorkerPool:
                         raise BrokenProcessPool(
                             "work-stealing pool torn down mid-drain"
                         ) from error
+                    message = self._absorb(raw)
+                    if message is None:  # lease breadcrumb, consumed
+                        continue
                     if message[0] == "exit":  # stray timed-out pill
                         self._handle_exit(message[1])
                         continue
                     if message[2] != dispatch_id:
                         self._route(message)
                         continue
-                if message[0] == "result":
+                kind = message[0]
+                index = message[3]
+                if index in done:  # stale duplicate (deadline race)
+                    continue
+                if kind == "result":
                     (
                         _kind,
                         worker_id,
@@ -389,45 +589,85 @@ class ElasticWorkerPool:
                         latency,
                         delta,
                     ) = message
+                    done.add(index)
                     outstanding -= 1
                     if nominal.get(index, worker_id) != worker_id:
                         self.steals += 1
                     self._idle_since = time.monotonic()
-                    yield index, payload, latency, delta
+                    yield index, payload, latency, delta, None
+                elif kind == "failure":
+                    done.add(index)
+                    outstanding -= 1
+                    self._idle_since = time.monotonic()
+                    yield (
+                        index,
+                        None,
+                        0.0,
+                        dict.fromkeys(_STAT_KEYS, 0),
+                        message[4],
+                    )
+                elif self.resilience.isolate_errors:
+                    error = message[4]
+                    done.add(index)
+                    outstanding -= 1
+                    self._idle_since = time.monotonic()
+                    yield (
+                        index,
+                        None,
+                        0.0,
+                        dict.fromkeys(_STAT_KEYS, 0),
+                        TaskFailure(
+                            cause="error",
+                            message=f"{type(error).__name__}: {error}",
+                        ),
+                    )
                 else:  # "error": fail this batch; the pool keeps serving
                     raise message[4]
         finally:
             self._idle_since = time.monotonic()
             self._buffers.pop(dispatch_id, None)
+            for key in [k for k in self._inflight if k[0] == dispatch_id]:
+                del self._inflight[key]
 
     def _ensure_alive(self) -> None:
-        """Raise ``BrokenProcessPool`` if any worker died unexpectedly.
+        """Supervise the fleet: replace dead workers, redo their tasks.
 
-        Called only when the result queue looks idle. Pending "exit"
-        acks are consumed first (and their workers retired in place) so
-        a gracefully-poisoned worker is never mistaken for a crash;
-        results/errors that raced in are routed to their dispatch
-        buffers (possibly the calling drain's own).
+        Called only when the result queue looks idle. Pending messages
+        are consumed first — a gracefully-poisoned worker's "exit" ack
+        is never mistaken for a crash, and leases/results that raced in
+        update the supervision state before liveness is judged. Every
+        dead worker is then replaced in place and its leased task
+        re-queued (or failed individually past the retry budget); only
+        the circuit breaker aborts the pool with ``BrokenProcessPool``.
         """
         while True:
             try:
-                message = self._result_queue.get_nowait()
+                raw = self._result_queue.get_nowait()
             except queue.Empty:
                 break
+            message = self._absorb(raw)
+            if message is None:
+                continue
             if message[0] == "exit":
                 self._handle_exit(message[1])
             else:
                 self._route(message)
-        dead = [
-            worker_id
-            for worker_id, process in self._workers.items()
-            if not process.is_alive()
-        ]
-        if dead:
-            self._abort()
-            raise BrokenProcessPool(
-                f"{len(dead)} work-stealing worker(s) died unexpectedly"
-            )
+        for worker_id, process in list(self._workers.items()):
+            if process.is_alive():
+                continue
+            self._workers.pop(worker_id)
+            process.join(timeout=self.JOIN_SECONDS)
+            self.worker_deaths += 1
+            lease = self._leases.pop(worker_id, None)
+            self._replace_worker()
+            if lease is not None:
+                key, _since = lease
+                self._redo_or_fail(
+                    key,
+                    "crash",
+                    f"worker {worker_id} died holding task {key[1]} "
+                    f"(exit code {process.exitcode})",
+                )
 
     # ------------------------------------------------------------------
     # Teardown

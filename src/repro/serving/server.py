@@ -63,7 +63,8 @@ from repro.api.config import CacheConfig, EngineConfig, ParallelConfig
 from repro.api.registry import available_methods
 from repro.api.session import ExplanationSession
 from repro.graph.knowledge_graph import KnowledgeGraph
-from repro.serving.config import SchedulerConfig
+from repro.serving.config import ResilienceConfig, SchedulerConfig
+from repro.serving.faults import FaultPlan
 from repro.serving.frames import (
     MAX_FRAME_BYTES,
     ConnectionClosed,
@@ -94,7 +95,9 @@ class ServerConfig:
     ``port=0`` binds an ephemeral port (read it back from
     ``server.port`` after start — what the tests and the self-hosting
     bench harness do). ``max_pending`` bounds each graph's in-flight +
-    queued requests before admission control answers ``overloaded``.
+    queued requests before admission control answers ``overloaded``;
+    every ``overloaded`` frame carries ``retry_after_ms`` as a backoff
+    floor hint for retry-aware clients.
     ``pool_idle_ttl_seconds=0`` disables the idle reaper.
     """
 
@@ -105,10 +108,13 @@ class ServerConfig:
     codec: str = "json"
     pool_idle_ttl_seconds: float = 0.0
     reap_interval_seconds: float = 1.0
+    retry_after_ms: int = 100
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
             raise ValueError("max_pending must be >= 1")
+        if self.retry_after_ms < 0:
+            raise ValueError("retry_after_ms must be >= 0")
         if self.max_frame_bytes < 64:
             raise ValueError("max_frame_bytes must be >= 64")
         if self.pool_idle_ttl_seconds < 0:
@@ -172,6 +178,9 @@ class ExplanationServer:
         parallel: ParallelConfig | None = None,
         scheduler: SchedulerConfig | None = None,
         default_method: str = "st",
+        resilience: ResilienceConfig | None = None,
+        faults: FaultPlan | None = None,
+        loop_faults: FaultPlan | None = None,
     ) -> None:
         if isinstance(graphs, KnowledgeGraph):
             graphs = {"default": graphs}
@@ -179,6 +188,12 @@ class ExplanationServer:
             raise ValueError("server needs at least one graph to host")
         self.config = config if config is not None else ServerConfig()
         self._codec = get_codec(self.config.codec)
+        # Deterministic chaos: `faults` rides into every hosted
+        # session's worker envelopes; `loop_faults` is consulted by the
+        # event loop itself, keyed on workload-request arrival ordinal
+        # ("delay" stalls handling, "overload" forces a rejection).
+        self._loop_faults = loop_faults
+        self._workload_ordinal = 0
 
         def make_session(graph: KnowledgeGraph) -> ExplanationSession:
             return ExplanationSession(
@@ -188,6 +203,8 @@ class ExplanationServer:
                 parallel=parallel,
                 scheduler=scheduler,
                 default_method=default_method,
+                resilience=resilience,
+                faults=faults,
             )
 
         self._hosts = {
@@ -292,7 +309,15 @@ class ExplanationServer:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                # Server stop may cancel this handler while it drains
+                # the close; the connection is already down, and
+                # letting the cancellation escape here only produces
+                # "Exception in callback" noise from asyncio.streams.
+                asyncio.CancelledError,
+            ):
                 pass
 
     async def _send(self, writer: asyncio.StreamWriter, frame: dict) -> None:
@@ -321,7 +346,10 @@ class ExplanationServer:
             await handler(writer, frame)
         except protocol.ProtocolError as error:
             await self._send(
-                writer, protocol.error_frame(error.code, str(error))
+                writer,
+                protocol.error_frame(
+                    error.code, str(error), **getattr(error, "extra", {})
+                ),
             )
 
     def _host_for(self, frame: dict) -> _SessionHost:
@@ -344,9 +372,71 @@ class ExplanationServer:
                 f"graph {host.name!r} has {host.pending} pending "
                 f"request(s) (bound {self.config.max_pending}); retry "
                 "with backoff",
+                retry_after_ms=self.config.retry_after_ms,
             )
         host.pending += 1
         host.last_active = time.monotonic()
+
+    async def _inject_loop_fault(self, host: _SessionHost) -> None:
+        """Apply the fault plan directive for this workload request.
+
+        Consulted by the workload ops (explain/run/stream) only, keyed
+        on arrival ordinal: "delay" stalls handling on the event loop
+        (what makes client deadlines testable without timing luck),
+        "overload" forces an admission rejection regardless of queue
+        depth (what makes client backoff testable). Other kinds are
+        worker-side and ignored here.
+        """
+        if self._loop_faults is None:
+            return
+        ordinal = self._workload_ordinal
+        self._workload_ordinal += 1
+        fault = self._loop_faults.for_request(ordinal)
+        if fault is None:
+            return
+        if fault.kind == "delay":
+            await asyncio.sleep(fault.seconds)
+        elif fault.kind == "overload":
+            self.rejected += 1
+            raise protocol.ProtocolError(
+                "overloaded",
+                f"graph {host.name!r} rejected request {ordinal} by "
+                "fault plan; retry with backoff",
+                retry_after_ms=self.config.retry_after_ms,
+            )
+
+    @staticmethod
+    def _deadline_from(frame: dict) -> float | None:
+        """Absolute monotonic expiry from an optional ``deadline_ms``.
+
+        The field is optional (absent = no deadline), so adding it did
+        not bump :data:`~repro.api.protocol.PROTOCOL_VERSION`; servers
+        that predate it simply never enforce one.
+        """
+        value = frame.get("deadline_ms")
+        if value is None:
+            return None
+        if (
+            isinstance(value, bool)
+            or not isinstance(value, (int, float))
+            or value < 0
+        ):
+            raise protocol.ProtocolError(
+                "bad-request", "'deadline_ms' must be a non-negative number"
+            )
+        return time.monotonic() + value / 1000.0
+
+    @staticmethod
+    def _check_deadline(expires: float | None) -> None:
+        """Drop expired work; runs where the work *starts* (session
+        thread), so requests that aged out while queued behind a busy
+        session are rejected instead of computed for nobody."""
+        if expires is not None and time.monotonic() > expires:
+            raise protocol.ProtocolError(
+                "deadline-exceeded",
+                "client deadline expired before the request started; "
+                "dropped without computing",
+            )
 
     def _release(self, host: _SessionHost) -> None:
         host.pending -= 1
@@ -415,11 +505,16 @@ class ExplanationServer:
         request = protocol.request_from_json(
             protocol._expect(frame, "request", dict, "explain")
         )
+        expires = self._deadline_from(frame)
+        await self._inject_loop_fault(host)
         self._admit(host)
+
+        def work():
+            self._check_deadline(expires)
+            return host.session.explain(request)
+
         try:
-            explanation = await self._run_on_session(
-                host, host.session.explain, request
-            )
+            explanation = await self._run_on_session(host, work)
         finally:
             self._release(host)
         await self._send(
@@ -433,11 +528,16 @@ class ExplanationServer:
     async def _op_run(self, writer, frame) -> None:
         host = self._host_for(frame)
         requests = self._decode_requests(frame, "run")
+        expires = self._deadline_from(frame)
+        await self._inject_loop_fault(host)
         self._admit(host)
+
+        def work():
+            self._check_deadline(expires)
+            return host.session.run(requests)
+
         try:
-            report = await self._run_on_session(
-                host, host.session.run, requests
-            )
+            report = await self._run_on_session(host, work)
         finally:
             self._release(host)
         await self._send(
@@ -451,6 +551,8 @@ class ExplanationServer:
         """Frame each result the moment the scheduler yields it."""
         host = self._host_for(frame)
         requests = self._decode_requests(frame, "stream")
+        expires = self._deadline_from(frame)
+        await self._inject_loop_fault(host)
         self._admit(host)
         loop = asyncio.get_running_loop()
         queue: asyncio.Queue = asyncio.Queue()
@@ -460,6 +562,7 @@ class ExplanationServer:
             # Session thread: drive the stream, hand each result to the
             # event loop as soon as the scheduler yields it.
             try:
+                self._check_deadline(expires)
                 for result in host.session.stream(requests):
                     loop.call_soon_threadsafe(queue.put_nowait, result)
                 loop.call_soon_threadsafe(queue.put_nowait, done)
@@ -473,6 +576,8 @@ class ExplanationServer:
                 item = await queue.get()
                 if item is done:
                     break
+                if isinstance(item, protocol.ProtocolError):
+                    raise item  # keep the typed code (deadline-exceeded)
                 if isinstance(item, BaseException):
                     raise protocol.ProtocolError(
                         "task-error", f"{type(item).__name__}: {item}"
@@ -618,6 +723,14 @@ class ServerThread:
 
         asyncio.run_coroutine_threadsafe(shutdown(), self._loop)
         self._thread.join(timeout=30)
+        if self._thread.is_alive():
+            # A silent timeout here would leak the loop thread (and
+            # every session it owns) while the caller believes the
+            # server is down; fail loudly instead.
+            raise RuntimeError(
+                "server loop thread did not exit within 30s of stop(); "
+                "the event loop (and its sessions) are still running"
+            )
 
     def __enter__(self) -> "ServerThread":
         return self

@@ -101,7 +101,7 @@ class TestReportAndCache:
     def test_throughput_guards_near_zero_elapsed(self):
         """A trivially small batch finishing inside one timer tick must
         report 0.0 tasks/s, not inf (or an absurd rate)."""
-        from repro.core.batch import BatchReport, BatchResult
+        from repro.core.batch import BatchReport, BatchResult, TaskFailure
 
         result = BatchResult(
             index=0,
@@ -113,6 +113,7 @@ class TestReportAndCache:
                 focus=("u:0",),
             ),
             explanation=None,
+            failure=TaskFailure(cause="error", message="placeholder"),
             seconds=0.0,
         )
         for elapsed in (0.0, 1e-12, -1.0):
