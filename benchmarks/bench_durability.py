@@ -1,0 +1,309 @@
+"""Recovery-time benchmark for the durability tier.
+
+Measures what the mutation journal actually costs and buys:
+
+- **Recovery sweep** — journals of increasing record counts are laid
+  down against a workbench-scale seed graph, the store is aborted (a
+  simulated ``kill -9``: no flush, no compaction), and a fresh
+  :class:`repro.serving.journal.GraphJournal` is timed recovering from
+  the wreckage (snapshot load + full journal replay). Each recovered
+  graph is checked bit-identical to a never-crashed in-memory control.
+- **Compaction** — the same store is compacted and recovery re-timed:
+  the replay count must drop to zero, leaving snapshot-load as the
+  whole cost. This is the knob that bounds restart time.
+- **Append throughput per fsync policy** — ``never`` / ``interval`` /
+  ``always``, quantifying the durability/latency trade documented in
+  the README.
+
+Results land in the repo-root ``BENCH_durability.json`` trajectory
+artifact (joining ``BENCH_server.json`` et al.).
+
+Not a pytest module (the ``bench_`` prefix keeps it out of
+collection); run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py
+    PYTHONPATH=src python benchmarks/bench_durability.py \\
+        --records 64 512 --append-records 256 \\
+        --assert-bit-identical --assert-compaction-resets  # the CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import protocol  # noqa: E402
+from repro.experiments.config import ExperimentConfig  # noqa: E402
+from repro.experiments.workbench import Workbench  # noqa: E402
+from repro.serving.config import JournalConfig  # noqa: E402
+from repro.serving.journal import GraphJournal, apply_mutations  # noqa: E402
+
+
+def clone(graph):
+    """Codec round trip: preserves every iteration order + the version."""
+    return protocol.graph_state_from_json(protocol.graph_state_to_json(graph))
+
+
+def mutation_ops(count: int) -> list[list[dict]]:
+    """``count`` single-op records: edges to fresh item nodes."""
+    return [
+        [
+            {
+                "op": "add_edge",
+                "args": [
+                    f"u:{k % 7}",
+                    f"i:9{k:05d}",
+                    1.0 + (k % 13) * 0.25,
+                ],
+            }
+        ]
+        for k in range(count)
+    ]
+
+
+def bit_identical(got, want) -> bool:
+    if list(got.nodes()) != list(want.nodes()):
+        return False
+    for node in want.nodes():
+        if list(got.neighbors(node).items()) != (
+            list(want.neighbors(node).items())
+        ):
+            return False
+    return (
+        list(got._names.items()) == list(want._names.items())
+        and list(got._relations.items()) == list(want._relations.items())
+        and got.num_edges == want.num_edges
+        and got.version == want.version
+    )
+
+
+def recovery_point(seed, records: int, state_root: Path) -> dict:
+    """Journal ``records`` mutations, abort, and time the recovery."""
+    state_dir = state_root / f"recovery-{records}"
+    config = JournalConfig(fsync="never", compact_every_records=0)
+
+    control = clone(seed)
+    store = GraphJournal(state_dir, clone(seed), config)
+    ops = mutation_ops(records)
+    began = time.perf_counter()
+    for batch in ops:
+        store.apply(batch)
+        apply_mutations(control, batch)
+    append_seconds = time.perf_counter() - began
+    journal_bytes = store.journal.size_bytes
+    store.abort()  # simulated kill -9: nothing flushed, nothing compacted
+
+    began = time.perf_counter()
+    recovered = GraphJournal(state_dir, clone(seed), config)
+    recovery_seconds = time.perf_counter() - began
+    identical = bit_identical(recovered.graph, control)
+    replayed = recovered.replayed_records
+
+    # Compaction folds the journal into the snapshot; a restart then
+    # replays nothing — snapshot load is the whole recovery cost.
+    began = time.perf_counter()
+    recovered.compact()
+    compact_seconds = time.perf_counter() - began
+    recovered.abort()
+    began = time.perf_counter()
+    compacted = GraphJournal(state_dir, clone(seed), config)
+    compacted_recovery_seconds = time.perf_counter() - began
+    compacted_replayed = compacted.replayed_records
+    compacted_identical = bit_identical(compacted.graph, control)
+    compacted.abort()
+
+    return {
+        "records": records,
+        "journal_bytes": journal_bytes,
+        "append_seconds": append_seconds,
+        "recovery_seconds": recovery_seconds,
+        "replayed_records": replayed,
+        "records_per_second": (
+            replayed / recovery_seconds if recovery_seconds > 0 else 0.0
+        ),
+        "bit_identical": identical,
+        "compact_seconds": compact_seconds,
+        "compacted_recovery_seconds": compacted_recovery_seconds,
+        "compacted_replayed_records": compacted_replayed,
+        "compacted_bit_identical": compacted_identical,
+    }
+
+
+def fsync_point(seed, policy: str, records: int, state_root: Path) -> dict:
+    """Append throughput under one fsync policy."""
+    state_dir = state_root / f"fsync-{policy}"
+    store = GraphJournal(
+        state_dir,
+        clone(seed),
+        JournalConfig(
+            fsync=policy,
+            fsync_interval_seconds=0.05,
+            compact_every_records=0,
+        ),
+    )
+    ops = mutation_ops(records)
+    began = time.perf_counter()
+    for batch in ops:
+        store.apply(batch)
+    elapsed = time.perf_counter() - began
+    store.close()
+    return {
+        "fsync": policy,
+        "records": records,
+        "append_seconds": elapsed,
+        "appends_per_second": records / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--records",
+        type=int,
+        nargs="+",
+        default=[64, 256, 1024, 4096],
+        help="journal lengths (records) for the recovery sweep",
+    )
+    parser.add_argument(
+        "--append-records",
+        type=int,
+        default=512,
+        help="records appended per fsync-policy throughput point",
+    )
+    parser.add_argument(
+        "--fsync-policies",
+        nargs="+",
+        default=["never", "interval", "always"],
+        choices=("never", "interval", "always"),
+    )
+    parser.add_argument(
+        "--state-root",
+        default="",
+        help="directory for the benchmark state dirs "
+        "(default: a fresh temp dir, removed afterwards)",
+    )
+    parser.add_argument(
+        "--keep-state",
+        action="store_true",
+        help="leave the state dirs behind for inspection",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_durability.json"),
+        help="artifact path",
+    )
+    parser.add_argument(
+        "--assert-bit-identical",
+        action="store_true",
+        help="CI gate: fail unless every recovered graph (pre- and "
+        "post-compaction) is bit-identical to the never-crashed control",
+    )
+    parser.add_argument(
+        "--assert-compaction-resets",
+        action="store_true",
+        help="CI gate: fail unless recovery after compaction replays "
+        "zero records",
+    )
+    args = parser.parse_args(argv)
+
+    bench = Workbench.get(ExperimentConfig.test_scale())
+    seed = bench.graph
+
+    if args.state_root:
+        state_root = Path(args.state_root)
+        state_root.mkdir(parents=True, exist_ok=True)
+        made_temp = False
+    else:
+        state_root = Path(tempfile.mkdtemp(prefix="bench-durability-"))
+        made_temp = True
+
+    try:
+        sweep = []
+        for records in args.records:
+            point = recovery_point(seed, records, state_root)
+            sweep.append(point)
+            print(
+                f"{records:6d} records ({point['journal_bytes']:9d} B)"
+                f" -> recovery {point['recovery_seconds'] * 1000:8.2f} ms"
+                f" ({point['records_per_second']:9.0f} rec/s)"
+                f"  post-compaction "
+                f"{point['compacted_recovery_seconds'] * 1000:7.2f} ms"
+                f"  bit-identical {point['bit_identical']}"
+            )
+        fsync_sweep = []
+        for policy in args.fsync_policies:
+            point = fsync_point(
+                seed, policy, args.append_records, state_root
+            )
+            fsync_sweep.append(point)
+            print(
+                f"fsync={policy:9s} -> "
+                f"{point['appends_per_second']:9.0f} appends/s"
+            )
+    finally:
+        if made_temp and not args.keep_state:
+            shutil.rmtree(state_root, ignore_errors=True)
+        elif not args.keep_state:
+            for child in state_root.glob("recovery-*"):
+                shutil.rmtree(child, ignore_errors=True)
+            for child in state_root.glob("fsync-*"):
+                shutil.rmtree(child, ignore_errors=True)
+
+    artifact = {
+        "schema": "bench-durability/v1",
+        "cpu_count": os.cpu_count(),
+        "graph_nodes": seed.num_nodes,
+        "graph_edges": seed.num_edges,
+        "recovery": sweep,
+        "fsync": fsync_sweep,
+    }
+    Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    failures = []
+    if args.assert_bit_identical:
+        broken = [
+            p["records"]
+            for p in sweep
+            if not (p["bit_identical"] and p["compacted_bit_identical"])
+        ]
+        if broken:
+            failures.append(
+                f"recovery not bit-identical at record counts {broken}"
+            )
+        short = [
+            p["records"]
+            for p in sweep
+            if p["replayed_records"] != p["records"]
+        ]
+        if short:
+            failures.append(
+                f"recovery replayed fewer records than journaled: {short}"
+            )
+    if args.assert_compaction_resets:
+        lingering = [
+            p["records"]
+            for p in sweep
+            if p["compacted_replayed_records"] != 0
+        ]
+        if lingering:
+            failures.append(
+                "post-compaction recovery still replayed records at "
+                f"counts {lingering}"
+            )
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

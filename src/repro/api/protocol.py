@@ -83,6 +83,8 @@ ERROR_CODES = (
     "overloaded",       # admission control rejected the request
     "task-error",       # the summarization itself raised
     "deadline-exceeded",  # the client's deadline expired before the work ran
+    "shutting-down",    # the server is draining; retry elsewhere/later
+    "too-many-connections",  # the per-server connection bound is full
     "internal",         # unexpected server-side failure
 )
 
@@ -412,6 +414,78 @@ def explanation_from_json(data: dict, task: SummaryTask) -> SubgraphExplanation:
         method=_expect(data, "method", str, "explanation"),
         params=dict(data.get("params", {})),
     )
+
+
+# ----------------------------------------------------------------------
+# Whole-graph state (durability snapshots)
+# ----------------------------------------------------------------------
+def graph_state_to_json(graph: KnowledgeGraph) -> dict:
+    """Positional-list form of a *whole* mutable graph, order-preserving.
+
+    The durability layer (:mod:`repro.serving.journal`) snapshots hosted
+    graphs with this codec rather than :func:`repro.graph.io.graph_to_dict`
+    because the latter sorts nodes and edges for diff-friendly files —
+    a graph rebuilt from it has a different insertion order, so its
+    frozen CSR arrays (and every downstream tie-break) differ from the
+    pre-snapshot live graph. This codec keeps the same positional
+    layout as :func:`explanation_to_json` and additionally carries the
+    mutation ``version`` counter, so a recovered graph is bit-identical:
+    same node order, same per-row neighbor order, same name/relation
+    tables, same version.
+    """
+    positions = {node: i for i, node in enumerate(graph.nodes())}
+    rows = [
+        [[positions[neighbor], weight] for neighbor, weight in row.items()]
+        for row in (graph.neighbors(node) for node in graph.nodes())
+    ]
+    vocab: dict[str, int] = {}
+    relations = [
+        [positions[a], positions[b], vocab.setdefault(rel, len(vocab))]
+        for (a, b), rel in graph._relations.items()
+    ]
+    return {
+        "nodes": list(positions),
+        "rows": rows,
+        "names": [
+            [positions[node], name] for node, name in graph._names.items()
+        ],
+        "relations": relations,
+        "relation_vocab": list(vocab),
+        "num_edges": graph.num_edges,
+        "version": graph.version,
+    }
+
+
+def graph_state_from_json(data: dict) -> KnowledgeGraph:
+    """Rehydrate a snapshot; bit-identical iteration orders and version."""
+    nodes = _string_list(data, "nodes", "graph-state")
+    rows = _expect(data, "rows", list, "graph-state")
+    if len(rows) != len(nodes):
+        raise ProtocolError(
+            "bad-request", "graph-state rows do not match its nodes"
+        )
+    try:
+        adjacency = {
+            node: {nodes[pos]: weight for pos, weight in row}
+            for node, row in zip(nodes, rows)
+        }
+        names = {nodes[pos]: name for pos, name in data.get("names", [])}
+        vocab = data.get("relation_vocab", [])
+        relations = {
+            (nodes[pa], nodes[pb]): vocab[r]
+            for pa, pb, r in data.get("relations", [])
+        }
+    except (IndexError, TypeError, ValueError) as error:
+        raise ProtocolError(
+            "bad-request", f"malformed graph-state body ({error})"
+        ) from error
+    graph = KnowledgeGraph()
+    graph._adjacency = adjacency
+    graph._names = names
+    graph._relations = relations
+    graph._num_edges = _expect(data, "num_edges", int, "graph-state")
+    graph._version = _expect(data, "version", int, "graph-state")
+    return graph
 
 
 # ----------------------------------------------------------------------

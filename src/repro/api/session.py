@@ -57,6 +57,7 @@ call :meth:`close` or use the session as a context manager when done.
 from __future__ import annotations
 
 import os
+import threading
 import time
 import warnings
 from collections.abc import Iterable, Iterator
@@ -65,6 +66,7 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     as_completed,
 )
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro.api.config import CacheConfig, EngineConfig, ParallelConfig
@@ -179,24 +181,35 @@ def _session_worker_init(handle, cache_config: tuple[int, bool]) -> None:
 
 
 def _session_run_chunk(jobs: list) -> tuple[list, dict[str, int]]:
-    """Summarize one chunk of ``(index, method, config, task)`` jobs.
+    """Summarize one chunk of ``(index, attempt, fault, method, config,
+    task)`` jobs.
 
     Returns ``(results, counter_delta)`` with results as
     ``(index, payload, seconds)`` triples — payloads in the compact
     :mod:`repro.serving.wire` format (parent-CSR int arrays instead of
     pickled subgraph objects); chunks run sequentially inside a worker,
     so before/after cache snapshots are race-free.
+
+    ``fault`` is the per-task fault directive (or None): "crash" hard-
+    exits the worker mid-chunk — breaking the whole executor, which is
+    exactly the failure the supervised parent loop recovers from —
+    "hang"/"delay" sleep, "malformed" corrupts the task's payload.
     """
     worker = serving_pool._WORKER
     before = _cache_counters(worker.get("cache"))
     frozen = worker["frozen"]
     out = []
-    for index, name, config, task in jobs:
+    for index, _attempt, fault, name, config, task in jobs:
+        if fault is not None:
+            fault.apply_in_worker()
         summarizer = serving_pool._worker_summarizer(name, config)
         task_start = time.perf_counter()
         explanation = summarizer.summarize(task)
         seconds = time.perf_counter() - task_start
-        out.append((index, encode_explanation(explanation, frozen), seconds))
+        payload = encode_explanation(explanation, frozen)
+        if fault is not None and fault.kind == "malformed":
+            payload = fault.corrupt(payload)
+        out.append((index, payload, seconds))
     after = _cache_counters(worker.get("cache"))
     return out, {key: after[key] - before[key] for key in _STAT_KEYS}
 
@@ -275,6 +288,15 @@ class ExplanationSession:
         self._closure_cache: TerminalClosureCache | None = None
         self._summarizers: dict = {}
         self._closed = False
+        # Idle-shrink ticker plumbing: the gate serializes the ticker
+        # thread against dispatch starts and pool teardown (the elastic
+        # pool itself is not thread-safe); the ticker-shrink counter
+        # lets dispatch-delta folding subtract shrinks the ticker
+        # already credited (see _absorb_steal_stats).
+        self._pool_gate = threading.Lock()
+        self._ticker: threading.Thread | None = None
+        self._ticker_stop = threading.Event()
+        self._ticker_shrinks = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -298,17 +320,72 @@ class ExplanationSession:
         Useful when a burst of batch traffic is over but the session
         should keep serving single requests.
         """
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
-            self._pool_workers = 0
-        if self._steal_pool is not None:
-            self._steal_pool.shutdown()
-            self._steal_pool = None
-        if self._export is not None:
-            self._export.close()
-            self._export.unlink()
-            self._export = None
+        self._stop_ticker()
+        with self._pool_gate:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+                self._pool = None
+                self._pool_workers = 0
+            if self._steal_pool is not None:
+                self._steal_pool.shutdown()
+                self._steal_pool = None
+            if self._export is not None:
+                self._export.close()
+                self._export.unlink()
+                self._export = None
+
+    # ------------------------------------------------------------------
+    # Idle-shrink ticker (bare in-process sessions)
+    # ------------------------------------------------------------------
+    def _start_ticker(self) -> None:
+        """Arm the background idle shrinker for the elastic pool.
+
+        The pool itself deliberately has no timer — its shrinks happen
+        at dispatch starts, which a server's reaper complements. A bare
+        in-process session has neither between dispatches; this daemon
+        ticker honors ``SchedulerConfig.shrink_idle_seconds`` there, so
+        a quiet session releases workers back to the OS on its own. It
+        only ever runs while no dispatch is open (the pool buffers are
+        empty) and under the pool gate, so it never races a dispatch.
+        """
+        if self._ticker is not None and self._ticker.is_alive():
+            return
+        interval = max(
+            0.05, self.scheduler_config.shrink_idle_seconds / 4
+        )
+        self._ticker_stop = threading.Event()
+        stop = self._ticker_stop
+
+        def tick() -> None:
+            while not stop.wait(interval):
+                with self._pool_gate:
+                    if stop.is_set():
+                        return
+                    pool = self._steal_pool
+                    if (
+                        pool is None
+                        or pool.broken
+                        or pool._buffers  # a dispatch is open
+                    ):
+                        continue
+                    try:
+                        retired = pool.maybe_shrink(0)
+                    except Exception:
+                        return  # pool torn down under us; stand down
+                    if retired:
+                        self.stats.shrinks += retired
+                        self._ticker_shrinks += retired
+
+        self._ticker = threading.Thread(
+            target=tick, name="session-idle-shrink", daemon=True
+        )
+        self._ticker.start()
+
+    def _stop_ticker(self) -> None:
+        if self._ticker is not None:
+            self._ticker_stop.set()
+            self._ticker.join(timeout=5)
+            self._ticker = None
 
     def __enter__(self) -> "ExplanationSession":
         return self
@@ -731,6 +808,8 @@ class ExplanationSession:
                 faults=self._faults,
             )
             self.stats.pool_starts += 1
+        if self.scheduler_config.shrink_idle_seconds > 0:
+            self._start_ticker()
         return self._steal_pool
 
     def _jobs(self, resolved: list[_Resolved]) -> list[tuple]:
@@ -748,16 +827,21 @@ class ExplanationSession:
             pool.worker_deaths,
             pool.task_retries,
             pool.task_timeouts,
+            self._ticker_shrinks,
         )
 
     def _absorb_steal_stats(
         self, pool: ElasticWorkerPool, before: tuple
     ) -> None:
         """Fold one dispatch's scheduler + resilience counters into stats."""
-        steals, grows, shrinks, deaths, retries, timeouts = before
+        steals, grows, shrinks, deaths, retries, timeouts, ticker = before
         self.stats.steals += pool.steals - steals
         self.stats.grows += pool.grows - grows
-        self.stats.shrinks += pool.shrinks - shrinks
+        # Shrinks the idle ticker performed (and already credited)
+        # inside this snapshot window must not be folded again.
+        self.stats.shrinks += (pool.shrinks - shrinks) - (
+            self._ticker_shrinks - ticker
+        )
         self.stats.worker_deaths += pool.worker_deaths - deaths
         self.stats.task_retries += pool.task_retries - retries
         self.stats.task_timeouts += pool.task_timeouts - timeouts
@@ -817,14 +901,17 @@ class ExplanationSession:
     def _run_stealing(self, resolved: list[_Resolved]) -> BatchReport:
         start = time.perf_counter()
         freeze_seconds = self._ensure_export()
-        pool = self._ensure_steal_pool()
+        # Dispatch start under the pool gate: the idle ticker never
+        # interleaves its shrink with submission (and the open dispatch
+        # it registers keeps the ticker away until the drain is done).
+        with self._pool_gate:
+            pool = self._ensure_steal_pool()
+            before = self._steal_counters(pool)
+            drain = pool.dispatch(self._jobs(resolved))
         stats = dict.fromkeys(_STAT_KEYS, 0)
         merged: list[tuple] = []
-        before = self._steal_counters(pool)
         try:
-            for index, payload, latency, delta, failure in pool.dispatch(
-                self._jobs(resolved)
-            ):
+            for index, payload, latency, delta, failure in drain:
                 merged.append((index, payload, latency, failure))
                 for key in _STAT_KEYS:
                     stats[key] += delta[key]
@@ -856,6 +943,108 @@ class ExplanationSession:
             retried=retried,
         )
 
+    def _chunk_envelope(self, chunk: list, attempt: int) -> list:
+        """Arm one chunk's jobs with their fault directives + attempt."""
+        return [
+            (
+                index,
+                attempt,
+                (
+                    self._faults.for_task(index, attempt)
+                    if self._faults
+                    else None
+                ),
+                name,
+                config,
+                task,
+            )
+            for index, name, config, task in chunk
+        ]
+
+    def _supervised_chunk_results(self, chunks: list) -> Iterator[tuple]:
+        """Drive chunks through the executor, surviving worker deaths.
+
+        Yields ``(entries, counter_delta)`` per concluded chunk, with
+        entries as ``(index, payload, seconds, failure)``. A worker
+        death breaks the whole ``ProcessPoolExecutor`` — every chunk
+        still in flight raises ``BrokenProcessPool`` (attribution to
+        the chunk that killed the worker is impossible from the
+        parent), so each interrupted chunk is charged one retry and
+        re-run on a respawned executor; a chunk that exhausts
+        ``ResilienceConfig.max_task_retries`` concludes as typed
+        ``TaskFailure(cause="crash")`` results while the rest of the
+        batch completes. ``max_worker_respawns`` is the same circuit
+        breaker the work-stealing pool honors: past it (or at 0, the
+        supervision-off legacy contract) ``BrokenProcessPool``
+        propagates and the session demotes the batch to its local
+        fallback.
+        """
+        retries = self.resilience_config.max_task_retries
+        budget = self.resilience_config.max_worker_respawns
+        zero = dict.fromkeys(_STAT_KEYS, 0)
+        respawns = 0
+        queue = [(chunk, 0) for chunk in chunks]
+        while queue:
+            self._ensure_chunked_pool()
+            futures = {
+                self._pool.submit(
+                    _session_run_chunk,
+                    self._chunk_envelope(chunk, attempt),
+                ): (chunk, attempt)
+                for chunk, attempt in queue
+            }
+            queue = []
+            broken = False
+            for future in as_completed(futures):
+                chunk, attempt = futures[future]
+                try:
+                    results, delta = future.result()
+                except BrokenProcessPool:
+                    if budget == 0:
+                        raise  # supervision off: whole-batch demotion
+                    broken = True
+                    if attempt < retries:
+                        queue.append((chunk, attempt + 1))
+                        self.stats.task_retries += len(chunk)
+                    else:
+                        yield (
+                            [
+                                (
+                                    index,
+                                    None,
+                                    0.0,
+                                    TaskFailure(
+                                        cause="crash",
+                                        message=(
+                                            "worker died while this "
+                                            "chunk was in flight; "
+                                            "retry budget exhausted"
+                                        ),
+                                        retries=attempt,
+                                    ),
+                                )
+                                for index, _n, _c, _t in chunk
+                            ],
+                            zero,
+                        )
+                else:
+                    yield (
+                        [(i, p, s, None) for i, p, s in results],
+                        delta,
+                    )
+            if broken:
+                self.stats.worker_deaths += 1
+                respawns += 1
+                if respawns > budget:
+                    raise BrokenProcessPool(
+                        f"chunked executor died {respawns} time(s); "
+                        f"respawn budget ({budget}) exhausted"
+                    )
+                # Scrap the broken executor; the shared-memory export
+                # survives, so the respawn re-attaches, not re-exports.
+                self._pool.shutdown(wait=True, cancel_futures=True)
+                self._pool = None
+
     def _run_chunked(self, resolved: list[_Resolved]) -> BatchReport:
         start = time.perf_counter()
         freeze_seconds = self._ensure_export()
@@ -865,28 +1054,21 @@ class ExplanationSession:
             self._pool_workers,
             self.parallel_config.chunk_size,
         )
-        futures = [
-            self._pool.submit(_session_run_chunk, chunk) for chunk in chunks
-        ]
+        workers = min(self._pool_workers, len(chunks))
+        retried_before = self.stats.task_retries
         stats = dict.fromkeys(_STAT_KEYS, 0)
         merged: list[tuple] = []
-        for future in futures:
-            chunk_results, delta = future.result()
-            merged.extend(chunk_results)
+        for entries, delta in self._supervised_chunk_results(chunks):
+            merged.extend(entries)
             for key in _STAT_KEYS:
                 stats[key] += delta[key]
-        merged.sort(key=lambda triple: triple[0])
+        merged.sort(key=lambda entry: entry[0])
         frozen = self._frozen_view()
         results = tuple(
-            BatchResult(
-                index=index,
-                task=resolved[index][0].task,
-                explanation=decode_explanation(
-                    payload, frozen, resolved[index][0].task
-                ),
-                seconds=seconds,
+            self._steal_result(
+                resolved, frozen, index, payload, seconds, failure
             )
-            for index, payload, seconds in merged
+            for index, payload, seconds, failure in merged
         )
         return BatchReport(
             method=self._report_method(resolved),
@@ -898,9 +1080,10 @@ class ExplanationSession:
             cache_patched=stats["patched"],
             cache_base_hits=stats["base_hits"],
             cache_base_misses=stats["base_misses"],
-            workers=min(self._pool_workers, len(chunks)),
+            workers=workers,
             parallel="processes",
             scheduler="chunked",
+            retried=self.stats.task_retries - retried_before,
         )
 
     def _stream_processes(
@@ -917,21 +1100,13 @@ class ExplanationSession:
             self._pool_workers,
             self.parallel_config.chunk_size,
         )
-        futures = [
-            self._pool.submit(_session_run_chunk, chunk) for chunk in chunks
-        ]
+        supervised = self._supervised_chunk_results(chunks)
 
         def results() -> Iterator[BatchResult]:
-            for future in as_completed(futures):
-                chunk_results, _delta = future.result()
-                for index, payload, seconds in chunk_results:
-                    yield BatchResult(
-                        index=index,
-                        task=resolved[index][0].task,
-                        explanation=decode_explanation(
-                            payload, frozen, resolved[index][0].task
-                        ),
-                        seconds=seconds,
+            for entries, _delta in supervised:
+                for index, payload, seconds, failure in entries:
+                    yield self._steal_result(
+                        resolved, frozen, index, payload, seconds, failure
                     )
 
         return results()
@@ -940,10 +1115,11 @@ class ExplanationSession:
         self, resolved: list[_Resolved]
     ) -> Iterator[BatchResult]:
         self._ensure_export()
-        pool = self._ensure_steal_pool()
         frozen = self._frozen_view()
-        before = self._steal_counters(pool)
-        drain = pool.dispatch(self._jobs(resolved))
+        with self._pool_gate:
+            pool = self._ensure_steal_pool()
+            before = self._steal_counters(pool)
+            drain = pool.dispatch(self._jobs(resolved))
 
         def results() -> Iterator[BatchResult]:
             try:

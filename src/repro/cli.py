@@ -13,6 +13,7 @@ Usage::
     repro-xsum batch --demo 100 --parallel processes --scheduler chunked
     repro-xsum batch --demo 100 --parallel processes --min-workers 1 --max-workers 8
     repro-xsum serve --port 7737 --max-pending 64 --idle-ttl 30
+    repro-xsum serve --state-dir ./state --drain-timeout 15
     repro-xsum list
 
 The ``batch`` subcommand serves a batch through the service API
@@ -32,7 +33,10 @@ as session ``"default"``, spoken to over the length-prefixed
 :mod:`repro.api.protocol` envelopes by
 :class:`repro.serving.ExplanationClient` (or anything that implements
 the framing spec in the README). ``--max-pending`` bounds admission
-per graph; ``--idle-ttl`` releases pooled resources of idle sessions.
+per graph; ``--idle-ttl`` releases pooled resources of idle sessions;
+``--state-dir`` makes mutations crash-safe (journaled before acked,
+replayed on restart); SIGTERM/ctrl-c drains gracefully under
+``--drain-timeout``.
 """
 
 from __future__ import annotations
@@ -148,8 +152,16 @@ def _run_batch(parser: argparse.ArgumentParser, args) -> int:
 
 
 def _run_serve(parser: argparse.ArgumentParser, args) -> int:
-    """The ``serve`` subcommand: asyncio front door over the workbench."""
+    """The ``serve`` subcommand: asyncio front door over the workbench.
+
+    SIGTERM and SIGINT both trigger a graceful drain: the server stops
+    admitting (typed ``shutting-down`` frames), in-flight dispatches
+    finish and write their responses under ``--drain-timeout``, the
+    mutation journal (with ``--state-dir``) is flushed, then the
+    process exits.
+    """
     import asyncio
+    import signal
 
     from repro.api import ParallelConfig, SchedulerConfig
     from repro.serving.config import ResilienceConfig
@@ -162,6 +174,7 @@ def _run_serve(parser: argparse.ArgumentParser, args) -> int:
             port=args.port,
             max_pending=args.max_pending,
             pool_idle_ttl_seconds=args.idle_ttl,
+            drain_timeout_seconds=args.drain_timeout,
         )
     except ValueError as error:
         parser.error(str(error))
@@ -182,27 +195,33 @@ def _run_serve(parser: argparse.ArgumentParser, args) -> int:
             max_task_retries=args.max_task_retries,
             task_timeout_seconds=args.task_timeout,
         ),
+        state_dir=args.state_dir or None,
     )
 
-    async def serve() -> None:
+    async def serve() -> int:
         await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, server.request_stop)
+        durable = " (durable)" if args.state_dir else ""
         print(
-            f"serving graph 'default' "
+            f"serving graph 'default'{durable} "
             f"({bench.graph.num_nodes} nodes, {bench.graph.num_edges} "
-            f"edges) on {config.host}:{server.port} — ctrl-c to stop"
+            f"edges) on {config.host}:{server.port} — SIGTERM/ctrl-c "
+            "drains and stops"
         )
-        try:
-            await server.serve_forever()
-        except asyncio.CancelledError:
-            pass
-        finally:
-            await server.stop()
+        await server.wait_stop_requested()
+        print("drain requested; refusing new work, finishing in-flight")
+        drained = await server.stop(drain=True)
+        print("server stopped" if drained else "drain deadline hit")
+        return 0 if drained else 1
 
     try:
-        asyncio.run(serve())
+        return asyncio.run(serve())
     except KeyboardInterrupt:
-        print("\nserver stopped")
-    return 0
+        # Second ctrl-c during the drain: abandon it.
+        print("\nserver stopped (drain interrupted)")
+        return 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -334,6 +353,22 @@ def main(argv: list[str] | None = None) -> int:
         default=0.0,
         help="serve: release a session's worker pool and shared-memory "
         "export after this many idle seconds (0 = never)",
+    )
+    serve_group.add_argument(
+        "--state-dir",
+        default="",
+        help="serve: directory for crash-safe graph state — every "
+        "mutation RPC is journaled (CRC write-ahead log) before it is "
+        "acknowledged and replayed bit-identically on restart; empty "
+        "(default) = in-memory only",
+    )
+    serve_group.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="serve: seconds SIGTERM/ctrl-c waits for in-flight "
+        "requests to finish (and their responses to flush) before "
+        "giving up on the drain",
     )
     args = parser.parse_args(argv)
 

@@ -157,7 +157,10 @@ class Summarizer:
         remaining = set(terminals)
         groups: list[set[str]] = []
         while remaining:
-            start = next(iter(remaining))
+            # Deterministic start: input order, not set (hash) order, so
+            # the group list — and stable-sort tie-breaks over it — are
+            # identical across processes.
+            start = next(t for t in terminals if t in remaining)
             component = {start}
             frontier = [start]
             seen = {start}

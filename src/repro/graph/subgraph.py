@@ -15,14 +15,19 @@ from repro.graph.knowledge_graph import KnowledgeGraph
 def induced_subgraph(
     graph: KnowledgeGraph, nodes: Iterable[str]
 ) -> KnowledgeGraph:
-    """Subgraph of ``graph`` induced by ``nodes`` (names/relations kept)."""
+    """Subgraph of ``graph`` induced by ``nodes`` (names/relations kept).
+
+    Nodes and edges are inserted in sorted order so the result is
+    bit-identical across processes regardless of the iteration order of
+    ``nodes`` (sets hash-randomize between interpreters).
+    """
     keep = set(nodes)
     sub = KnowledgeGraph()
-    for node in keep:
+    for node in sorted(keep):
         if node not in graph:
             raise KeyError(f"unknown node {node!r}")
         sub.add_node(node, graph.name(node) if graph.name(node) != node else "")
-    for node in keep:
+    for node in sorted(keep):
         for neighbor, weight in graph.neighbors(node).items():
             if neighbor in keep and node < neighbor:
                 sub.add_edge(
@@ -34,9 +39,13 @@ def induced_subgraph(
 def edge_subgraph(
     graph: KnowledgeGraph, edges: Iterable[tuple[str, str]]
 ) -> KnowledgeGraph:
-    """Subgraph containing exactly ``edges`` (weights copied from graph)."""
+    """Subgraph containing exactly ``edges`` (weights copied from graph).
+
+    Edges are inserted in sorted order so the result is bit-identical
+    across processes regardless of the iteration order of ``edges``.
+    """
     sub = KnowledgeGraph()
-    for u, v in edges:
+    for u, v in sorted(edges):
         sub.add_edge(u, v, graph.weight(u, v), graph.relation(u, v))
         for node in (u, v):
             name = graph.name(node)

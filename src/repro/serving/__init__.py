@@ -30,7 +30,14 @@ The network tier, layered on top of the session:
   per-task result streaming, mutation RPCs and an idle-pool reaper.
 - :class:`ExplanationClient` (:mod:`repro.serving.client`) — the
   blocking client mirroring the session surface, with reconnect and
-  typed :class:`ServerError` / :class:`OverloadedError` failures.
+  typed :class:`ServerError` / :class:`OverloadedError` /
+  :class:`ShuttingDownError` failures.
+- :class:`GraphJournal` / :class:`MutationJournal`
+  (:mod:`repro.serving.journal`) — the durability layer under
+  ``ExplanationServer(state_dir=...)``: CRC-checksummed write-ahead
+  log of mutation RPCs plus atomic snapshots, with
+  :class:`JournalConfig` fsync policies, torn-tail recovery, typed
+  :class:`JournalCorruption`, and journal-into-snapshot compaction.
 
 The network-tier names are exported lazily (PEP 562): the session
 imports this package's scheduler plumbing while the server imports the
@@ -38,12 +45,19 @@ session, so eager re-export would be circular.
 """
 
 from repro.serving.config import (
+    FSYNC_POLICIES,
     SCHEDULER_MODES,
+    JournalConfig,
     ResilienceConfig,
     SchedulerConfig,
     static_chunks,
 )
-from repro.serving.faults import FAULT_KINDS, Fault, FaultPlan
+from repro.serving.faults import (
+    FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    SimulatedCrash,
+)
 from repro.serving.pool import ElasticWorkerPool
 from repro.serving.wire import (
     WireExplanation,
@@ -59,17 +73,26 @@ _NETWORK_EXPORTS = {
     "MUTATION_OPS": "repro.serving.server",
     "ExplanationClient": "repro.serving.client",
     "ServerError": "repro.serving.client",
+    "RetryAdvisedError": "repro.serving.client",
     "OverloadedError": "repro.serving.client",
+    "ShuttingDownError": "repro.serving.client",
+    "GraphJournal": "repro.serving.journal",
+    "MutationJournal": "repro.serving.journal",
+    "JournalError": "repro.serving.journal",
+    "JournalCorruption": "repro.serving.journal",
 }
 
 __all__ = [
     "FAULT_KINDS",
+    "FSYNC_POLICIES",
     "SCHEDULER_MODES",
+    "JournalConfig",
     "ElasticWorkerPool",
     "Fault",
     "FaultPlan",
     "ResilienceConfig",
     "SchedulerConfig",
+    "SimulatedCrash",
     "WireExplanation",
     "decode_explanation",
     "encode_explanation",

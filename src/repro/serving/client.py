@@ -12,16 +12,18 @@ preserves every iteration order).
 Failure semantics:
 
 - Server-reported problems raise :class:`ServerError` carrying the
-  typed protocol ``code``; admission-control rejections raise the
-  :class:`OverloadedError` subclass (with the server's
-  ``retry_after_ms`` hint attached) so callers can branch to backoff
-  without string matching.
+  typed protocol ``code``; retry-invited refusals — admission-control
+  ``overloaded`` and drain-time ``shutting-down`` — raise the
+  :class:`OverloadedError` / :class:`ShuttingDownError` subclasses of
+  :class:`RetryAdvisedError` (with the server's ``retry_after_ms``
+  hint attached) so callers can branch to backoff without string
+  matching.
 - A dead connection (server restarted, idle socket reaped) triggers
   one transparent reconnect-and-retry for *idempotent* request kinds —
   every summarization read is one — before the error propagates.
   Reconnects are lazy: the socket is (re)dialed on the next call, so a
   client object constructed before the server starts still works.
-- With ``retries > 0`` the client absorbs overload rejections and
+- With ``retries > 0`` the client absorbs retry-invited refusals and
   connection failures itself: jittered exponential backoff (seeded,
   so tests are deterministic), floored at the server's
   ``retry_after_ms`` hint, bounded by the per-call ``deadline``.
@@ -74,8 +76,12 @@ class ServerError(RuntimeError):
     def from_frame(frame: dict) -> "ServerError":
         code = frame.get("code", "internal")
         message = frame.get("message", "")
-        if code == "overloaded":
-            error = OverloadedError(code, message)
+        retryable = {
+            "overloaded": OverloadedError,
+            "shutting-down": ShuttingDownError,
+        }.get(code)
+        if retryable is not None:
+            error = retryable(code, message)
             hint = frame.get("retry_after_ms")
             if isinstance(hint, (int, float)) and not isinstance(
                 hint, bool
@@ -85,14 +91,24 @@ class ServerError(RuntimeError):
         return ServerError(code, message)
 
 
-class OverloadedError(ServerError):
-    """Admission control rejected the request; retry with backoff.
+class RetryAdvisedError(ServerError):
+    """The server refused this request but invited a retry.
 
     ``retry_after_ms`` is the server's backoff-floor hint (None when
-    the frame carried none — an older server).
+    the frame carried none — an older server). The client's seeded
+    backoff treats every subclass identically; the subclasses exist so
+    callers can still branch on *why* without string matching.
     """
 
     retry_after_ms: float | None = None
+
+
+class OverloadedError(RetryAdvisedError):
+    """Admission control rejected the request; retry with backoff."""
+
+
+class ShuttingDownError(RetryAdvisedError):
+    """The server is draining; retry elsewhere or after its restart."""
 
 
 class ExplanationClient:
@@ -266,7 +282,7 @@ class ExplanationClient:
                 return self._call_once(
                     kind, self._with_deadline(body, expires)
                 )
-            except OverloadedError as error:
+            except RetryAdvisedError as error:
                 delay = self._retry_delay(
                     attempt, expires, error.retry_after_ms
                 )
@@ -308,6 +324,19 @@ class ExplanationClient:
         """Server + session counters for this client's graph."""
         kind, frame = self._call("stats", {})
         return self._expect_kind(kind, frame, "stats")
+
+    def health(self) -> dict:
+        """Liveness/readiness report; answered even while draining.
+
+        Returns the server's ``health`` frame: ``status`` ("ok" /
+        "draining"), ``live``, ``ready``, ``draining``, ``durable``,
+        ``connections``, and per-graph ``pending`` / ``version`` plus
+        journal and resilience counters where they exist. Never
+        retried as ``shutting-down`` — the health op is not admission
+        gated, so a draining server still answers it.
+        """
+        kind, frame = self._call("health", {})
+        return self._expect_kind(kind, frame, "health")
 
     def explain(
         self,
@@ -372,7 +401,7 @@ class ExplanationClient:
                     self._send_request("stream", framed)
                     kind, frame = self._read_response()
                 break
-            except OverloadedError as error:
+            except RetryAdvisedError as error:
                 delay = self._retry_delay(
                     attempt, expires, error.retry_after_ms
                 )
@@ -443,6 +472,15 @@ class ExplanationClient:
         """Ask the server to drop this graph's pooled resources now."""
         kind, frame = self._call("release", {})
         self._expect_kind(kind, frame, "ok")
+
+    def compact(self) -> dict:
+        """Fold this graph's mutation journal into a fresh snapshot.
+
+        Requires the server to host the graph with a ``state_dir``;
+        returns the post-compaction journal stats.
+        """
+        kind, frame = self._call("compact", {})
+        return self._expect_kind(kind, frame, "ok")
 
     def _encode(
         self, items: Iterable[SummaryRequest | SummaryTask]

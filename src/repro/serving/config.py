@@ -138,6 +138,51 @@ class ResilienceConfig:
             raise ValueError("max_worker_respawns must be >= 0 (0 = off)")
 
 
+#: Valid journal fsync disciplines.
+FSYNC_POLICIES = ("always", "interval", "never")
+
+
+@dataclass(frozen=True)
+class JournalConfig:
+    """Durability knobs for the server's mutation journal.
+
+    Parameters
+    ----------
+    fsync:
+        When appended records are forced to stable storage. ``"always"``
+        (default) fsyncs before every mutation is acknowledged — the
+        ack then survives ``kill -9`` and power loss, at one disk flush
+        per mutation. ``"interval"`` flushes to the OS per record but
+        fsyncs at most every ``fsync_interval_seconds`` (and on
+        close/compaction) — bounded data loss, much cheaper under
+        mutation bursts. ``"never"`` leaves syncing entirely to the OS
+        page cache — survives process crashes (the write() already
+        reached the kernel) but not power loss.
+    fsync_interval_seconds:
+        The ``"interval"`` policy's flush period.
+    compact_every_records:
+        Fold the journal into a fresh snapshot automatically once it
+        holds this many records, bounding both replay time and file
+        growth. 0 disables auto-compaction (explicit ``compact`` RPCs
+        and shutdown still compact).
+    """
+
+    fsync: str = "always"
+    fsync_interval_seconds: float = 1.0
+    compact_every_records: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {self.fsync!r}; expected one of "
+                f"{FSYNC_POLICIES}"
+            )
+        if self.fsync_interval_seconds <= 0:
+            raise ValueError("fsync_interval_seconds must be > 0")
+        if self.compact_every_records < 0:
+            raise ValueError("compact_every_records must be >= 0 (0 = off)")
+
+
 def static_chunks(items: list, workers: int, chunk_size: int | None) -> list:
     """Split ``items`` into the legacy static chunks.
 

@@ -36,6 +36,20 @@ Fault kinds
   with a typed ``overloaded`` frame (and its ``retry_after_ms`` hint)
   regardless of actual queue depth, so client backoff is testable
   deterministically.
+- ``"kill-server"`` — server loop only: the matching workload request
+  aborts the whole server process state hard (listening socket and
+  every connection dropped, no drain, no journal flush beyond what is
+  already durable) — the in-process stand-in for ``kill -9`` that
+  makes snapshot + journal recovery testable deterministically.
+- ``"torn-write"`` — journal only: the append at the matching record
+  ordinal writes only a prefix of its record bytes and then simulates
+  a crash (:class:`SimulatedCrash`), leaving a torn tail that recovery
+  must truncate back to the last complete record.
+- ``"truncated-journal"`` — journal only: the append at the matching
+  ordinal completes, then the file loses its final ``seconds``-as-bytes
+  tail (default 1 byte) before the simulated crash — the
+  lost-unsynced-page shape of power loss. The un-acked record must
+  vanish on recovery without poisoning the records before it.
 """
 
 from __future__ import annotations
@@ -47,8 +61,29 @@ from dataclasses import dataclass
 
 #: Every directive kind a plan may carry. Workers apply the first
 #: three; "malformed" corrupts the result payload post-compute;
-#: "overload" is consulted only by the server loop.
-FAULT_KINDS = ("crash", "hang", "delay", "malformed", "overload")
+#: "overload" and "kill-server" are consulted only by the server loop;
+#: "torn-write" and "truncated-journal" only by the mutation journal.
+FAULT_KINDS = (
+    "crash",
+    "hang",
+    "delay",
+    "malformed",
+    "overload",
+    "kill-server",
+    "torn-write",
+    "truncated-journal",
+)
+
+
+class SimulatedCrash(RuntimeError):
+    """An injected journal fault 'killed the process' at this point.
+
+    Raised by :class:`~repro.serving.journal.MutationJournal` appends
+    hit by a ``torn-write`` / ``truncated-journal`` directive after the
+    on-disk damage is done: the journal closes itself first, so — like
+    a real crash — nothing else can be written past the damage, and
+    the next open exercises recovery.
+    """
 
 #: Grace before a "crash" hard-exits: long enough for the queue feeder
 #: thread to flush the already-posted lease message to the parent.

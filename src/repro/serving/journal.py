@@ -1,0 +1,509 @@
+"""Crash-safe graph state: mutation write-ahead log + snapshots.
+
+PR 7 made the *workers* fault-tolerant; the server process itself was
+still a single point of total state loss — every mutation RPC applied
+over the wire lived only in the hosting process's heap. This module is
+the durability layer under :class:`repro.serving.server.ExplanationServer`
+(``state_dir=``): every accepted mutation is journaled *before* it is
+acknowledged, so an acknowledged edit survives ``kill -9``; startup
+replays snapshot + journal tail back to a bit-identical graph.
+
+Layout (one directory per hosted graph name)::
+
+    <state_dir>/<graph-name>/snapshot.json   atomic, whole-graph state
+    <state_dir>/<graph-name>/journal.wal     append-only mutation log
+
+**Snapshot.** The order-preserving
+:func:`repro.api.protocol.graph_state_to_json` codec (NOT the sorting
+``repro.graph.io`` file codec): a recovered graph has the same node
+insertion order, neighbor order, name/relation tables and mutation
+``version`` counter as the pre-crash live graph — so its frozen CSR
+arrays, and therefore every tie-break downstream, are bit-identical.
+Snapshots are written to a temp file, fsynced, and ``os.replace``\\ d
+into place, so a crash mid-snapshot leaves the previous one intact.
+
+**Journal.** Length-prefixed, CRC-checksummed records::
+
+    !II header = (payload_bytes, crc32(payload)) + payload
+
+where the payload is the UTF-8 JSON of ``{"version": v, "ops": [...]}``
+— ``ops`` in exactly the shape the ``mutate`` RPC carries
+(``{"op": name, "args": [...]}``, names from :data:`MUTATION_OPS`) and
+``v`` the graph's version *before* the record applies. The stored
+version is what makes compaction crash-safe: recovery skips records
+already folded into the snapshot (``record version < snapshot
+version``) and refuses a journal that does not continue from the
+snapshot (a gap is a typed :class:`JournalError`).
+
+**Failure tolerance is asymmetric by design.** A *torn tail* — the
+file ends inside a record's header or payload, the shape a crash
+mid-``write()`` (or a lost unsynced page) produces — is expected:
+recovery truncates back to the last complete record and the journal
+resumes appending there. A *corrupt mid-file record* — full length
+present, CRC mismatch, more data after it — means storage damage, not
+a crash, and raises the typed :class:`JournalCorruption` instead of
+silently dropping acknowledged history.
+
+**Fsync policy** (:class:`repro.serving.config.JournalConfig`):
+``"always"`` fsyncs before every ack (survives power loss),
+``"interval"`` batches fsyncs (bounded loss window), ``"never"``
+trusts the OS page cache (survives process death only).
+
+**Compaction** folds the journal into a fresh snapshot — snapshot
+first, truncate after, so a crash between the two replays into the
+version-skip path instead of double-applying.
+
+Deterministic chaos: a :class:`~repro.serving.faults.FaultPlan` keyed
+on append ordinal can injure the journal on purpose — ``"torn-write"``
+stops an append halfway through its record bytes, ``"truncated-journal"``
+chops the tail off a completed append — then raises
+:class:`~repro.serving.faults.SimulatedCrash` with the journal closed,
+so recovery of exactly that damage is pinned in tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.api import protocol
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.serving.config import JournalConfig
+from repro.serving.faults import FaultPlan, SimulatedCrash
+
+#: Graph mutation RPC ops -> KnowledgeGraph method names. Every one
+#: bumps the graph version. (Defined here — the journal replays them —
+#: and re-exported by :mod:`repro.serving.server`, which validates the
+#: same table on the wire.)
+MUTATION_OPS = {
+    "add_edge": "add_edge",
+    "remove_edge": "remove_edge",
+    "remove_node": "remove_node",
+    "set_weight": "set_weight",
+    "set_name": "set_name",
+    "add_node": "add_node",
+}
+
+#: Journal record header: payload byte count + CRC32 of the payload.
+_HEADER = struct.Struct("!II")
+
+#: On-disk file names inside a graph's state directory.
+SNAPSHOT_NAME = "snapshot.json"
+JOURNAL_NAME = "journal.wal"
+
+#: Snapshot file format generation (independent of the wire protocol;
+#: bumped only if the snapshot layout itself changes incompatibly).
+SNAPSHOT_FORMAT = 1
+
+
+class JournalError(RuntimeError):
+    """Base class for durability-layer failures."""
+
+
+class JournalCorruption(JournalError):
+    """A complete mid-file record failed its CRC (or is undecodable).
+
+    Distinct from a torn *tail*, which recovery silently truncates:
+    a corrupt record with valid data after it means the acknowledged
+    history is damaged, and silently skipping it would replay a graph
+    that never existed. ``offset`` / ``ordinal`` locate the damage.
+    """
+
+    def __init__(self, message: str, *, offset: int, ordinal: int) -> None:
+        super().__init__(
+            f"{message} (record {ordinal} at byte {offset})"
+        )
+        self.offset = offset
+        self.ordinal = ordinal
+
+
+def apply_mutations(graph: KnowledgeGraph, ops: list[dict]) -> int:
+    """Apply wire-shape mutation ops to ``graph``; returns the version.
+
+    Ops are applied strictly in order and the first failing op raises —
+    leaving the prefix applied, exactly like the live ``mutate`` RPC
+    path. Replay leans on that equivalence: a record whose apply failed
+    live fails at the same op with the same prefix applied on replay.
+    """
+    for op in ops:
+        method = MUTATION_OPS.get(op.get("op"))
+        if method is None:
+            raise ValueError(f"unknown mutation op {op.get('op')!r}")
+        getattr(graph, method)(*op.get("args", []))
+    return graph.version
+
+
+# ----------------------------------------------------------------------
+# Journal scanning (recovery read path)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JournalScan:
+    """What a journal file held: decoded records + tail accounting."""
+
+    records: tuple[dict, ...]
+    clean_bytes: int      # file offset after the last complete record
+    torn_bytes: int       # bytes of torn tail discarded past it
+
+
+def scan_journal(path: str | os.PathLike) -> JournalScan:
+    """Read every complete record; tolerate a torn tail.
+
+    A file ending inside a header or payload is the expected crash
+    shape: scanning stops at the last complete record and reports the
+    torn remainder. A *complete* record whose CRC mismatches — or whose
+    payload is not the expected JSON object — raises
+    :class:`JournalCorruption` regardless of position: unlike a torn
+    tail it cannot be explained by an interrupted append.
+    """
+    try:
+        blob = Path(path).read_bytes()
+    except FileNotFoundError:
+        return JournalScan(records=(), clean_bytes=0, torn_bytes=0)
+    records: list[dict] = []
+    offset = 0
+    while True:
+        if offset + _HEADER.size > len(blob):
+            break  # torn (or clean EOF): no complete header
+        length, checksum = _HEADER.unpack_from(blob, offset)
+        start = offset + _HEADER.size
+        if start + length > len(blob):
+            break  # torn: payload shorter than declared
+        payload = blob[start : start + length]
+        if zlib.crc32(payload) != checksum:
+            raise JournalCorruption(
+                "journal record failed its CRC check",
+                offset=offset,
+                ordinal=len(records),
+            )
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise JournalCorruption(
+                f"journal record is undecodable ({error})",
+                offset=offset,
+                ordinal=len(records),
+            ) from None
+        if not isinstance(record, dict) or "ops" not in record:
+            raise JournalCorruption(
+                "journal record is not a mutation record",
+                offset=offset,
+                ordinal=len(records),
+            )
+        records.append(record)
+        offset = start + length
+    return JournalScan(
+        records=tuple(records),
+        clean_bytes=offset,
+        torn_bytes=len(blob) - offset,
+    )
+
+
+def encode_record(version: int, ops: list[dict]) -> bytes:
+    """One framed journal record (header + checksummed JSON payload)."""
+    payload = json.dumps(
+        {"version": version, "ops": ops}, separators=(",", ":")
+    ).encode("utf-8")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+# ----------------------------------------------------------------------
+# Append path
+# ----------------------------------------------------------------------
+class MutationJournal:
+    """Append-only CRC-checksummed mutation log for one graph.
+
+    Opening truncates any torn tail left by a crash (after
+    :func:`scan_journal` validated everything before it), then appends
+    resume at the last complete record. ``faults`` arms deterministic
+    ``torn-write`` / ``truncated-journal`` injection keyed on the
+    append ordinal (records already in the file count first).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        fsync: str = "always",
+        fsync_interval_seconds: float = 1.0,
+        faults: FaultPlan | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self.fsync_policy = fsync
+        self.fsync_interval_seconds = fsync_interval_seconds
+        self._faults = faults
+        scan = scan_journal(self.path)
+        self.records = len(scan.records)
+        self.recovered_torn_bytes = scan.torn_bytes
+        self._fh = open(self.path, "ab")
+        if scan.torn_bytes:
+            # Truncate the torn tail so new appends start at a record
+            # boundary; the damage is accounted, not silently absorbed.
+            self._fh.truncate(scan.clean_bytes)
+            self._fh.seek(scan.clean_bytes)
+        self._last_sync = time.monotonic()
+
+    @property
+    def closed(self) -> bool:
+        return self._fh.closed
+
+    @property
+    def size_bytes(self) -> int:
+        self._fh.flush()
+        return self.path.stat().st_size
+
+    def append(self, version: int, ops: list[dict]) -> int:
+        """Durably append one mutation record; returns its ordinal.
+
+        Durability follows the fsync policy; on return (without a
+        simulated-crash injection) the record is at least in the OS
+        page cache, and under ``"always"`` on stable storage.
+        """
+        if self._fh.closed:
+            raise JournalError("journal is closed")
+        ordinal = self.records
+        frame = encode_record(version, ops)
+        fault = (
+            self._faults.for_request(ordinal)
+            if self._faults is not None
+            else None
+        )
+        if fault is not None and fault.kind == "torn-write":
+            # Crash mid-write(): a prefix of the record reaches the
+            # file, then the process "dies". Recovery must truncate it.
+            self._fh.write(frame[: max(1, len(frame) // 2)])
+            self._fh.flush()
+            self._fh.close()
+            raise SimulatedCrash(
+                f"torn-write fault at journal record {ordinal}"
+            )
+        self._fh.write(frame)
+        if fault is not None and fault.kind == "truncated-journal":
+            # Power loss after a full write(): the tail page never hit
+            # the platter. Chop `seconds`-as-bytes off the end.
+            self._fh.flush()
+            lost = max(1, int(fault.seconds) or 1)
+            size = self.path.stat().st_size
+            self._fh.truncate(max(0, size - lost))
+            self._fh.close()
+            raise SimulatedCrash(
+                f"truncated-journal fault at journal record {ordinal}"
+            )
+        self._sync()
+        self.records += 1
+        return ordinal
+
+    def _sync(self) -> None:
+        self._fh.flush()
+        if self.fsync_policy == "always":
+            os.fsync(self._fh.fileno())
+            self._last_sync = time.monotonic()
+        elif self.fsync_policy == "interval":
+            now = time.monotonic()
+            if now - self._last_sync >= self.fsync_interval_seconds:
+                os.fsync(self._fh.fileno())
+                self._last_sync = now
+
+    def flush(self) -> None:
+        """Force everything appended so far to stable storage."""
+        if not self._fh.closed:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._last_sync = time.monotonic()
+
+    def reset(self) -> None:
+        """Drop every record (post-compaction: the snapshot owns them)."""
+        if self._fh.closed:
+            raise JournalError("journal is closed")
+        self._fh.truncate(0)
+        self._fh.seek(0)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.records = 0
+
+    def close(self) -> None:
+        """Flush to stable storage and close (idempotent)."""
+        if not self._fh.closed:
+            self.flush()
+            self._fh.close()
+
+    def abort(self) -> None:
+        """Close *without* the final fsync (simulated hard kill).
+
+        Every append already flushed its bytes to the OS, so — like a
+        real ``kill -9``, which keeps the page cache — nothing buffered
+        is lost here; what differs from :meth:`close` is only that
+        unsynced pages were never forced to the platter.
+        """
+        if not self._fh.closed:
+            self._fh.close()
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+# ----------------------------------------------------------------------
+def write_snapshot(path: str | os.PathLike, graph: KnowledgeGraph) -> None:
+    """Atomically replace ``path`` with a snapshot of ``graph``.
+
+    Write to a sibling temp file, fsync it, then ``os.replace`` — a
+    crash at any point leaves either the old snapshot or the new one,
+    never a half-written file. The directory is fsynced afterwards so
+    the rename itself is durable.
+    """
+    path = Path(path)
+    tmp = path.with_suffix(".tmp")
+    body = json.dumps(
+        {
+            "format": SNAPSHOT_FORMAT,
+            "graph": protocol.graph_state_to_json(graph),
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    with open(tmp, "wb") as fh:
+        fh.write(body)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    dir_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def load_snapshot(path: str | os.PathLike) -> KnowledgeGraph | None:
+    """Load a snapshot; None when absent, :class:`JournalError` on junk."""
+    try:
+        blob = Path(path).read_bytes()
+    except FileNotFoundError:
+        return None
+    try:
+        data = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise JournalError(f"snapshot {path} is undecodable ({error})")
+    if not isinstance(data, dict) or data.get("format") != SNAPSHOT_FORMAT:
+        raise JournalError(
+            f"snapshot {path} has unsupported format "
+            f"{data.get('format') if isinstance(data, dict) else data!r}"
+        )
+    try:
+        return protocol.graph_state_from_json(data["graph"])
+    except (KeyError, protocol.ProtocolError) as error:
+        raise JournalError(f"snapshot {path} is malformed ({error})")
+
+
+# ----------------------------------------------------------------------
+# Per-graph store: snapshot + journal + recovery + compaction
+# ----------------------------------------------------------------------
+class GraphJournal:
+    """One hosted graph's durable state directory.
+
+    Construction recovers: the snapshot (or, on first boot, the seed
+    graph — which is immediately snapshotted) plus every complete
+    journal record on top. The recovered graph is bit-identical to the
+    pre-crash live graph: same iteration orders, same version counter.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        seed: KnowledgeGraph,
+        config: JournalConfig | None = None,
+        *,
+        faults: FaultPlan | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.config = config if config is not None else JournalConfig()
+        self.snapshot_path = self.directory / SNAPSHOT_NAME
+        self.journal_path = self.directory / JOURNAL_NAME
+        graph = load_snapshot(self.snapshot_path)
+        if graph is None:
+            graph = seed
+            write_snapshot(self.snapshot_path, graph)
+        scan = scan_journal(self.journal_path)
+        self.replayed_records = 0
+        for ordinal, record in enumerate(scan.records):
+            version = record.get("version")
+            if not isinstance(version, int) or isinstance(version, bool):
+                raise JournalCorruption(
+                    "journal record carries no version",
+                    offset=-1,
+                    ordinal=ordinal,
+                )
+            if version < graph.version:
+                continue  # already folded into the snapshot (compaction)
+            if version > graph.version:
+                raise JournalError(
+                    f"journal does not continue from the snapshot: "
+                    f"record {ordinal} expects graph version {version}, "
+                    f"snapshot replayed to {graph.version}"
+                )
+            try:
+                apply_mutations(graph, record["ops"])
+            except (KeyError, ValueError, TypeError):
+                # The live apply failed at the same op with the same
+                # prefix applied; the replayed state already matches.
+                pass
+            self.replayed_records += 1
+        #: The recovered (now live) graph this store journals for.
+        self.graph = graph
+        self.journal = MutationJournal(
+            self.journal_path,
+            fsync=self.config.fsync,
+            fsync_interval_seconds=self.config.fsync_interval_seconds,
+            faults=faults,
+        )
+        self.recovered_torn_bytes = self.journal.recovered_torn_bytes
+        self.compactions = 0
+
+    # -- write path ----------------------------------------------------
+    def record(self, ops: list[dict]) -> int:
+        """Journal one mutation batch *before* it is applied/acked."""
+        return self.journal.append(self.graph.version, ops)
+
+    def apply(self, ops: list[dict]) -> int:
+        """Write-ahead then apply: the journaled-before-ack contract."""
+        self.record(ops)
+        return apply_mutations(self.graph, ops)
+
+    def maybe_compact(self) -> bool:
+        """Auto-compact once the journal crosses the configured bound."""
+        every = self.config.compact_every_records
+        if every and self.journal.records >= every:
+            self.compact()
+            return True
+        return False
+
+    def compact(self) -> None:
+        """Fold the journal into a fresh snapshot.
+
+        Snapshot first, truncate after: a crash between the two leaves
+        records whose stored versions predate the new snapshot, which
+        recovery skips — never a window where mutations exist nowhere.
+        """
+        write_snapshot(self.snapshot_path, self.graph)
+        self.journal.reset()
+        self.compactions += 1
+
+    def close(self) -> None:
+        """Flush the journal to stable storage and release the handle."""
+        self.journal.close()
+
+    def abort(self) -> None:
+        """Drop the journal handle without flushing (simulated kill)."""
+        self.journal.abort()
+
+    # -- introspection (health op / tests) -----------------------------
+    def stats(self) -> dict:
+        return {
+            "journal_records": self.journal.records,
+            "replayed_records": self.replayed_records,
+            "recovered_torn_bytes": self.recovered_torn_bytes,
+            "compactions": self.compactions,
+            "version": self.graph.version,
+        }

@@ -34,6 +34,22 @@ Architecture
   version counter, which the session's ``_refresh`` notices on the
   next request — derived state (frozen view, shm export, pools,
   closure cache) is invalidated exactly as in-process callers get.
+- **Durability.** With ``state_dir=``, each named graph owns a
+  :class:`~repro.serving.journal.GraphJournal`: mutations are
+  journaled (CRC'd write-ahead log, configurable fsync) before they
+  are acknowledged, and startup recovers snapshot + journal tail to a
+  bit-identical graph — an acked edit survives ``kill -9``.
+- **Lifecycle.** ``request_stop()`` (signal-handler-safe) flips the
+  server into draining: new work gets typed ``shutting-down`` frames
+  with a ``retry_after_ms`` hint while in-flight dispatches finish and
+  write their responses; ``stop(drain=True)`` waits them out under a
+  deadline, flushes the journals, then tears down. The ``health`` op
+  reports live/ready/draining plus per-graph depth, journal and
+  resilience counters — and is never admission-gated.
+- **Connection hygiene.** Optional idle-read timeouts, slow-reader
+  write timeouts, and a max-connections bound (typed
+  ``too-many-connections`` rejection) keep mute or slow peers from
+  pinning server resources.
 - **Idle reaper.** A background task watches each host's idle clock
   and calls ``release_pool()`` on sessions idle past
   ``pool_idle_ttl_seconds`` — returning worker processes and the
@@ -52,18 +68,24 @@ connection stays usable; task failures get ``task-error``. See
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 import time
 from collections.abc import Mapping
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.api import protocol
 from repro.api.config import CacheConfig, EngineConfig, ParallelConfig
 from repro.api.registry import available_methods
 from repro.api.session import ExplanationSession
 from repro.graph.knowledge_graph import KnowledgeGraph
-from repro.serving.config import ResilienceConfig, SchedulerConfig
+from repro.serving.config import (
+    JournalConfig,
+    ResilienceConfig,
+    SchedulerConfig,
+)
 from repro.serving.faults import FaultPlan
 from repro.serving.frames import (
     MAX_FRAME_BYTES,
@@ -75,17 +97,9 @@ from repro.serving.frames import (
     write_frame_async,
 )
 
-#: Graph mutation RPC ops -> KnowledgeGraph method names. Every one
-#: bumps the graph version, which invalidates the session's derived
-#: state on its next request.
-MUTATION_OPS = {
-    "add_edge": "add_edge",
-    "remove_edge": "remove_edge",
-    "remove_node": "remove_node",
-    "set_weight": "set_weight",
-    "set_name": "set_name",
-    "add_node": "add_node",
-}
+# The mutation-op table lives with the journal (which replays it);
+# re-exported here because the wire validates against the same table.
+from repro.serving.journal import MUTATION_OPS, GraphJournal  # noqa: F401
 
 
 @dataclass(frozen=True)
@@ -99,6 +113,15 @@ class ServerConfig:
     every ``overloaded`` frame carries ``retry_after_ms`` as a backoff
     floor hint for retry-aware clients.
     ``pool_idle_ttl_seconds=0`` disables the idle reaper.
+
+    Connection hygiene (all default-off, 0 = disabled):
+    ``idle_timeout_seconds`` hangs up on a connection that sends no
+    frame for that long; ``write_timeout_seconds`` hangs up on a peer
+    too slow to drain a response (a slow reader must not pin server
+    memory); ``max_connections`` bounds concurrent connections — the
+    excess connection gets one typed ``too-many-connections`` frame and
+    is closed. ``drain_timeout_seconds`` is the default deadline for
+    ``stop(drain=True)`` to wait out in-flight dispatches.
     """
 
     host: str = "127.0.0.1"
@@ -109,6 +132,10 @@ class ServerConfig:
     pool_idle_ttl_seconds: float = 0.0
     reap_interval_seconds: float = 1.0
     retry_after_ms: int = 100
+    idle_timeout_seconds: float = 0.0
+    write_timeout_seconds: float = 0.0
+    max_connections: int = 0
+    drain_timeout_seconds: float = 10.0
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
@@ -121,6 +148,14 @@ class ServerConfig:
             raise ValueError("pool_idle_ttl_seconds must be >= 0")
         if self.reap_interval_seconds <= 0:
             raise ValueError("reap_interval_seconds must be > 0")
+        if self.idle_timeout_seconds < 0:
+            raise ValueError("idle_timeout_seconds must be >= 0 (0 = off)")
+        if self.write_timeout_seconds < 0:
+            raise ValueError("write_timeout_seconds must be >= 0 (0 = off)")
+        if self.max_connections < 0:
+            raise ValueError("max_connections must be >= 0 (0 = unbounded)")
+        if self.drain_timeout_seconds <= 0:
+            raise ValueError("drain_timeout_seconds must be > 0")
         get_codec(self.codec)  # fail fast on unknown/unavailable codec
 
 
@@ -181,9 +216,13 @@ class ExplanationServer:
         resilience: ResilienceConfig | None = None,
         faults: FaultPlan | None = None,
         loop_faults: FaultPlan | None = None,
+        state_dir: str | os.PathLike | None = None,
+        journal: JournalConfig | None = None,
+        journal_faults: FaultPlan | None = None,
     ) -> None:
         if isinstance(graphs, KnowledgeGraph):
             graphs = {"default": graphs}
+        graphs = dict(graphs)
         if not graphs:
             raise ValueError("server needs at least one graph to host")
         self.config = config if config is not None else ServerConfig()
@@ -191,9 +230,25 @@ class ExplanationServer:
         # Deterministic chaos: `faults` rides into every hosted
         # session's worker envelopes; `loop_faults` is consulted by the
         # event loop itself, keyed on workload-request arrival ordinal
-        # ("delay" stalls handling, "overload" forces a rejection).
+        # ("delay" stalls handling, "overload" forces a rejection,
+        # "kill-server" hard-aborts the whole server mid-request);
+        # `journal_faults` injures journal appends (torn-write /
+        # truncated-journal), keyed on record ordinal.
         self._loop_faults = loop_faults
         self._workload_ordinal = 0
+        # Durability: with a state_dir, each named graph recovers from
+        # its snapshot + journal (replacing the passed seed wholesale —
+        # the durable state is authoritative across restarts), and
+        # every accepted mutation is journaled before it is acked.
+        self._journals: dict[str, GraphJournal] = {}
+        if state_dir is not None:
+            root = Path(state_dir)
+            for name in list(graphs):
+                store = GraphJournal(
+                    root / name, graphs[name], journal, faults=journal_faults
+                )
+                self._journals[name] = store
+                graphs[name] = store.graph
 
         def make_session(graph: KnowledgeGraph) -> ExplanationSession:
             return ExplanationSession(
@@ -213,17 +268,25 @@ class ExplanationServer:
         }
         self._server: asyncio.AbstractServer | None = None
         self._reaper: asyncio.Task | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._draining = False
+        self._stop_requested = threading.Event()
         self.port: int | None = None
         #: Served-request counters, for the ``stats`` RPC and tests.
         self.frames_in = 0
         self.frames_out = 0
         self.rejected = 0
+        self.connections_now = 0
+        self.connections_rejected = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Bind the listening socket and start the idle reaper."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle_client, self.config.host, self.config.port
         )
@@ -236,8 +299,55 @@ class ExplanationServer:
         async with self._server:
             await self._server.serve_forever()
 
-    async def stop(self) -> None:
-        """Close the socket, the reaper, and every hosted session."""
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def request_stop(self) -> None:
+        """Begin draining; safe to call from a signal handler or any
+        thread. New work is refused with typed ``shutting-down`` frames
+        from this point on; the caller (or whoever awaits
+        :meth:`wait_stop_requested`) then runs ``stop(drain=True)``."""
+        self._draining = True
+        self._stop_requested.set()
+        loop, event = self._loop, self._stop_event
+        if loop is not None and event is not None:
+            loop.call_soon_threadsafe(event.set)
+
+    async def wait_stop_requested(self) -> None:
+        """Block until :meth:`request_stop` fires (the CLI's idle wait)."""
+        assert self._stop_event is not None, "call start() first"
+        await self._stop_event.wait()
+
+    async def stop(
+        self, drain: bool = False, timeout: float | None = None
+    ) -> bool:
+        """Shut down; returns True if nothing in flight was abandoned.
+
+        With ``drain=True``: stop admitting (every new request gets a
+        typed ``shutting-down`` frame while the socket stays open),
+        wait — up to ``timeout`` (default
+        ``ServerConfig.drain_timeout_seconds``) — for in-flight
+        dispatches to finish *and write their responses* (admission
+        counters release only after the response frame is sent, so
+        pending==0 means zero dropped results), flush the journals,
+        then tear down. Without ``drain``, tear down immediately;
+        whatever the journal already made durable stays durable.
+        """
+        drained = True
+        if drain:
+            self._draining = True
+            budget = (
+                timeout
+                if timeout is not None
+                else self.config.drain_timeout_seconds
+            )
+            deadline = time.monotonic() + budget
+            while any(host.pending for host in self._hosts.values()):
+                if time.monotonic() >= deadline:
+                    drained = False
+                    break
+                await asyncio.sleep(0.02)
         if self._reaper is not None:
             self._reaper.cancel()
             try:
@@ -252,6 +362,28 @@ class ExplanationServer:
         loop = asyncio.get_running_loop()
         for host in self._hosts.values():
             await loop.run_in_executor(None, host.close)
+        for store in self._journals.values():
+            store.close()  # flush to stable storage (idempotent)
+        return drained
+
+    def _abort(self) -> None:
+        """The in-process stand-in for ``kill -9``.
+
+        Drops the listening socket and the journal handles *without
+        flushing* — only what the fsync policy already made durable
+        survives, exactly the guarantee a hard kill tests. Triggered by
+        the ``kill-server`` loop fault; the hosting thread still calls
+        ``stop()`` afterwards, which is idempotent over the wreckage.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        if self._reaper is not None:
+            self._reaper.cancel()
+            self._reaper = None
+        for store in self._journals.values():
+            store.abort()
 
     async def _reap_idle_pools(self) -> None:
         """Release pooled resources of sessions idle past the TTL."""
@@ -287,10 +419,35 @@ class ExplanationServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         bound = self.config.max_frame_bytes
+        limit = self.config.max_connections
+        idle = self.config.idle_timeout_seconds
+        admitted = not limit or self.connections_now < limit
+        if admitted:
+            self.connections_now += 1
         try:
+            if not admitted:
+                # One typed frame telling the peer why, then hang up —
+                # the bound protects the connections already admitted.
+                self.connections_rejected += 1
+                await self._send(
+                    writer,
+                    protocol.error_frame(
+                        "too-many-connections",
+                        f"server at its {limit}-connection bound; "
+                        "retry later",
+                        retry_after_ms=self.config.retry_after_ms,
+                    ),
+                )
+                return
             while True:
                 try:
-                    payload = await read_frame_async(reader, bound)
+                    read = read_frame_async(reader, bound)
+                    if idle > 0:
+                        # A connection that sends nothing for this long
+                        # is hung up on (TimeoutError -> outer except).
+                        payload = await asyncio.wait_for(read, idle)
+                    else:
+                        payload = await read
                 except FrameTooLarge as error:
                     # Tell the peer why, then hang up: the oversized
                     # payload is still in flight and unskippable.
@@ -304,8 +461,10 @@ class ExplanationServer:
                 self.frames_in += 1
                 await self._dispatch(writer, payload)
         except (ConnectionResetError, BrokenPipeError, TimeoutError):
-            pass  # peer vanished mid-response; nothing to tell it
+            pass  # peer vanished / went mute mid-exchange
         finally:
+            if admitted:
+                self.connections_now -= 1
             writer.close()
             try:
                 await writer.wait_closed()
@@ -321,9 +480,15 @@ class ExplanationServer:
                 pass
 
     async def _send(self, writer: asyncio.StreamWriter, frame: dict) -> None:
-        await write_frame_async(
+        write = write_frame_async(
             writer, self._codec.encode(frame), self.config.max_frame_bytes
         )
+        if self.config.write_timeout_seconds > 0:
+            # A peer too slow to drain its responses must not pin
+            # server buffers; TimeoutError closes the connection.
+            await asyncio.wait_for(write, self.config.write_timeout_seconds)
+        else:
+            await write
         self.frames_out += 1
 
     async def _dispatch(
@@ -364,7 +529,15 @@ class ExplanationServer:
         return host
 
     def _admit(self, host: _SessionHost) -> None:
-        """Admission control: raise ``overloaded`` past the bound."""
+        """Admission control: typed refusal when draining or full."""
+        if self._draining:
+            self.rejected += 1
+            raise protocol.ProtocolError(
+                "shutting-down",
+                "server is draining and no longer admits work; retry "
+                "against another replica or after it restarts",
+                retry_after_ms=self.config.retry_after_ms,
+            )
         if host.pending >= self.config.max_pending:
             self.rejected += 1
             raise protocol.ProtocolError(
@@ -384,8 +557,10 @@ class ExplanationServer:
         on arrival ordinal: "delay" stalls handling on the event loop
         (what makes client deadlines testable without timing luck),
         "overload" forces an admission rejection regardless of queue
-        depth (what makes client backoff testable). Other kinds are
-        worker-side and ignored here.
+        depth (what makes client backoff testable), "kill-server"
+        hard-aborts the whole server mid-batch — the deterministic
+        stand-in for ``kill -9`` that pins journal recovery in tests.
+        Other kinds are worker-side and ignored here.
         """
         if self._loop_faults is None:
             return
@@ -403,6 +578,13 @@ class ExplanationServer:
                 f"graph {host.name!r} rejected request {ordinal} by "
                 "fault plan; retry with backoff",
                 retry_after_ms=self.config.retry_after_ms,
+            )
+        elif fault.kind == "kill-server":
+            self._abort()
+            # No farewell frame — a killed process sends none; the
+            # reset propagates to _handle_client, which hangs up.
+            raise ConnectionResetError(
+                f"server killed by fault plan at request {ordinal}"
             )
 
     @staticmethod
@@ -513,17 +695,24 @@ class ExplanationServer:
             self._check_deadline(expires)
             return host.session.explain(request)
 
+        # Release only after the response frame is written: draining
+        # waits on pending==0, which must cover the write, so a drain
+        # never cuts a connection between compute and response.
         try:
             explanation = await self._run_on_session(host, work)
+            await self._send(
+                writer,
+                protocol.envelope(
+                    "explanation",
+                    {
+                        "explanation": protocol.explanation_to_json(
+                            explanation
+                        )
+                    },
+                ),
+            )
         finally:
             self._release(host)
-        await self._send(
-            writer,
-            protocol.envelope(
-                "explanation",
-                {"explanation": protocol.explanation_to_json(explanation)},
-            ),
-        )
 
     async def _op_run(self, writer, frame) -> None:
         host = self._host_for(frame)
@@ -538,14 +727,14 @@ class ExplanationServer:
 
         try:
             report = await self._run_on_session(host, work)
+            await self._send(
+                writer,
+                protocol.envelope(
+                    "report", {"report": protocol.report_to_json(report)}
+                ),
+            )
         finally:
             self._release(host)
-        await self._send(
-            writer,
-            protocol.envelope(
-                "report", {"report": protocol.report_to_json(report)}
-            ),
-        )
 
     async def _op_stream(self, writer, frame) -> None:
         """Frame each result the moment the scheduler yields it."""
@@ -589,16 +778,29 @@ class ExplanationServer:
                     ),
                 )
                 count += 1
+            # End frame before releasing: a drain that begins mid-
+            # stream holds the server open until every result AND the
+            # terminator reach the client — zero dropped results.
+            await self._send(
+                writer, protocol.envelope("end", {"count": count})
+            )
         finally:
             await asyncio.wait([future])
             self._release(host)
-        await self._send(writer, protocol.envelope("end", {"count": count}))
 
     async def _op_mutate(self, writer, frame) -> None:
-        """Apply graph edits, serialized against in-flight session work."""
+        """Apply graph edits, serialized against in-flight session work.
+
+        With a ``state_dir``, the validated op batch is journaled —
+        durably, per the fsync policy — *before* it is applied, and
+        applied before it is acknowledged. A crash after the journal
+        write but before the ack replays the ops on restart while the
+        client (which never saw an ack) retries: both sides converge.
+        """
         host = self._host_for(frame)
         ops = protocol._expect(frame, "ops", list, "mutate")
         plan = []
+        canon = []
         for op in ops:
             name = protocol._expect(op, "op", str, "mutate op")
             if name not in MUTATION_OPS:
@@ -613,23 +815,29 @@ class ExplanationServer:
                     "bad-request", "mutate op 'args' must be a list"
                 )
             plan.append((MUTATION_OPS[name], args))
+            canon.append({"op": name, "args": args})
         self._admit(host)
+        store = self._journals.get(host.name)
 
         def apply() -> int:
+            if store is not None:
+                store.record(canon)  # write-ahead: journal, THEN apply
             for method, args in plan:
                 getattr(host.graph, method)(*args)
+            if store is not None:
+                store.maybe_compact()
             return host.graph.version
 
         try:
             version = await self._run_on_session(host, apply)
+            await self._send(
+                writer,
+                protocol.envelope(
+                    "ok", {"graph": host.name, "version": version}
+                ),
+            )
         finally:
             self._release(host)
-        await self._send(
-            writer,
-            protocol.envelope(
-                "ok", {"graph": host.name, "version": version}
-            ),
-        )
 
     async def _op_release(self, writer, frame) -> None:
         """Drop a session's pooled resources now (client-driven shrink)."""
@@ -639,10 +847,81 @@ class ExplanationServer:
             self._admit(host)
             try:
                 await self._run_on_session(host, session.release_pool)
+                await self._send(
+                    writer, protocol.envelope("ok", {"graph": host.name})
+                )
             finally:
                 self._release(host)
+        else:
+            await self._send(
+                writer, protocol.envelope("ok", {"graph": host.name})
+            )
+
+    async def _op_compact(self, writer, frame) -> None:
+        """Fold a graph's journal into a fresh snapshot on demand."""
+        host = self._host_for(frame)
+        store = self._journals.get(host.name)
+        if store is None:
+            raise protocol.ProtocolError(
+                "bad-request",
+                f"graph {host.name!r} has no state_dir; nothing to "
+                "compact",
+            )
+        self._admit(host)
+
+        def work() -> dict:
+            store.compact()
+            return store.stats()
+
+        try:
+            stats = await self._run_on_session(host, work)
+            await self._send(
+                writer,
+                protocol.envelope("ok", {"graph": host.name, **stats}),
+            )
+        finally:
+            self._release(host)
+
+    async def _op_health(self, writer, frame) -> None:
+        """Liveness/readiness/draining + per-graph depth and counters.
+
+        Never admission-gated: a draining or saturated server must
+        still answer its load balancer. ``ready`` is the routable bit
+        (False the moment draining starts); ``live`` distinguishes
+        "answering at all" from ready.
+        """
+        graphs = {}
+        for name, host in self._hosts.items():
+            info: dict = {
+                "pending": host.pending,
+                "version": host.graph.version,
+            }
+            session = host.session_if_created()
+            if session is not None:
+                info["resilience"] = {
+                    "worker_deaths": session.stats.worker_deaths,
+                    "task_retries": session.stats.task_retries,
+                    "task_timeouts": session.stats.task_timeouts,
+                    "local_fallbacks": session.stats.local_fallbacks,
+                }
+            store = self._journals.get(name)
+            if store is not None:
+                info["journal"] = store.stats()
+            graphs[name] = info
         await self._send(
-            writer, protocol.envelope("ok", {"graph": host.name})
+            writer,
+            protocol.envelope(
+                "health",
+                {
+                    "status": "draining" if self._draining else "ok",
+                    "live": True,
+                    "ready": not self._draining,
+                    "draining": self._draining,
+                    "durable": bool(self._journals),
+                    "connections": self.connections_now,
+                    "graphs": graphs,
+                },
+            ),
         )
 
     @staticmethod
@@ -713,12 +992,16 @@ class ServerThread:
         assert self.server.port is not None
         return self.server.port
 
-    def stop(self) -> None:
+    def request_stop(self) -> None:
+        """Flip the server into draining without tearing it down."""
+        self.server.request_stop()
+
+    def stop(self, drain: bool = False, timeout: float | None = None) -> None:
         if self._loop.is_closed():
             return
 
         async def shutdown() -> None:
-            await self.server.stop()
+            await self.server.stop(drain=drain, timeout=timeout)
             self._loop.stop()
 
         asyncio.run_coroutine_threadsafe(shutdown(), self._loop)

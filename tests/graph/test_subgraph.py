@@ -29,6 +29,21 @@ class TestInducedSubgraph:
         sub = induced_subgraph(toy_graph, ["i:0", "e:genre:0"])
         assert sub.relation("i:0", "e:genre:0") == "genre"
 
+    def test_order_independent_of_input_order(self, toy_graph):
+        # The assembly order must not leak the caller's iteration order
+        # (summarizers pass sets, which hash-randomize across
+        # interpreter runs) — durability's bit-identical replay
+        # guarantee depends on it.
+        nodes = ["u:0", "i:0", "i:2", "e:genre:0"]
+        forward = induced_subgraph(toy_graph, nodes)
+        backward = induced_subgraph(toy_graph, reversed(nodes))
+        assert list(forward.nodes()) == list(backward.nodes())
+        assert list(forward.nodes()) == sorted(nodes)
+        for node in forward.nodes():
+            assert list(forward.neighbors(node).items()) == (
+                list(backward.neighbors(node).items())
+            )
+
 
 class TestEdgeSubgraph:
     def test_exact_edges(self, toy_graph):
@@ -40,6 +55,16 @@ class TestEdgeSubgraph:
     def test_missing_edge_raises(self, toy_graph):
         with pytest.raises(KeyError):
             edge_subgraph(toy_graph, [("u:0", "i:1")])
+
+    def test_order_independent_of_input_order(self, toy_graph):
+        edges = [("u:0", "i:0"), ("i:0", "e:genre:0"), ("u:0", "i:2")]
+        forward = edge_subgraph(toy_graph, edges)
+        backward = edge_subgraph(toy_graph, reversed(edges))
+        assert list(forward.nodes()) == list(backward.nodes())
+        for node in forward.nodes():
+            assert list(forward.neighbors(node).items()) == (
+                list(backward.neighbors(node).items())
+            )
 
 
 class TestConnectivity:

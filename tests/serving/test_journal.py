@@ -1,0 +1,405 @@
+"""Durability-layer coverage: WAL framing, recovery, compaction.
+
+The acceptance contract for :mod:`repro.serving.journal`:
+
+- a snapshot round-trips a mutable graph *bit-identically* — same node
+  insertion order, same per-row neighbor order, same name/relation
+  tables, same mutation ``version``, and therefore byte-equal frozen
+  CSR arrays;
+- truncating a journal at **every** byte boundary recovers exactly the
+  records whose frames fit completely (the torn-tail property);
+- a complete mid-file record with a damaged payload is a typed
+  :class:`JournalCorruption`, never a silent skip;
+- injected ``torn-write`` / ``truncated-journal`` faults leave damage
+  that the next open repairs back to the last complete record;
+- compaction folds the journal into the snapshot with no window where
+  a mutation exists nowhere — a crash between snapshot and truncate
+  replays into the version-skip path instead of double-applying.
+"""
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.api import protocol
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.serving.config import JournalConfig
+from repro.serving.faults import Fault, FaultPlan, SimulatedCrash
+from repro.serving.journal import (
+    JOURNAL_NAME,
+    SNAPSHOT_NAME,
+    GraphJournal,
+    JournalCorruption,
+    JournalError,
+    MutationJournal,
+    apply_mutations,
+    encode_record,
+    load_snapshot,
+    scan_journal,
+    write_snapshot,
+)
+
+_HEADER = struct.Struct("!II")
+
+
+def assert_bit_identical(got: KnowledgeGraph, want: KnowledgeGraph) -> None:
+    """Same iteration orders, same version, byte-equal frozen arrays."""
+    assert list(got.nodes()) == list(want.nodes())
+    for node in want.nodes():
+        assert list(got.neighbors(node).items()) == (
+            list(want.neighbors(node).items())
+        ), node
+    assert list(got._names.items()) == list(want._names.items())
+    assert list(got._relations.items()) == list(want._relations.items())
+    assert got.num_edges == want.num_edges
+    assert got.version == want.version
+    g, w = got.freeze(), want.freeze()
+    assert list(g.ids) == list(w.ids)
+    assert list(g.offsets) == list(w.offsets)
+    assert list(g.targets) == list(w.targets)
+    assert list(g.weights) == list(w.weights)
+    assert g.version == w.version
+
+
+MUTATIONS = [
+    [{"op": "add_edge", "args": ["u:0", "i:5", 2.5, ""]}],
+    [{"op": "add_edge", "args": ["i:5", "e:genre:1", 0.0, "genre"]}],
+    [
+        {"op": "set_weight", "args": ["u:0", "i:0", 9.0]},
+        {"op": "set_name", "args": ["i:5", "The Fifth Element"]},
+    ],
+    [{"op": "remove_edge", "args": ["u:0", "i:2"]}],
+    [{"op": "add_node", "args": ["i:7", "Seven"]}],
+    [{"op": "remove_node", "args": ["e:director:0"]}],
+]
+
+
+def mutated(graph: KnowledgeGraph, upto: int = len(MUTATIONS)):
+    """Apply the first ``upto`` mutation batches to a copy-by-codec."""
+    clone = protocol.graph_state_from_json(
+        protocol.graph_state_to_json(graph)
+    )
+    for ops in MUTATIONS[:upto]:
+        apply_mutations(clone, ops)
+    return clone
+
+
+class TestSnapshot:
+    def test_round_trip_is_bit_identical(self, toy_graph, tmp_path):
+        toy_graph.set_name("i:0", "Item Zero")
+        path = tmp_path / SNAPSHOT_NAME
+        write_snapshot(path, toy_graph)
+        assert_bit_identical(load_snapshot(path), toy_graph)
+
+    def test_missing_snapshot_is_none(self, tmp_path):
+        assert load_snapshot(tmp_path / SNAPSHOT_NAME) is None
+
+    def test_replace_is_atomic_no_tmp_left(self, toy_graph, tmp_path):
+        path = tmp_path / SNAPSHOT_NAME
+        write_snapshot(path, toy_graph)
+        write_snapshot(path, mutated(toy_graph))
+        assert sorted(p.name for p in tmp_path.iterdir()) == [SNAPSHOT_NAME]
+
+    def test_junk_and_wrong_format_are_typed(self, toy_graph, tmp_path):
+        path = tmp_path / SNAPSHOT_NAME
+        path.write_bytes(b"\xff not json")
+        with pytest.raises(JournalError):
+            load_snapshot(path)
+        path.write_text(json.dumps({"format": 999, "graph": {}}))
+        with pytest.raises(JournalError):
+            load_snapshot(path)
+
+
+class TestScan:
+    def journal_bytes(self) -> tuple[bytes, list[int]]:
+        """A multi-record journal blob + each record's end offset."""
+        blob = b""
+        ends = []
+        for version, ops in enumerate(MUTATIONS):
+            blob += encode_record(version, ops)
+            ends.append(len(blob))
+        return blob, ends
+
+    def test_every_byte_truncation_recovers_prefix(self, tmp_path):
+        """Satellite 4: chop the file at every length; recovery lands
+        on the last complete record, never on garbage, never raises."""
+        blob, ends = self.journal_bytes()
+        path = tmp_path / JOURNAL_NAME
+        for cut in range(len(blob) + 1):
+            path.write_bytes(blob[:cut])
+            scan = scan_journal(path)
+            complete = sum(1 for end in ends if end <= cut)
+            assert len(scan.records) == complete, cut
+            assert scan.clean_bytes == (
+                ends[complete - 1] if complete else 0
+            ), cut
+            assert scan.torn_bytes == cut - scan.clean_bytes, cut
+            for version, record in enumerate(scan.records):
+                assert record == {
+                    "version": version,
+                    "ops": MUTATIONS[version],
+                }
+
+    def test_mid_file_corruption_is_typed(self, tmp_path):
+        blob, ends = self.journal_bytes()
+        # Flip one payload byte inside record 1; records 2.. stay valid
+        # after it, so this cannot be explained as a torn tail.
+        damaged = bytearray(blob)
+        damaged[ends[0] + _HEADER.size + 2] ^= 0xFF
+        path = tmp_path / JOURNAL_NAME
+        path.write_bytes(bytes(damaged))
+        with pytest.raises(JournalCorruption) as excinfo:
+            scan_journal(path)
+        assert excinfo.value.ordinal == 1
+        assert excinfo.value.offset == ends[0]
+
+    def test_valid_crc_but_undecodable_payload_is_typed(self, tmp_path):
+        payload = b"\xfe\xfd not utf-8 json"
+        frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        path = tmp_path / JOURNAL_NAME
+        path.write_bytes(encode_record(0, MUTATIONS[0]) + frame)
+        with pytest.raises(JournalCorruption) as excinfo:
+            scan_journal(path)
+        assert excinfo.value.ordinal == 1
+
+    def test_non_record_json_is_typed(self, tmp_path):
+        payload = json.dumps([1, 2, 3]).encode()
+        frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        path = tmp_path / JOURNAL_NAME
+        path.write_bytes(frame)
+        with pytest.raises(JournalCorruption):
+            scan_journal(path)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        scan = scan_journal(tmp_path / JOURNAL_NAME)
+        assert scan.records == ()
+        assert scan.clean_bytes == 0 and scan.torn_bytes == 0
+
+
+class TestMutationJournal:
+    @pytest.mark.parametrize("fsync", ["always", "interval", "never"])
+    def test_append_scan_round_trip(self, tmp_path, fsync):
+        path = tmp_path / JOURNAL_NAME
+        journal = MutationJournal(path, fsync=fsync)
+        for version, ops in enumerate(MUTATIONS):
+            assert journal.append(version, ops) == version
+        journal.close()
+        scan = scan_journal(path)
+        assert [r["ops"] for r in scan.records] == MUTATIONS
+
+    def test_reopen_truncates_torn_tail_and_resumes(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        journal = MutationJournal(path)
+        journal.append(0, MUTATIONS[0])
+        journal.close()
+        with open(path, "ab") as fh:
+            fh.write(b"\x00\x00\x01")  # torn header fragment
+        reopened = MutationJournal(path)
+        assert reopened.records == 1
+        assert reopened.recovered_torn_bytes == 3
+        reopened.append(1, MUTATIONS[1])
+        reopened.close()
+        assert [r["ops"] for r in scan_journal(path).records] == (
+            MUTATIONS[:2]
+        )
+
+    def test_closed_journal_refuses_appends(self, tmp_path):
+        journal = MutationJournal(tmp_path / JOURNAL_NAME)
+        journal.close()
+        journal.close()  # idempotent
+        with pytest.raises(JournalError):
+            journal.append(0, MUTATIONS[0])
+        with pytest.raises(JournalError):
+            journal.reset()
+
+    def test_torn_write_fault_recovers_to_last_record(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        plan = FaultPlan(faults=(Fault(kind="torn-write", at=1),))
+        journal = MutationJournal(path, faults=plan)
+        journal.append(0, MUTATIONS[0])
+        with pytest.raises(SimulatedCrash):
+            journal.append(1, MUTATIONS[1])
+        assert journal.closed  # nothing can be written past the damage
+        reopened = MutationJournal(path)
+        assert reopened.records == 1
+        assert reopened.recovered_torn_bytes > 0
+        reopened.close()
+
+    def test_truncated_journal_fault_drops_unacked_tail(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        plan = FaultPlan(
+            faults=(Fault(kind="truncated-journal", at=2, seconds=4),)
+        )
+        journal = MutationJournal(path, faults=plan)
+        journal.append(0, MUTATIONS[0])
+        journal.append(1, MUTATIONS[1])
+        with pytest.raises(SimulatedCrash):
+            journal.append(2, MUTATIONS[2])
+        assert journal.closed
+        reopened = MutationJournal(path)
+        assert reopened.records == 2  # un-acked record vanished whole
+        assert reopened.recovered_torn_bytes > 0
+        reopened.close()
+
+    def test_abort_keeps_flushed_appends(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        journal = MutationJournal(path, fsync="never")
+        journal.append(0, MUTATIONS[0])
+        journal.abort()  # kill -9: page cache survives, no fsync
+        assert journal.closed
+        assert [r["ops"] for r in scan_journal(path).records] == (
+            MUTATIONS[:1]
+        )
+
+
+class TestGraphJournal:
+    def test_first_boot_snapshots_the_seed(self, toy_graph, tmp_path):
+        store = GraphJournal(tmp_path / "default", toy_graph)
+        assert store.graph is toy_graph
+        assert store.replayed_records == 0
+        store.close()
+        assert_bit_identical(
+            load_snapshot(tmp_path / "default" / SNAPSHOT_NAME), toy_graph
+        )
+
+    def test_recovery_replays_to_bit_identity(self, toy_graph, tmp_path):
+        want = mutated(toy_graph)
+        store = GraphJournal(tmp_path / "default", toy_graph)
+        for ops in MUTATIONS:
+            store.apply(ops)
+        assert_bit_identical(store.graph, want)
+        store.abort()  # simulated hard kill: no final fsync
+        recovered = GraphJournal(tmp_path / "default", KnowledgeGraph())
+        assert recovered.replayed_records == len(MUTATIONS)
+        assert_bit_identical(recovered.graph, want)
+        recovered.close()
+
+    def test_recovery_ignores_the_passed_seed(self, toy_graph, tmp_path):
+        want = mutated(toy_graph, 1)
+        store = GraphJournal(tmp_path / "default", toy_graph)
+        store.apply(MUTATIONS[0])
+        store.close()
+        decoy = KnowledgeGraph()
+        decoy.add_edge("u:9", "i:9", 1.0)
+        recovered = GraphJournal(tmp_path / "default", decoy)
+        assert_bit_identical(recovered.graph, want)
+        recovered.close()
+
+    def test_compact_folds_journal_into_snapshot(self, toy_graph, tmp_path):
+        want = mutated(toy_graph)
+        store = GraphJournal(tmp_path / "default", toy_graph)
+        for ops in MUTATIONS:
+            store.apply(ops)
+        store.compact()
+        assert store.journal.records == 0
+        assert store.compactions == 1
+        assert store.stats()["journal_records"] == 0
+        store.close()
+        recovered = GraphJournal(tmp_path / "default", KnowledgeGraph())
+        assert recovered.replayed_records == 0  # snapshot owns it all
+        assert_bit_identical(recovered.graph, want)
+        recovered.close()
+
+    def test_auto_compaction_threshold(self, toy_graph, tmp_path):
+        config = JournalConfig(compact_every_records=3)
+        store = GraphJournal(tmp_path / "default", toy_graph, config)
+        for ops in MUTATIONS[:2]:
+            store.apply(ops)
+            assert store.maybe_compact() is False
+        store.apply(MUTATIONS[2])
+        assert store.maybe_compact() is True
+        assert store.journal.records == 0
+        store.close()
+
+    def test_crash_between_snapshot_and_truncate_skips(
+        self, toy_graph, tmp_path
+    ):
+        """The compaction crash window: snapshot written, journal not
+        yet reset. Recovery must skip the already-folded records."""
+        directory = tmp_path / "default"
+        want = mutated(toy_graph, 3)
+        store = GraphJournal(directory, toy_graph)
+        for ops in MUTATIONS[:3]:
+            store.apply(ops)
+        # Crash mid-compaction: the snapshot now holds versions the
+        # journal still carries.
+        write_snapshot(directory / SNAPSHOT_NAME, store.graph)
+        store.abort()
+        recovered = GraphJournal(directory, KnowledgeGraph())
+        assert recovered.replayed_records == 0  # all skipped, none reapplied
+        assert_bit_identical(recovered.graph, want)
+        recovered.close()
+
+    def test_journal_gap_is_typed(self, toy_graph, tmp_path):
+        directory = tmp_path / "default"
+        store = GraphJournal(directory, toy_graph)
+        store.close()
+        # A record from "the future": its stored version is past what
+        # snapshot + prior records replay to.
+        (directory / JOURNAL_NAME).write_bytes(
+            encode_record(toy_graph.version + 7, MUTATIONS[0])
+        )
+        with pytest.raises(JournalError) as excinfo:
+            GraphJournal(directory, KnowledgeGraph())
+        assert "does not continue" in str(excinfo.value)
+
+    def test_versionless_record_is_corruption(self, toy_graph, tmp_path):
+        directory = tmp_path / "default"
+        store = GraphJournal(directory, toy_graph)
+        store.close()
+        payload = json.dumps({"ops": MUTATIONS[0]}).encode()
+        (directory / JOURNAL_NAME).write_bytes(
+            _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        )
+        with pytest.raises(JournalCorruption):
+            GraphJournal(directory, KnowledgeGraph())
+
+    def test_failed_op_replays_to_same_prefix(self, toy_graph, tmp_path):
+        """A record whose apply failed live fails identically on
+        replay: same prefix applied, then the batch aborts."""
+        directory = tmp_path / "default"
+        store = GraphJournal(directory, toy_graph)
+        bad = [
+            {"op": "set_name", "args": ["i:0", "Renamed"]},
+            {"op": "remove_edge", "args": ["u:0", "i:99"]},  # KeyError
+        ]
+        store.record(bad)
+        with pytest.raises(KeyError):
+            apply_mutations(store.graph, bad)
+        live_version = store.graph.version
+        assert store.graph.name("i:0") == "Renamed"  # prefix applied
+        store.abort()
+        recovered = GraphJournal(directory, KnowledgeGraph())
+        assert recovered.graph.version == live_version
+        assert recovered.graph.name("i:0") == "Renamed"
+        assert_bit_identical(recovered.graph, store.graph)
+        recovered.close()
+
+    def test_torn_write_on_record_recovers_prior_state(
+        self, toy_graph, tmp_path
+    ):
+        directory = tmp_path / "default"
+        want = mutated(toy_graph, 2)
+        plan = FaultPlan(faults=(Fault(kind="torn-write", at=2),))
+        store = GraphJournal(directory, toy_graph, faults=plan)
+        store.apply(MUTATIONS[0])
+        store.apply(MUTATIONS[1])
+        with pytest.raises(SimulatedCrash):
+            store.apply(MUTATIONS[2])
+        recovered = GraphJournal(directory, KnowledgeGraph())
+        assert recovered.recovered_torn_bytes > 0
+        assert recovered.replayed_records == 2
+        assert_bit_identical(recovered.graph, want)
+        recovered.close()
+
+
+class TestJournalConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JournalConfig(fsync="sometimes")
+        with pytest.raises(ValueError):
+            JournalConfig(fsync_interval_seconds=-1.0)
+        with pytest.raises(ValueError):
+            JournalConfig(compact_every_records=-1)
