@@ -139,12 +139,22 @@ class ParallelConfig:
         Process start method ("fork", "spawn", "forkserver"); default
         the ``REPRO_MP_START_METHOD`` env var, else the platform
         default. Workers are spawn-safe regardless.
+    plugin_modules:
+        Importable module paths each pool worker imports at init — the
+        plugin handshake for runtime-registered methods. A module that
+        calls :func:`repro.api.registry.register_method` at import time
+        and declares ``MethodSpec(plugin_module=...)`` naming itself
+        becomes process-safe when listed here: spawn workers import the
+        module, re-registering the method inside the fresh interpreter,
+        so the session no longer demotes batches containing it to the
+        local backends.
     """
 
     backend: str | None = None
     workers: int = 0
     chunk_size: int | None = None
     mp_start_method: str | None = None
+    plugin_modules: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.backend not in (None, "auto", *PARALLEL_BACKENDS):
@@ -156,3 +166,14 @@ class ParallelConfig:
             raise ValueError("workers must be >= 0")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError("chunk_size must be positive")
+        # Accept any iterable of module paths; store a hashable tuple
+        # (EngineConfig-keyed memos hash their configs).
+        object.__setattr__(
+            self, "plugin_modules", tuple(self.plugin_modules)
+        )
+        for module in self.plugin_modules:
+            if not isinstance(module, str) or not module:
+                raise ValueError(
+                    "plugin_modules must be non-empty module-path "
+                    f"strings, got {module!r}"
+                )

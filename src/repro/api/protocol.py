@@ -578,6 +578,8 @@ def report_to_json(report: BatchReport) -> dict:
     data = {name: getattr(report, name) for name, _kind in _REPORT_FIELDS}
     data["results"] = [result_to_json(result) for result in report.results]
     data["retried"] = report.retried
+    data["store_hits"] = report.store_hits
+    data["store_misses"] = report.store_misses
     data["failed"] = report.failed  # derived; recomputed on decode
     data["latency_p50_ms"] = report.latency_p50_ms
     data["latency_p95_ms"] = report.latency_p95_ms
@@ -593,13 +595,17 @@ def report_from_json(data: dict) -> BatchReport:
         value = _expect(data, name, kind, "report")
         kwargs[name] = float(value) if kind == (int, float) else value
     # Optional on decode: reports written before the resilience layer
-    # existed (old BENCH artifacts) have no "retried" field.
-    retried = data.get("retried", 0)
-    if isinstance(retried, bool) or not isinstance(retried, int):
-        raise ProtocolError("bad-request", "report['retried'] must be an int")
+    # (retried) or the shared closure store (store_*) existed — old
+    # BENCH artifacts — simply lack these fields.
+    for name in ("retried", "store_hits", "store_misses"):
+        value = data.get(name, 0)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ProtocolError(
+                "bad-request", f"report[{name!r}] must be an int"
+            )
+        kwargs[name] = value
     return BatchReport(
         results=tuple(result_from_json(result) for result in results),
-        retried=retried,
         **kwargs,
     )
 

@@ -85,9 +85,20 @@ class MethodSpec:
     process_safe:
         Whether workers can rebuild this method from the registry in a
         fresh interpreter. True only for the import-time built-ins;
-        runtime registrations run on the local backends.
+        runtime registrations run on the local backends unless they
+        declare a ``plugin_module``.
     aliases:
         Extra lookup names (matched case-insensitively).
+    plugin_module:
+        Importable module path whose import (re-)registers this method
+        — the spawn-worker plugin handshake. A session whose
+        :class:`~repro.api.config.ParallelConfig.plugin_modules` lists
+        this module treats the method as process-safe: pool workers
+        import it at init, so the registration exists inside every
+        fresh interpreter. The module must register the method at
+        import time (idempotently — use ``replace=True``) and its
+        builder must be defined at module top level (picklable by
+        reference).
     """
 
     name: str
@@ -97,6 +108,7 @@ class MethodSpec:
     uses_closure_cache: bool = False
     process_safe: bool = False
     aliases: tuple[str, ...] = ()
+    plugin_module: str | None = None
 
     def build(self, graph, config: EngineConfig, closure_cache=None):
         """Construct a summarizer for this method."""

@@ -72,6 +72,11 @@ from dataclasses import dataclass
 from repro.api.config import CacheConfig, EngineConfig, ParallelConfig
 from repro.api.registry import MethodSpec, method_spec
 from repro.api.requests import SummaryRequest, as_request
+from repro.cache import (
+    ClosureStoreConfig,
+    SharedClosureStore,
+    StoreBackedClosureCache,
+)
 from repro.core.batch import (
     _PROCESS_FALLBACK_ERRORS,
     _STAT_KEYS,
@@ -121,6 +126,14 @@ class SessionStats:
     those incidents cost, and ``local_fallbacks`` how many whole
     batches were demoted to a local run (the blast radius supervision
     exists to avoid — 0 on a healthy process backend).
+
+    The store counters describe the cross-worker closure store (0 with
+    the store disabled): ``store_hits`` / ``store_misses`` are lookups
+    against the shared tier *summed across the parent and every
+    worker*, ``store_evictions`` counts entries displaced under
+    capacity pressure, and ``store_bytes`` is the slab's live payload
+    footprint at the last sync. Counters accumulate across store
+    rebuilds (graph mutations), like every other lifetime counter here.
     """
 
     freezes: int = 0
@@ -137,6 +150,10 @@ class SessionStats:
     task_retries: int = 0
     task_timeouts: int = 0
     local_fallbacks: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    store_evictions: int = 0
+    store_bytes: int = 0
 
     def scheduler_line(self) -> str | None:
         """One report line of scheduler activity; None when there was none.
@@ -168,6 +185,18 @@ class SessionStats:
             f"local_fallbacks={self.local_fallbacks}"
         )
 
+    def cache_line(self) -> str | None:
+        """One report line of shared-store activity; None when quiet."""
+        if not (self.store_hits or self.store_misses):
+            return None
+        total = self.store_hits + self.store_misses
+        return (
+            f"  store      hits={self.store_hits}/{total} "
+            f"({self.store_hits / total:.0%}) "
+            f"evictions={self.store_evictions} "
+            f"bytes={self.store_bytes}"
+        )
+
 
 # ----------------------------------------------------------------------
 # Process-pool worker side (chunked scheduler). Module-level so spawn
@@ -175,8 +204,8 @@ class SessionStats:
 # repro.serving.pool so the chunked executor workers and the
 # work-stealing workers memoize identically.
 # ----------------------------------------------------------------------
-def _session_worker_init(handle, cache_config: tuple[int, bool]) -> None:
-    """Attach the shared graph; summarizers are built on first use."""
+def _session_worker_init(handle, cache_config: tuple) -> None:
+    """Attach the shared graph (+ store); summarizers built on use."""
     serving_pool._init_worker_state(handle, cache_config)
 
 
@@ -246,6 +275,13 @@ class ExplanationSession:
         Optional :class:`repro.serving.FaultPlan` threaded into worker
         job envelopes — deterministic fault injection for tests and
         chaos drills. None (the default) injects nothing.
+    store:
+        :class:`repro.cache.ClosureStoreConfig` for the cross-worker
+        shared closure store (disabled by default). When enabled, the
+        store is created alongside the shared-memory export, attached
+        by every pool worker, read through by all closure caches
+        (parent and workers), and invalidated with the pool on graph
+        mutation.
     """
 
     #: Auto-backend thresholds: below either, worker startup + IPC
@@ -263,6 +299,7 @@ class ExplanationSession:
         default_method: str = "st",
         resilience: ResilienceConfig | None = None,
         faults: FaultPlan | None = None,
+        store: ClosureStoreConfig | None = None,
     ) -> None:
         self.graph = graph
         self.engine_config = engine if engine is not None else EngineConfig()
@@ -276,12 +313,36 @@ class ExplanationSession:
         self.resilience_config = (
             resilience if resilience is not None else ResilienceConfig()
         )
+        self.store_config = (
+            store if store is not None else ClosureStoreConfig()
+        )
+        if (
+            self.scheduler_config.mode == "chunked"
+            and self.resilience_config.task_timeout_seconds > 0
+        ):
+            # Config-validation-time warning, not a mid-batch surprise:
+            # the chunked executor has no per-task leases, so deadlines
+            # cannot be enforced there (see the README failure-mode
+            # table). Crash supervision still applies per chunk.
+            warnings.warn(
+                "ResilienceConfig.task_timeout_seconds is ignored by "
+                "the chunked scheduler (per-task deadlines need the "
+                "work-stealing pool's task leases); use "
+                'SchedulerConfig(mode="work-stealing") for deadline '
+                "enforcement",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self._faults = faults
         self.default_method = method_spec(default_method).name
         self.stats = SessionStats()
         self._version: int | None = None
         self._frozen = None
         self._export = None
+        self._store: SharedClosureStore | None = None
+        #: Last-synced store counters; deltas fold into ``stats`` so
+        #: lifetime counters survive store rebuilds (invalidations).
+        self._store_seen: dict = {}
         self._pool: ProcessPoolExecutor | None = None
         self._pool_workers = 0
         self._steal_pool: ElasticWorkerPool | None = None
@@ -404,9 +465,24 @@ class ExplanationSession:
     # ------------------------------------------------------------------
     def _teardown_derived(self) -> None:
         self.release_pool()
+        self._release_store()
         self._frozen = None
         self._closure_cache = None
         self._summarizers.clear()
+
+    def _release_store(self) -> None:
+        """Destroy the shared closure store (counters folded first).
+
+        Runs on invalidation and close — *not* on ``release_pool()``:
+        like the serial-path caches, the store outlives a pool release
+        so the next process-backed run re-attaches warm entries.
+        """
+        if self._store is not None:
+            self._sync_store_stats()
+            self._store.close()
+            self._store.unlink()
+            self._store = None
+            self._store_seen = {}
 
     def _refresh(self) -> None:
         """Notice graph mutations; rebuild derived state at most once."""
@@ -442,11 +518,82 @@ class ExplanationSession:
         ``(source, cost-signature)``, so λ/config mixes never collide.
         """
         if self._closure_cache is None:
-            self._closure_cache = TerminalClosureCache(
-                self.cache_config.closure_size,
-                partial_reuse=self.cache_config.partial_reuse,
-            )
+            store = self._ensure_store()
+            if store is not None:
+                self._closure_cache = StoreBackedClosureCache(
+                    self.cache_config.closure_size,
+                    partial_reuse=self.cache_config.partial_reuse,
+                    store=store,
+                )
+            else:
+                self._closure_cache = TerminalClosureCache(
+                    self.cache_config.closure_size,
+                    partial_reuse=self.cache_config.partial_reuse,
+                )
         return self._closure_cache
+
+    def _ensure_store(self) -> SharedClosureStore | None:
+        """Create the shared closure store at most once per version.
+
+        None when disabled. The store is version-scoped like the frozen
+        export: graph mutation invalidates it wholesale (entry keys
+        embed the version, so stale reuse is impossible anyway, but
+        recreating frees the slab for the new working set).
+        """
+        if not self.store_config.enabled:
+            return None
+        if self._store is None:
+            self._store = SharedClosureStore.create(
+                self.store_config, self._mp_context()
+            )
+            self._store_seen = {}
+        return self._store
+
+    def _worker_cache_config(self) -> tuple:
+        """The per-worker cache recipe both process pools initialize with.
+
+        ``(closure_size, partial_reuse, store_handle, plugin_modules)``
+        — the store handle carries the shared-memory token plus its
+        locks (inheritable through process spawn only, never queues),
+        and the plugin modules are imported by each worker before it
+        serves tasks.
+        """
+        store = self._ensure_store()
+        return (
+            self.cache_config.closure_size,
+            self.cache_config.partial_reuse,
+            store.handle if store is not None else None,
+            self.parallel_config.plugin_modules,
+        )
+
+    def _sync_store_stats(self) -> None:
+        """Fold the live store counters' deltas into ``stats``.
+
+        The store accumulates raw counters across every attached
+        process; ``_store_seen`` remembers the last fold so repeated
+        syncs (one per run/stream drain) never double-count, and
+        lifetime session totals survive store rebuilds.
+        """
+        if self._store is None:
+            return
+        try:
+            live = self._store.stats()
+        except (OSError, ValueError):  # store torn down under us
+            return
+        seen = self._store_seen
+        self.stats.store_hits += live["hits"] - seen.get("hits", 0)
+        self.stats.store_misses += live["misses"] - seen.get("misses", 0)
+        self.stats.store_evictions += live["evictions"] - seen.get(
+            "evictions", 0
+        )
+        self.stats.store_bytes = live["bytes_used"]
+        self._store_seen = live
+
+    def store_stats(self) -> dict | None:
+        """Live counters of the shared closure store; None when off."""
+        if self._store is None:
+            return None
+        return self._store.stats()
 
     def _summarizer_for(self, spec: MethodSpec, config: EngineConfig):
         key = (spec.name, config)
@@ -479,7 +626,12 @@ class ExplanationSession:
         if spec.uses_traversal and config.engine != "dict":
             self._frozen_view()
         self.stats.tasks += 1
-        return self._summarizer_for(spec, config).summarize(request.task)
+        try:
+            return self._summarizer_for(spec, config).summarize(
+                request.task
+            )
+        finally:
+            self._sync_store_stats()
 
     def run(
         self, items: Iterable[SummaryRequest | SummaryTask]
@@ -499,7 +651,12 @@ class ExplanationSession:
                     f"process backend unavailable ({error!r})",
                     len(resolved),
                 )
-        return self._run_local(resolved, backend)
+            finally:
+                self._sync_store_stats()
+        try:
+            return self._run_local(resolved, backend)
+        finally:
+            self._sync_store_stats()
 
     def stream(
         self, items: Iterable[SummaryRequest | SummaryTask]
@@ -525,14 +682,25 @@ class ExplanationSession:
         self.stats.tasks += len(resolved)
         if backend == "processes":
             try:
-                return self._stream_processes(resolved)
+                return self._synced_stream(
+                    self._stream_processes(resolved)
+                )
             except _PROCESS_FALLBACK_ERRORS as error:
                 self.release_pool()
                 backend = self._demote_to_local(
                     f"process backend unavailable ({error!r})",
                     len(resolved),
                 )
-        return self._stream_local(resolved, backend)
+        return self._synced_stream(
+            self._stream_local(resolved, backend)
+        )
+
+    def _synced_stream(self, iterator: Iterator[BatchResult]):
+        """Fold store counters when a stream drains (or is abandoned)."""
+        try:
+            yield from iterator
+        finally:
+            self._sync_store_stats()
 
     # ------------------------------------------------------------------
     # Backend resolution
@@ -562,10 +730,27 @@ class ExplanationSession:
         )
         return self._local_fallback(num_tasks)
 
+    def _spec_process_safe(self, spec: MethodSpec) -> bool:
+        """Whether spawn workers can rebuild ``spec`` from the registry.
+
+        Import-time built-ins always are; a runtime registration becomes
+        process-safe when its declared ``plugin_module`` is listed in
+        ``ParallelConfig.plugin_modules`` — workers import that module
+        at init, re-creating the registration in their interpreter.
+        """
+        if spec.process_safe:
+            return True
+        return (
+            spec.plugin_module is not None
+            and spec.plugin_module in self.parallel_config.plugin_modules
+        )
+
     def _resolve_backend(self, resolved: list[_Resolved]) -> str:
         choice = self.parallel_config.backend or "auto"
         num_tasks = len(resolved)
-        process_safe = all(spec.process_safe for _r, spec, _c in resolved)
+        process_safe = all(
+            self._spec_process_safe(spec) for _r, spec, _c in resolved
+        )
         if choice == "processes":
             if num_tasks == 0:
                 return "serial"
@@ -686,6 +871,8 @@ class ExplanationSession:
             cache_patched=after["patched"] - before["patched"],
             cache_base_hits=after["base_hits"] - before["base_hits"],
             cache_base_misses=after["base_misses"] - before["base_misses"],
+            store_hits=after["store_hits"] - before["store_hits"],
+            store_misses=after["store_misses"] - before["store_misses"],
             workers=workers,
             parallel=backend,
             scheduler=scheduler,
@@ -775,10 +962,7 @@ class ExplanationSession:
                 initializer=_session_worker_init,
                 initargs=(
                     self._export.handle,
-                    (
-                        self.cache_config.closure_size,
-                        self.cache_config.partial_reuse,
-                    ),
+                    self._worker_cache_config(),
                 ),
             )
             self._pool_workers = workers
@@ -798,10 +982,7 @@ class ExplanationSession:
             self._steal_pool = ElasticWorkerPool(
                 self._mp_context(),
                 self._export.handle,
-                (
-                    self.cache_config.closure_size,
-                    self.cache_config.partial_reuse,
-                ),
+                self._worker_cache_config(),
                 self.scheduler_config,
                 max(1, self._local_pool_size()),
                 resilience=self.resilience_config,
@@ -937,6 +1118,8 @@ class ExplanationSession:
             cache_patched=stats["patched"],
             cache_base_hits=stats["base_hits"],
             cache_base_misses=stats["base_misses"],
+            store_hits=stats["store_hits"],
+            store_misses=stats["store_misses"],
             workers=workers,
             parallel="processes",
             scheduler="work-stealing",
@@ -1080,6 +1263,8 @@ class ExplanationSession:
             cache_patched=stats["patched"],
             cache_base_hits=stats["base_hits"],
             cache_base_misses=stats["base_misses"],
+            store_hits=stats["store_hits"],
+            store_misses=stats["store_misses"],
             workers=workers,
             parallel="processes",
             scheduler="chunked",

@@ -1,0 +1,137 @@
+"""Read-through integration: local LRU → shared store → compute.
+
+:class:`StoreBackedClosureCache` is a
+:class:`~repro.core.batch.TerminalClosureCache` whose tier hooks are
+live: a local miss consults the shared store before computing (miss →
+compute locally → publish), for both the per-signature closure entries
+and the λ-independent base-cost runs partial reuse is built from. The
+local LRU stays in front — a store hit is decoded once and then served
+from process memory like any other entry.
+
+Bit-identity is preserved end to end: only fresh, plain-dict Dijkstra
+results are published (derived overlay closures answer lazy lookups
+through live state and never travel), the codecs preserve settle
+order, and a fetched entry passes the *same* covering checks a local
+entry must — so the summarizer sees exactly the ``(dist, prev)`` a
+cold run would have produced.
+
+Failure posture: the store is an accelerator. Undecodable payloads,
+opaque signatures, stranded locks, or a store torn down mid-flight all
+degrade to a local compute, never to an error.
+"""
+
+from __future__ import annotations
+
+from repro.cache.codec import (
+    decode_base,
+    decode_closure,
+    encode_base,
+    encode_closure,
+)
+from repro.cache.store import (
+    SharedClosureStore,
+    base_store_key,
+    closure_store_key,
+    store_digest,
+)
+from repro.core.batch import TerminalClosureCache
+
+
+class StoreBackedClosureCache(TerminalClosureCache):
+    """Terminal-closure cache with a shared second tier.
+
+    ``store`` is an attached (or owning) :class:`SharedClosureStore`;
+    everything else behaves exactly like the superclass. The
+    ``store_hits`` / ``store_misses`` counters ride the same
+    ``_STAT_KEYS`` delta plumbing as the local counters, so worker
+    deltas surface in :class:`~repro.core.batch.BatchReport`.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 4096,
+        partial_reuse: bool = False,
+        *,
+        store: SharedClosureStore,
+    ) -> None:
+        super().__init__(maxsize, partial_reuse=partial_reuse)
+        self._store = store
+
+    def _store_get(self, digest):
+        """One store lookup; a store closed under us is a miss."""
+        try:
+            return self._store.get(digest)
+        except (ValueError, OSError):
+            return None
+
+    def _store_put(self, digest, payload, ndist) -> None:
+        try:
+            self._store.put(digest, payload, ndist)
+        except (ValueError, OSError):
+            pass
+
+    # -- closure entries ----------------------------------------------
+    def _tier_fetch(self, frozen, source, signature, rest):
+        key = closure_store_key(frozen.version, source, signature)
+        if key is None:
+            return None
+        payload = self._store_get(store_digest(key))
+        if payload is None:
+            with self._lock:
+                self.store_misses += 1
+            return None
+        try:
+            dist, prev = decode_closure(frozen, payload)
+        except Exception:
+            with self._lock:
+                self.store_misses += 1
+            return None
+        if not rest <= dist.keys():
+            # A sibling's shallower run: not reusable for these targets.
+            with self._lock:
+                self.store_misses += 1
+            return None
+        with self._lock:
+            self.store_hits += 1
+        return dist, prev
+
+    def _tier_publish(self, frozen, source, signature, dist, prev) -> None:
+        key = closure_store_key(frozen.version, source, signature)
+        if key is None:
+            return
+        payload = encode_closure(frozen, dist, prev)
+        if payload is None:
+            return
+        self._store_put(store_digest(key), payload, len(dist))
+
+    # -- base-cost entries --------------------------------------------
+    def _tier_fetch_base(self, frozen, index, radius, required):
+        digest = store_digest(base_store_key(frozen.version, index))
+        payload = self._store_get(digest)
+        if payload is None:
+            with self._lock:
+                self.store_misses += 1
+            return None
+        try:
+            entry = decode_base(payload)
+        except Exception:
+            with self._lock:
+                self.store_misses += 1
+            return None
+        if not self._base_entry_covers(entry, radius, required):
+            with self._lock:
+                self.store_misses += 1
+            return None
+        with self._lock:
+            self.store_hits += 1
+        return entry
+
+    def _tier_publish_base(self, frozen, index, dist, prev, bound) -> None:
+        payload = encode_base(dist, prev, bound)
+        if payload is None:
+            return
+        self._store_put(
+            store_digest(base_store_key(frozen.version, index)),
+            payload,
+            len(dist),
+        )

@@ -1,0 +1,69 @@
+"""Count-min frequency sketch with periodic aging (TinyLFU estimate).
+
+Admission needs a popularity estimate that is cheap, bounded, and
+shared by every process — a count-min sketch over the store's 16-byte
+key digests, living in its own shared-memory region:
+
+- 4 rows of ``width`` saturating uint16 counters; each row indexes by a
+  different 4-byte slice of the digest, so the rows are independent
+  hashes without any in-process hashing (and therefore independent of
+  ``PYTHONHASHSEED``);
+- an ops counter triggers the classic *reset* every ``16 * width``
+  increments: every counter is halved, so estimates track recent
+  popularity instead of all-time counts (one-hit wonders from an hour
+  ago cannot outvote today's hot terminals).
+
+Callers hold the store's sketch lock around every call.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_OPS = struct.Struct("<q")
+
+#: Independent rows; each consumes 4 digest bytes (16-byte digests).
+ROWS = 4
+
+
+def region_size(width: int) -> int:
+    """Bytes of shared memory one sketch occupies."""
+    return _OPS.size + ROWS * width * 2
+
+
+class FrequencySketch:
+    """Count-min over a shared buffer; see module docstring."""
+
+    def __init__(self, buf, width: int) -> None:
+        self.width = width
+        self._ops_buf = buf
+        self._counters = buf[_OPS.size : region_size(width)].cast("H")
+        self._sample = 16 * width
+
+    def release(self) -> None:
+        """Drop the memoryview cast (required before block close)."""
+        self._counters.release()
+
+    def _rows(self, digest: bytes):
+        for row in range(ROWS):
+            chunk = digest[4 * row : 4 * row + 4]
+            yield row * self.width + int.from_bytes(chunk, "big") % self.width
+
+    def bump(self, digest: bytes) -> None:
+        """Count one occurrence; age all counters on sample boundaries."""
+        counters = self._counters
+        for slot in self._rows(digest):
+            value = counters[slot]
+            if value < 0xFFFF:
+                counters[slot] = value + 1
+        ops = _OPS.unpack_from(self._ops_buf, 0)[0] + 1
+        if ops >= self._sample:
+            for slot in range(ROWS * self.width):
+                counters[slot] >>= 1
+            ops = 0
+        _OPS.pack_into(self._ops_buf, 0, ops)
+
+    def estimate(self, digest: bytes) -> int:
+        """Frequency upper bound for one digest (min over rows)."""
+        counters = self._counters
+        return min(counters[slot] for slot in self._rows(digest))

@@ -1,0 +1,145 @@
+"""In-buffer slab allocator for the shared closure store.
+
+The store's payload heap is one shared-memory block mapped by every
+worker; its allocator state therefore has to live *inside* the block —
+a free list threaded through the free chunks themselves, exactly like a
+classic boundary-tag heap:
+
+- a 16-byte header at offset 0 holds the free-list head offset and the
+  live byte count;
+- each free chunk starts with ``(next_offset, size)`` — 16 bytes, which
+  is also the allocation granularity;
+- allocation is first-fit with splitting, freeing re-inserts in address
+  order and coalesces with both neighbors, so churn cannot shatter the
+  heap permanently.
+
+The allocator itself is lock-free *on purpose*: every caller holds the
+store's single allocator lock around each call (allocation is a tiny
+fraction of a store operation — the payload memcpy dominates), which
+keeps the free-list mutation code trivially correct.
+"""
+
+from __future__ import annotations
+
+import struct
+
+#: Header: (free_head: int64, bytes_used: int64). -1 = empty free list.
+_HEADER = struct.Struct("<qq")
+#: Free-chunk prefix: (next_offset: int64, size: int64). -1 = list end.
+_CHUNK = struct.Struct("<qq")
+
+#: Allocation granularity; also the minimum chunk (a free chunk must
+#: hold its own prefix).
+ALIGN = 16
+
+
+def aligned(nbytes: int) -> int:
+    """Size class of an allocation: rounded up to the granularity.
+
+    Deterministic, so ``free(offset, aligned(payload_len))`` releases
+    exactly the chunk ``alloc`` carved — callers only record payload
+    lengths.
+    """
+    return max(ALIGN, (nbytes + ALIGN - 1) // ALIGN * ALIGN)
+
+
+class SlabAllocator:
+    """First-fit allocator over one shared buffer.
+
+    ``buf`` is the writable memoryview of the slab block; the data
+    region spans ``[ALIGN, ALIGN + capacity)`` (the first 16 bytes are
+    the header). Construct with ``fresh=True`` exactly once (the block
+    creator); attachers construct with ``fresh=False`` and inherit the
+    live free list.
+    """
+
+    def __init__(self, buf, capacity: int, *, fresh: bool) -> None:
+        if capacity % ALIGN:
+            raise ValueError(f"capacity must be a multiple of {ALIGN}")
+        self._buf = buf
+        self.capacity = capacity
+        if fresh:
+            _CHUNK.pack_into(buf, ALIGN, -1, capacity)
+            _HEADER.pack_into(buf, 0, ALIGN, 0)
+
+    @property
+    def bytes_used(self) -> int:
+        """Live payload bytes (size-class granularity), header-tracked."""
+        return _HEADER.unpack_from(self._buf, 0)[1]
+
+    def alloc(self, nbytes: int) -> int | None:
+        """Carve a chunk for ``nbytes`` payload; None when it won't fit.
+
+        Returns the chunk's buffer offset. Caller holds the allocator
+        lock.
+        """
+        size = aligned(nbytes)
+        head, used = _HEADER.unpack_from(self._buf, 0)
+        prev = -1
+        offset = head
+        while offset != -1:
+            nxt, chunk = _CHUNK.unpack_from(self._buf, offset)
+            if chunk >= size:
+                remainder = chunk - size
+                if remainder >= ALIGN:
+                    tail = offset + size
+                    _CHUNK.pack_into(self._buf, tail, nxt, remainder)
+                    follow = tail
+                else:
+                    size = chunk  # absorb a sliver too small to track
+                    follow = nxt
+                if prev == -1:
+                    head = follow
+                else:
+                    prev_next, prev_size = _CHUNK.unpack_from(
+                        self._buf, prev
+                    )
+                    _CHUNK.pack_into(self._buf, prev, follow, prev_size)
+                _HEADER.pack_into(self._buf, 0, head, used + size)
+                return offset
+            prev = offset
+            offset = nxt
+        return None
+
+    def free(self, offset: int, nbytes: int) -> None:
+        """Return the chunk at ``offset`` (payload length ``nbytes``).
+
+        Re-inserts in address order and coalesces with adjacent free
+        chunks. Caller holds the allocator lock.
+        """
+        size = aligned(nbytes)
+        head, used = _HEADER.unpack_from(self._buf, 0)
+        prev = -1
+        nxt = head
+        while nxt != -1 and nxt < offset:
+            prev = nxt
+            nxt = _CHUNK.unpack_from(self._buf, nxt)[0]
+        # Coalesce forward: [offset, offset+size) meets the next chunk.
+        if nxt != -1 and offset + size == nxt:
+            nxt_next, nxt_size = _CHUNK.unpack_from(self._buf, nxt)
+            size += nxt_size
+            nxt = nxt_next
+        if prev == -1:
+            _CHUNK.pack_into(self._buf, offset, nxt, size)
+            head = offset
+        else:
+            prev_next, prev_size = _CHUNK.unpack_from(self._buf, prev)
+            if prev + prev_size == offset:
+                # Coalesce backward into the predecessor.
+                _CHUNK.pack_into(self._buf, prev, nxt, prev_size + size)
+            else:
+                _CHUNK.pack_into(self._buf, offset, nxt, size)
+                _CHUNK.pack_into(self._buf, prev, offset, prev_size)
+        _HEADER.pack_into(
+            self._buf, 0, head, used - aligned(nbytes)
+        )
+
+    def free_chunks(self) -> list[tuple[int, int]]:
+        """The free list as ``(offset, size)`` pairs (tests/debugging)."""
+        out = []
+        offset = _HEADER.unpack_from(self._buf, 0)[0]
+        while offset != -1:
+            nxt, size = _CHUNK.unpack_from(self._buf, offset)
+            out.append((offset, size))
+            offset = nxt
+        return out

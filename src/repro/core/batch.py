@@ -189,6 +189,10 @@ class TerminalClosureCache:
         self.patched = 0
         self.base_hits = 0
         self.base_misses = 0
+        # Second-tier (shared store) lookups; stay 0 on this class —
+        # :class:`repro.cache.StoreBackedClosureCache` counts into them.
+        self.store_hits = 0
+        self.store_misses = 0
         self._entries: OrderedDict = OrderedDict()
         self._lock = threading.Lock()
         self._frozen = None
@@ -223,18 +227,33 @@ class TerminalClosureCache:
                     self._entries.move_to_end(key)
                     self.hits += 1
                     return entry
-            result = None
-            if self.partial_reuse and getattr(costs, "overrides", None):
-                result = self._patched_closure(frozen, costs, source, rest)
+            # Local miss: consult the shared tier (a no-op here; the
+            # store-backed subclass fetches a sibling worker's run),
+            # then derive, then compute fresh — publishing only fresh
+            # plain-dict runs back to the tier.
+            result = self._tier_fetch(frozen, source, signature, rest)
             if result is not None:
                 with self._lock:
-                    self.patched += 1
+                    self.hits += 1
             else:
-                result = dijkstra_frozen(
-                    frozen, source, costs=costs, targets=rest
-                )
-                with self._lock:
-                    self.misses += 1
+                if self.partial_reuse and getattr(
+                    costs, "overrides", None
+                ):
+                    result = self._patched_closure(
+                        frozen, costs, source, rest
+                    )
+                if result is not None:
+                    with self._lock:
+                        self.patched += 1
+                else:
+                    result = dijkstra_frozen(
+                        frozen, source, costs=costs, targets=rest
+                    )
+                    with self._lock:
+                        self.misses += 1
+                    self._tier_publish(
+                        frozen, source, signature, result[0], result[1]
+                    )
             dist, prev = result
             with self._lock:
                 # The cache may have been rebound to a newer frozen view
@@ -313,6 +332,13 @@ class TerminalClosureCache:
                 self._entries.move_to_end(key)
                 self.base_hits += 1
                 return entry[0], entry[1]
+        fetched = self._tier_fetch_base(frozen, index, radius, required)
+        if fetched is not None:
+            dist, prev, bound = fetched
+            with self._lock:
+                self.base_hits += 1
+            self._remember_base(frozen, key, dist, prev, bound)
+            return dist, prev
         if required:
             dist, prev = dijkstra_indexed(
                 frozen,
@@ -338,6 +364,13 @@ class TerminalClosureCache:
             bound = radius
         with self._lock:
             self.base_misses += 1
+        self._remember_base(frozen, key, dist, prev, bound)
+        self._tier_publish_base(frozen, index, dist, prev, bound)
+        return dist, prev
+
+    def _remember_base(self, frozen, key, dist, prev, bound) -> None:
+        """Insert one base entry, replace-if-more-settled (LRU-trimmed)."""
+        with self._lock:
             if frozen is self._frozen:
                 current = self._entries.get(key)
                 # Replace when the new run settled more — or settled
@@ -353,7 +386,25 @@ class TerminalClosureCache:
                     self._entries.move_to_end(key)
                     while len(self._entries) > self.maxsize:
                         self._entries.popitem(last=False)
-        return dist, prev
+
+    # ------------------------------------------------------------------
+    # Shared-tier hooks (no-ops here; see repro.cache.readthrough)
+    # ------------------------------------------------------------------
+    def _tier_fetch(self, frozen, source, signature, rest):
+        """Second-tier closure lookup: ``(dist, prev)`` or None."""
+        return None
+
+    def _tier_publish(self, frozen, source, signature, dist, prev) -> None:
+        """Offer one fresh closure run to the second tier."""
+
+    def _tier_fetch_base(self, frozen, index, radius, required):
+        """Second-tier base-run lookup: ``(dist, prev, bound)`` or None."""
+        return None
+
+    def _tier_publish_base(
+        self, frozen, index, dist, prev, bound
+    ) -> None:
+        """Offer one fresh base run to the second tier."""
 
     def _patched_closure(self, frozen, costs, source: str, rest: set[str]):
         """Derive a boosted closure from base runs + an overlay graph.
@@ -595,6 +646,12 @@ class BatchReport:
     cache_patched: int = 0
     cache_base_hits: int = 0
     cache_base_misses: int = 0
+    #: Shared closure-store lookups this batch made (0 with the store
+    #: off — see :class:`repro.cache.ClosureStoreConfig`). A store hit
+    #: also counts as a ``cache_hits`` closure hit: the request was
+    #: served without a fresh Dijkstra, just from the cross-worker tier.
+    store_hits: int = 0
+    store_misses: int = 0
     workers: int = 0
     parallel: str = "serial"
     #: Dispatch discipline that produced this report: "work-stealing"
@@ -703,6 +760,13 @@ class BatchReport:
                 f"from base runs (λ-aware reuse; "
                 f"{self.cache_base_hits}/{base_total} base-run hits)"
             )
+        if self.store_hits or self.store_misses:
+            store_total = self.store_hits + self.store_misses
+            lines.append(
+                f"  store      {self.store_hits}/{store_total} "
+                f"shared-store hits "
+                f"({self.store_hits / store_total:.0%})"
+            )
         if self.failed or self.retried:
             lines.append(
                 f"  resilience {self.failed} task(s) failed, "
@@ -715,7 +779,15 @@ class BatchReport:
 PARALLEL_BACKENDS = ("serial", "threads", "processes")
 
 #: Counter attributes mirrored between caches and reports.
-_STAT_KEYS = ("hits", "misses", "patched", "base_hits", "base_misses")
+_STAT_KEYS = (
+    "hits",
+    "misses",
+    "patched",
+    "base_hits",
+    "base_misses",
+    "store_hits",
+    "store_misses",
+)
 
 #: Infrastructure failures that demote the process backend to a local
 #: run instead of failing the batch: shared-memory/pool setup errors,

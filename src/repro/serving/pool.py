@@ -94,16 +94,39 @@ TaskResult = tuple
 _WORKER: dict = {}
 
 
-def _init_worker_state(handle, cache_config: tuple[int, bool]) -> None:
-    """Attach the shared graph; summarizers are built on first use."""
+def _init_worker_state(handle, cache_config: tuple) -> None:
+    """Attach the shared graph (and closure store); import plugins.
+
+    ``cache_config`` is the worker-config tuple ``(closure_size,
+    partial_reuse[, store_handle, plugin_modules])`` — the two-element
+    legacy form still works (no store, no plugins). The store handle
+    carries live ``multiprocessing`` locks, which only travel through
+    process inheritance — exactly this init path. Plugin modules are
+    imported *before* any task runs, so runtime-registered methods
+    exist in the registry by the time the first summarizer is built; an
+    import failure propagates, failing worker init loudly (the session
+    then demotes to a local run) instead of silently mis-routing.
+    """
+    import importlib
+
     from repro.graph.shared import attach_knowledge_graph
 
+    size, partial_reuse, store_handle, plugin_modules = (
+        tuple(cache_config) + (None, ())
+    )[:4]
+    for module in plugin_modules:
+        importlib.import_module(module)
     graph = attach_knowledge_graph(handle)
     _WORKER["graph"] = graph
     _WORKER["frozen"] = graph.freeze()
-    _WORKER["cache_config"] = cache_config
+    _WORKER["cache_config"] = (size, partial_reuse)
     _WORKER["cache"] = None
     _WORKER["summarizers"] = {}
+    _WORKER["store"] = None
+    if store_handle is not None:
+        from repro.cache.store import SharedClosureStore
+
+        _WORKER["store"] = SharedClosureStore.attach(store_handle)
 
 
 def _worker_summarizer(name: str, config):
@@ -120,9 +143,19 @@ def _worker_summarizer(name: str, config):
             cache = _WORKER["cache"]
             if cache is None:
                 size, partial_reuse = _WORKER["cache_config"]
-                cache = TerminalClosureCache(
-                    size, partial_reuse=partial_reuse
-                )
+                store = _WORKER.get("store")
+                if store is not None:
+                    from repro.cache.readthrough import (
+                        StoreBackedClosureCache,
+                    )
+
+                    cache = StoreBackedClosureCache(
+                        size, partial_reuse=partial_reuse, store=store
+                    )
+                else:
+                    cache = TerminalClosureCache(
+                        size, partial_reuse=partial_reuse
+                    )
                 _WORKER["cache"] = cache
         summarizer = spec.build(_WORKER["graph"], config, cache)
         _WORKER["summarizers"][key] = summarizer
@@ -192,7 +225,10 @@ class ElasticWorkerPool:
         Picklable :class:`~repro.graph.shared.SharedGraphHandle` the
         workers attach.
     cache_config:
-        ``(closure_size, partial_reuse)`` for each worker's own cache.
+        Worker-config tuple ``(closure_size, partial_reuse[,
+        store_handle, plugin_modules])`` for each worker's own cache —
+        the optional tail attaches the shared closure store and imports
+        method plugins (see :func:`_init_worker_state`).
     config:
         The :class:`SchedulerConfig` sizing/pressure knobs.
     initial_workers:
@@ -216,7 +252,7 @@ class ElasticWorkerPool:
         self,
         context,
         handle,
-        cache_config: tuple[int, bool],
+        cache_config: tuple,
         config: SchedulerConfig,
         initial_workers: int,
         resilience: ResilienceConfig | None = None,

@@ -80,6 +80,7 @@ from repro.api import protocol
 from repro.api.config import CacheConfig, EngineConfig, ParallelConfig
 from repro.api.registry import available_methods
 from repro.api.session import ExplanationSession
+from repro.cache import ClosureStoreConfig
 from repro.graph.knowledge_graph import KnowledgeGraph
 from repro.serving.config import (
     JournalConfig,
@@ -219,6 +220,7 @@ class ExplanationServer:
         state_dir: str | os.PathLike | None = None,
         journal: JournalConfig | None = None,
         journal_faults: FaultPlan | None = None,
+        store: ClosureStoreConfig | None = None,
     ) -> None:
         if isinstance(graphs, KnowledgeGraph):
             graphs = {"default": graphs}
@@ -244,11 +246,11 @@ class ExplanationServer:
         if state_dir is not None:
             root = Path(state_dir)
             for name in list(graphs):
-                store = GraphJournal(
+                graph_journal = GraphJournal(
                     root / name, graphs[name], journal, faults=journal_faults
                 )
-                self._journals[name] = store
-                graphs[name] = store.graph
+                self._journals[name] = graph_journal
+                graphs[name] = graph_journal.graph
 
         def make_session(graph: KnowledgeGraph) -> ExplanationSession:
             return ExplanationSession(
@@ -260,6 +262,7 @@ class ExplanationServer:
                 default_method=default_method,
                 resilience=resilience,
                 faults=faults,
+                store=store,
             )
 
         self._hosts = {
@@ -660,11 +663,13 @@ class ExplanationServer:
         host = self._host_for(frame)
         session = host.session_if_created()
         stats = {}
+        store_stats = None
         if session is not None:
             stats = {
                 key: getattr(session.stats, key)
                 for key in vars(session.stats)
             }
+            store_stats = session.store_stats()
         await self._send(
             writer,
             protocol.envelope(
@@ -672,6 +677,9 @@ class ExplanationServer:
                 {
                     "graph": host.name,
                     "session": stats,
+                    # Live shared-closure-store counters (None when the
+                    # store is off or not yet created for this version).
+                    "store": store_stats,
                     "pending": host.pending,
                     "server": {
                         "frames_in": self.frames_in,
@@ -904,6 +912,9 @@ class ExplanationServer:
                     "task_timeouts": session.stats.task_timeouts,
                     "local_fallbacks": session.stats.local_fallbacks,
                 }
+                closure_store = session.store_stats()
+                if closure_store is not None:
+                    info["store"] = closure_store
             store = self._journals.get(name)
             if store is not None:
                 info["journal"] = store.stats()

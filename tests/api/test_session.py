@@ -459,3 +459,127 @@ class TestDeprecatedShim:
                         )
                     )
                 )
+
+
+class TestChunkedTimeoutWarning:
+    """Satellite of the closure-store PR: the chunked scheduler cannot
+    enforce per-task deadlines (no task leases), so a session armed
+    with both must say so at construction, not silently ignore the
+    knob."""
+
+    def test_chunked_plus_timeout_warns_at_construction(self):
+        from repro.api import ResilienceConfig, SchedulerConfig
+
+        with pytest.warns(
+            RuntimeWarning, match="ignored by the chunked scheduler"
+        ):
+            session = ExplanationSession(
+                small_graph(),
+                scheduler=SchedulerConfig(mode="chunked"),
+                resilience=ResilienceConfig(task_timeout_seconds=1.0),
+            )
+        session.close()
+
+    def test_quiet_without_the_conflicting_pair(self):
+        from repro.api import ResilienceConfig, SchedulerConfig
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            # Chunked without a deadline: fine.
+            ExplanationSession(
+                small_graph(), scheduler=SchedulerConfig(mode="chunked")
+            ).close()
+            # Deadline under work-stealing: enforced, hence quiet.
+            ExplanationSession(
+                small_graph(),
+                resilience=ResilienceConfig(task_timeout_seconds=1.0),
+            ).close()
+
+
+class TestPluginHandshake:
+    """Runtime-registered methods become process-safe when their
+    ``plugin_module`` is listed in ``ParallelConfig.plugin_modules``:
+    pool workers import the module at init, re-creating the
+    registration inside the fresh interpreter."""
+
+    PLUGIN_SOURCE = (
+        "from repro.api import MethodSpec, register_method\n"
+        "\n"
+        "register_method(\n"
+        "    MethodSpec(\n"
+        "        name='plugin-st',\n"
+        "        legacy_name='ST',\n"
+        "        uses_closure_cache=True,\n"
+        "        plugin_module='st_plugin_mod',\n"
+        "    ),\n"
+        "    replace=True,\n"
+        ")\n"
+    )
+
+    def test_listed_plugin_runs_on_processes(
+        self, test_bench, tmp_path, monkeypatch
+    ):
+        import importlib
+        import sys
+
+        (tmp_path / "st_plugin_mod.py").write_text(self.PLUGIN_SOURCE)
+        monkeypatch.syspath_prepend(str(tmp_path))
+        importlib.import_module("st_plugin_mod")
+        tasks = list(
+            test_bench.tasks(Scenario.USER_CENTRIC, "PGPR", 4).values()
+        )[:3]
+        requests = [
+            SummaryRequest(task=task, method="plugin-st")
+            for task in tasks
+        ]
+        try:
+            with ExplanationSession(test_bench.graph) as control:
+                expected = [
+                    canonical(r.explanation)
+                    for r in control.run(tasks).results
+                ]
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", RuntimeWarning)
+                with ExplanationSession(
+                    test_bench.graph,
+                    parallel=ParallelConfig(
+                        backend="processes",
+                        workers=2,
+                        plugin_modules=("st_plugin_mod",),
+                    ),
+                ) as session:
+                    report = session.run(requests)
+            assert report.parallel == "processes"
+            got = [canonical(r.explanation) for r in report.results]
+            assert got == expected
+        finally:
+            unregister_method("plugin-st")
+            sys.modules.pop("st_plugin_mod", None)
+
+    def test_unlisted_plugin_still_demotes(
+        self, test_bench, tmp_path, monkeypatch
+    ):
+        import importlib
+        import sys
+
+        (tmp_path / "st_plugin_mod.py").write_text(self.PLUGIN_SOURCE)
+        monkeypatch.syspath_prepend(str(tmp_path))
+        importlib.import_module("st_plugin_mod")
+        task = next(
+            iter(
+                test_bench.tasks(Scenario.USER_CENTRIC, "PGPR", 4).values()
+            )
+        )
+        try:
+            with ExplanationSession(
+                test_bench.graph,
+                parallel=ParallelConfig(backend="processes", workers=2),
+            ) as session:
+                with pytest.warns(RuntimeWarning, match="process-safe"):
+                    report = session.run(
+                        [SummaryRequest(task=task, method="plugin-st")]
+                    )
+                assert report.parallel in ("serial", "threads")
+        finally:
+            unregister_method("plugin-st")
+            sys.modules.pop("st_plugin_mod", None)

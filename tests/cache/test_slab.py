@@ -1,0 +1,95 @@
+"""SlabAllocator: first-fit alloc/free, coalescing, accounting."""
+
+from repro.cache.slab import ALIGN, SlabAllocator, aligned
+
+
+def make_slab(capacity: int = 1024):
+    buf = bytearray(ALIGN + capacity)
+    return SlabAllocator(buf, capacity, fresh=True), buf
+
+
+class TestAligned:
+    def test_rounds_up_to_granularity(self):
+        assert aligned(1) == ALIGN
+        assert aligned(ALIGN) == ALIGN
+        assert aligned(ALIGN + 1) == 2 * ALIGN
+
+    def test_zero_gets_a_chunk(self):
+        assert aligned(0) == ALIGN
+
+
+class TestAllocFree:
+    def test_alloc_returns_disjoint_offsets(self):
+        slab, _ = make_slab()
+        offsets = [slab.alloc(32) for _ in range(4)]
+        assert None not in offsets
+        spans = sorted((o, o + aligned(32)) for o in offsets)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    def test_exhaustion_returns_none(self):
+        slab, _ = make_slab(capacity=64)
+        assert slab.alloc(64) is not None
+        assert slab.alloc(16) is None
+
+    def test_free_makes_space_reusable(self):
+        slab, _ = make_slab(capacity=64)
+        offset = slab.alloc(64)
+        assert slab.alloc(16) is None
+        slab.free(offset, 64)
+        assert slab.alloc(64) is not None
+
+    def test_oversized_request_fails_cleanly(self):
+        slab, _ = make_slab(capacity=64)
+        assert slab.alloc(65) is None
+        assert slab.alloc(64) is not None  # slab undamaged
+
+
+class TestCoalescing:
+    def test_adjacent_frees_merge(self):
+        slab, _ = make_slab(capacity=96)
+        a = slab.alloc(32)
+        b = slab.alloc(32)
+        c = slab.alloc(32)
+        assert slab.alloc(16) is None
+        # Free middle then neighbors: must coalesce back to one run.
+        slab.free(b, 32)
+        slab.free(a, 32)
+        slab.free(c, 32)
+        assert slab.alloc(96) is not None
+
+    def test_interleaved_free_order_still_coalesces(self):
+        slab, _ = make_slab(capacity=128)
+        offsets = [slab.alloc(32) for _ in range(4)]
+        for offset in (offsets[2], offsets[0], offsets[3], offsets[1]):
+            slab.free(offset, 32)
+        assert len(slab.free_chunks()) == 1
+        assert slab.alloc(128) is not None
+
+    def test_first_fit_reuses_earliest_hole(self):
+        slab, _ = make_slab(capacity=128)
+        a = slab.alloc(32)
+        slab.alloc(32)
+        c = slab.alloc(32)
+        slab.free(a, 32)
+        slab.free(c, 32)
+        assert slab.alloc(16) == a
+
+
+class TestAccounting:
+    def test_bytes_used_tracks_aligned_sizes(self):
+        slab, _ = make_slab()
+        assert slab.bytes_used == 0
+        offset = slab.alloc(20)  # rounds to 32
+        assert slab.bytes_used == aligned(20)
+        slab.free(offset, 20)
+        assert slab.bytes_used == 0
+
+    def test_reattach_preserves_state(self):
+        slab, buf = make_slab(capacity=128)
+        offset = slab.alloc(48)
+        view = SlabAllocator(buf, 128, fresh=False)
+        assert view.bytes_used == aligned(48)
+        view.free(offset, 48)
+        assert view.bytes_used == 0
+        assert slab.bytes_used == 0  # same backing header
