@@ -34,6 +34,11 @@ The pieces:
   failure (cause ``crash`` / ``timeout`` / ``error``) a
   :class:`BatchResult` carries instead of an explanation when a task
   exhausted its retries.
+- :class:`ObservabilityConfig` (re-exported from :mod:`repro.obs`) —
+  telemetry: default-on Prometheus-style metrics, default-off
+  per-request span tracing (``session.last_trace()``,
+  ``BatchResult.trace``, the server ``trace`` op), slow-request
+  logging and JSON-lines structured logs.
 
 Minimal use::
 
@@ -61,6 +66,7 @@ from repro.api.requests import SummaryRequest
 from repro.api.session import ExplanationSession, SessionStats
 from repro.cache import ClosureStoreConfig
 from repro.core.batch import BatchReport, BatchResult, TaskFailure
+from repro.obs import ObservabilityConfig
 from repro.serving.config import ResilienceConfig, SchedulerConfig
 
 __all__ = [
@@ -71,6 +77,7 @@ __all__ = [
     "EngineConfig",
     "ExplanationSession",
     "MethodSpec",
+    "ObservabilityConfig",
     "PROTOCOL_VERSION",
     "ParallelConfig",
     "ProtocolError",

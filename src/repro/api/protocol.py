@@ -499,12 +499,19 @@ def result_to_json(result: BatchResult) -> dict:
     place of the ``explanation`` key, so a streaming client still
     receives exactly one frame per submitted task and can branch on
     which key is present.
+
+    ``trace`` (the task's span list, present only when the serving
+    session traces) is an *optional* field — absent means not traced —
+    so it rides inside ``protocol_version: 1`` like ``deadline_ms``
+    and ``failure`` before it.
     """
     data = {
         "index": result.index,
         "seconds": result.seconds,
         "task": task_to_json(result.task),
     }
+    if result.trace is not None:
+        data["trace"] = result.trace
     if result.failure is not None:
         data["failure"] = {
             "cause": result.failure.cause,
@@ -521,6 +528,11 @@ def result_from_json(data: dict) -> BatchResult:
     task = task_from_json(_expect(data, "task", dict, "result"))
     seconds = _expect(data, "seconds", (int, float), "result")
     index = _expect(data, "index", int, "result")
+    trace = data.get("trace")
+    if trace is not None and not isinstance(trace, dict):
+        raise ProtocolError(
+            "bad-request", "result 'trace' must be an object when present"
+        )
     if "failure" in data:
         body = _expect(data, "failure", dict, "result")
         cause = _expect(body, "cause", str, "failure")
@@ -540,6 +552,7 @@ def result_from_json(data: dict) -> BatchResult:
                 message=_expect(body, "message", str, "failure"),
                 retries=_expect(body, "retries", int, "failure"),
             ),
+            trace=trace,
         )
     return BatchResult(
         index=index,
@@ -548,6 +561,7 @@ def result_from_json(data: dict) -> BatchResult:
             _expect(data, "explanation", dict, "result"), task
         ),
         seconds=float(seconds),
+        trace=trace,
     )
 
 

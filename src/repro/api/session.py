@@ -67,7 +67,7 @@ from concurrent.futures import (
     as_completed,
 )
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.api.config import CacheConfig, EngineConfig, ParallelConfig
 from repro.api.registry import MethodSpec, method_spec
@@ -88,6 +88,11 @@ from repro.core.batch import (
 )
 from repro.core.scenarios import SummaryTask
 from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.obs import trace as obs_trace
+from repro.obs.config import ObservabilityConfig
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.registry import exponential_buckets, get_registry
+from repro.obs.trace import TraceCollector, Tracer
 from repro.serving import pool as serving_pool
 from repro.serving.config import (
     ResilienceConfig,
@@ -100,6 +105,18 @@ from repro.serving.wire import decode_explanation, encode_explanation
 
 #: One resolved request: (request, method spec, merged engine config).
 _Resolved = tuple[SummaryRequest, MethodSpec, EngineConfig]
+
+
+def _stat_line(label: str, values: dict) -> str:
+    """The one shared stat-line renderer.
+
+    Every human-readable counter line (CLI batch footer, experiment
+    runner, the lines below) goes through this formatter, so label
+    alignment and ``key=value`` layout can never drift between
+    surfaces.
+    """
+    body = " ".join(f"{key}={value}" for key, value in values.items())
+    return f"  {label:<10} {body}"
 
 
 @dataclass
@@ -155,6 +172,20 @@ class SessionStats:
     store_evictions: int = 0
     store_bytes: int = 0
 
+    def to_dict(self) -> dict:
+        """Every counter as a plain dict, in declaration order.
+
+        The one schema all counter consumers read: the line renderers
+        below, the server ``stats`` op, and the metrics exposition's
+        per-session view all build from this dict, so a new counter
+        added to the dataclass surfaces everywhere at once. The key
+        set is pinned by a test — extend deliberately.
+        """
+        return {
+            field.name: getattr(self, field.name)
+            for field in fields(self)
+        }
+
     def scheduler_line(self) -> str | None:
         """One report line of scheduler activity; None when there was none.
 
@@ -163,10 +194,18 @@ class SessionStats:
         """
         if not (self.steals or self.grows or self.shrinks):
             return None
-        return (
-            f"  scheduler  steals={self.steals} grows={self.grows} "
-            f"shrinks={self.shrinks} "
-            f"peak_queue_depth={self.peak_queue_depth}"
+        data = self.to_dict()
+        return _stat_line(
+            "scheduler",
+            {
+                key: data[key]
+                for key in (
+                    "steals",
+                    "grows",
+                    "shrinks",
+                    "peak_queue_depth",
+                )
+            },
         )
 
     def resilience_line(self) -> str | None:
@@ -178,11 +217,18 @@ class SessionStats:
             or self.local_fallbacks
         ):
             return None
-        return (
-            f"  resilience worker_deaths={self.worker_deaths} "
-            f"task_retries={self.task_retries} "
-            f"task_timeouts={self.task_timeouts} "
-            f"local_fallbacks={self.local_fallbacks}"
+        data = self.to_dict()
+        return _stat_line(
+            "resilience",
+            {
+                key: data[key]
+                for key in (
+                    "worker_deaths",
+                    "task_retries",
+                    "task_timeouts",
+                    "local_fallbacks",
+                )
+            },
         )
 
     def cache_line(self) -> str | None:
@@ -190,11 +236,16 @@ class SessionStats:
         if not (self.store_hits or self.store_misses):
             return None
         total = self.store_hits + self.store_misses
-        return (
-            f"  store      hits={self.store_hits}/{total} "
-            f"({self.store_hits / total:.0%}) "
-            f"evictions={self.store_evictions} "
-            f"bytes={self.store_bytes}"
+        return _stat_line(
+            "store",
+            {
+                "hits": (
+                    f"{self.store_hits}/{total} "
+                    f"({self.store_hits / total:.0%})"
+                ),
+                "evictions": self.store_evictions,
+                "bytes": self.store_bytes,
+            },
         )
 
 
@@ -227,20 +278,39 @@ def _session_run_chunk(jobs: list) -> tuple[list, dict[str, int]]:
     worker = serving_pool._WORKER
     before = _cache_counters(worker.get("cache"))
     frozen = worker["frozen"]
+    tracing = obs_trace.ambient_enabled()
     out = []
-    for index, _attempt, fault, name, config, task in jobs:
+    for index, attempt, fault, name, config, task in jobs:
         if fault is not None:
             fault.apply_in_worker()
         summarizer = serving_pool._worker_summarizer(name, config)
+        if tracing:
+            obs_trace.set_ambient_task(index)
         task_start = time.perf_counter()
         explanation = summarizer.summarize(task)
         seconds = time.perf_counter() - task_start
+        encode_start = time.perf_counter()
         payload = encode_explanation(explanation, frozen)
+        if tracing:
+            obs_trace.record_event(
+                "worker.encode",
+                time.perf_counter() - encode_start,
+                worker=os.getpid(),
+            )
+            obs_trace.record_event(
+                "worker.compute",
+                seconds,
+                worker=os.getpid(),
+                attempt=attempt,
+            )
         if fault is not None and fault.kind == "malformed":
             payload = fault.corrupt(payload)
         out.append((index, payload, seconds))
     after = _cache_counters(worker.get("cache"))
-    return out, {key: after[key] - before[key] for key in _STAT_KEYS}
+    delta = {key: after[key] - before[key] for key in _STAT_KEYS}
+    if tracing:
+        delta["_spans"] = obs_trace.drain_ambient()
+    return out, delta
 
 
 class ExplanationSession:
@@ -282,6 +352,12 @@ class ExplanationSession:
         by every pool worker, read through by all closure caches
         (parent and workers), and invalidated with the pool on graph
         mutation.
+    obs:
+        :class:`repro.obs.ObservabilityConfig` governing telemetry:
+        registry metrics (default on), per-request span traces
+        (default off; exposed via :meth:`last_trace`,
+        ``BatchResult.trace`` and the server ``trace`` op), the
+        slow-request log threshold, and JSON-lines structured logging.
     """
 
     #: Auto-backend thresholds: below either, worker startup + IPC
@@ -300,6 +376,7 @@ class ExplanationSession:
         resilience: ResilienceConfig | None = None,
         faults: FaultPlan | None = None,
         store: ClosureStoreConfig | None = None,
+        obs: ObservabilityConfig | None = None,
     ) -> None:
         self.graph = graph
         self.engine_config = engine if engine is not None else EngineConfig()
@@ -315,6 +392,39 @@ class ExplanationSession:
         )
         self.store_config = (
             store if store is not None else ClosureStoreConfig()
+        )
+        self.obs_config = obs if obs is not None else ObservabilityConfig()
+        if self.obs_config.log_json:
+            configure_logging(enabled=True, json_lines=True)
+        elif self.obs_config.slow_ms > 0 and not get_logger().enabled:
+            # A slow-request threshold without an output channel would
+            # be silent; arm the plain-text logger.
+            configure_logging(enabled=True, json_lines=False)
+        self._tracer = Tracer(
+            enabled=self.obs_config.trace,
+            collector=TraceCollector(self.obs_config.trace_buffer),
+            slow_ms=self.obs_config.slow_ms,
+            logger=get_logger(),
+        )
+        #: Single-attribute guard every metrics hook checks first.
+        self._metrics_on = self.obs_config.metrics
+        registry = get_registry()
+        self._m_task_seconds = registry.histogram(
+            "repro_task_seconds",
+            "Worker-measured per-task compute latency (seconds)",
+        )
+        self._m_batch_seconds = registry.histogram(
+            "repro_batch_seconds",
+            "End-to-end run() batch latency (seconds)",
+        )
+        self._m_batch_size = registry.histogram(
+            "repro_batch_size",
+            "Tasks per run()/stream() batch",
+            buckets=exponential_buckets(start=1.0, factor=2.0, count=12),
+        )
+        self._m_tasks_total = registry.counter(
+            "repro_tasks_total",
+            "Tasks served across every session entry point",
         )
         if (
             self.scheduler_config.mode == "chunked"
@@ -552,11 +662,13 @@ class ExplanationSession:
     def _worker_cache_config(self) -> tuple:
         """The per-worker cache recipe both process pools initialize with.
 
-        ``(closure_size, partial_reuse, store_handle, plugin_modules)``
-        — the store handle carries the shared-memory token plus its
-        locks (inheritable through process spawn only, never queues),
-        and the plugin modules are imported by each worker before it
-        serves tasks.
+        ``(closure_size, partial_reuse, store_handle, plugin_modules,
+        trace)`` — the store handle carries the shared-memory token
+        plus its locks (inheritable through process spawn only, never
+        queues), the plugin modules are imported by each worker before
+        it serves tasks, and a truthy ``trace`` tail flips the
+        worker's ambient span recorder on so compute/encode/store
+        spans ride home through the result-pipe stat deltas.
         """
         store = self._ensure_store()
         return (
@@ -564,6 +676,7 @@ class ExplanationSession:
             self.cache_config.partial_reuse,
             store.handle if store is not None else None,
             self.parallel_config.plugin_modules,
+            self._tracer.enabled,
         )
 
     def _sync_store_stats(self) -> None:
@@ -595,6 +708,19 @@ class ExplanationSession:
             return None
         return self._store.stats()
 
+    def last_trace(self) -> dict | None:
+        """The most recent finished request trace; None when quiet.
+
+        Only populated with ``ObservabilityConfig(trace=True)``; the
+        collector is a ring buffer of ``trace_buffer`` finished trees
+        (see :meth:`repro.obs.TraceBuilder.tree` for the shape).
+        """
+        return self._tracer.collector.last()
+
+    def get_trace(self, trace_id: str) -> dict | None:
+        """Look one finished trace up by id; None when evicted/unknown."""
+        return self._tracer.collector.get(trace_id)
+
     def _summarizer_for(self, spec: MethodSpec, config: EngineConfig):
         key = (spec.name, config)
         summarizer = self._summarizers.get(key)
@@ -619,47 +745,112 @@ class ExplanationSession:
     # ------------------------------------------------------------------
     # Public entry points
     # ------------------------------------------------------------------
-    def explain(self, item: SummaryRequest | SummaryTask):
-        """Serve one request, returning its explanation."""
+    def explain(
+        self,
+        item: SummaryRequest | SummaryTask,
+        *,
+        trace_id: str | None = None,
+        queue_wait_seconds: float | None = None,
+    ):
+        """Serve one request, returning its explanation.
+
+        ``trace_id`` / ``queue_wait_seconds`` are the server-side
+        observability hooks: a caller-stamped trace id correlates this
+        request across process boundaries, and an admission-queue wait
+        (measured by the server before the graph lock was available)
+        is recorded as a ``server.queue_wait`` span under the request.
+        """
         request, spec, config = self._resolve(item)
         self._refresh()
         if spec.uses_traversal and config.engine != "dict":
             self._frozen_view()
         self.stats.tasks += 1
+        trace = self._tracer.begin(
+            "explain", trace_id=trace_id, method=spec.name
+        )
+        if trace is not None and queue_wait_seconds is not None:
+            trace.event("server.queue_wait", queue_wait_seconds)
         try:
-            return self._summarizer_for(spec, config).summarize(
+            compute_start = time.perf_counter()
+            explanation = self._summarizer_for(spec, config).summarize(
                 request.task
             )
+            seconds = time.perf_counter() - compute_start
+            if trace is not None:
+                trace.event("compute", seconds)
+            if self._metrics_on:
+                self._m_task_seconds.observe(seconds)
+                self._m_tasks_total.inc()
+            return explanation
         finally:
+            if trace is not None:
+                trace.finish()
             self._sync_store_stats()
 
     def run(
-        self, items: Iterable[SummaryRequest | SummaryTask]
+        self,
+        items: Iterable[SummaryRequest | SummaryTask],
+        *,
+        trace_id: str | None = None,
+        queue_wait_seconds: float | None = None,
     ) -> BatchReport:
-        """Serve a batch; per-task timings and cache stats in the report."""
+        """Serve a batch; per-task timings and cache stats in the report.
+
+        With tracing enabled (``ObservabilityConfig(trace=True)``) the
+        whole batch becomes one trace tree — freeze/export, pool
+        spawn, dispatch, per-task queue-wait/compute/encode spans (the
+        worker-recorded ones ride home in the result-pipe stat deltas)
+        — retrievable via :meth:`last_trace` and attached per result
+        as ``BatchResult.trace``. ``trace_id`` adopts a caller-stamped
+        id; ``queue_wait_seconds`` records the server's admission
+        wait.
+        """
         resolved = [self._resolve(item) for item in items]
         self._refresh()
         backend = self._resolve_backend(resolved)
         self.stats.runs += 1
         self.stats.tasks += len(resolved)
-        if backend == "processes":
+        trace = self._tracer.begin(
+            "run",
+            trace_id=trace_id,
+            tasks=len(resolved),
+            backend=backend,
+        )
+        if trace is not None and queue_wait_seconds is not None:
+            trace.event("server.queue_wait", queue_wait_seconds)
+        batch_start = time.perf_counter()
+        try:
+            if backend == "processes":
+                try:
+                    return self._run_processes(resolved, trace)
+                except _PROCESS_FALLBACK_ERRORS as error:
+                    self.release_pool()
+                    backend = self._demote_to_local(
+                        f"process backend unavailable ({error!r})",
+                        len(resolved),
+                    )
+                finally:
+                    self._sync_store_stats()
             try:
-                return self._run_processes(resolved)
-            except _PROCESS_FALLBACK_ERRORS as error:
-                self.release_pool()
-                backend = self._demote_to_local(
-                    f"process backend unavailable ({error!r})",
-                    len(resolved),
-                )
+                return self._run_local(resolved, backend, trace)
             finally:
                 self._sync_store_stats()
-        try:
-            return self._run_local(resolved, backend)
         finally:
-            self._sync_store_stats()
+            if self._metrics_on:
+                self._m_batch_seconds.observe(
+                    time.perf_counter() - batch_start
+                )
+                self._m_batch_size.observe(len(resolved))
+                self._m_tasks_total.inc(len(resolved))
+            if trace is not None:
+                trace.finish(backend=backend)
 
     def stream(
-        self, items: Iterable[SummaryRequest | SummaryTask]
+        self,
+        items: Iterable[SummaryRequest | SummaryTask],
+        *,
+        trace_id: str | None = None,
+        queue_wait_seconds: float | None = None,
     ) -> Iterator[BatchResult]:
         """Serve a batch incrementally.
 
@@ -680,10 +871,21 @@ class ExplanationSession:
         backend = self._resolve_backend(resolved)
         self.stats.runs += 1
         self.stats.tasks += len(resolved)
+        trace = self._tracer.begin(
+            "stream",
+            trace_id=trace_id,
+            tasks=len(resolved),
+            backend=backend,
+        )
+        if trace is not None and queue_wait_seconds is not None:
+            trace.event("server.queue_wait", queue_wait_seconds)
+        if self._metrics_on:
+            self._m_batch_size.observe(len(resolved))
+            self._m_tasks_total.inc(len(resolved))
         if backend == "processes":
             try:
                 return self._synced_stream(
-                    self._stream_processes(resolved)
+                    self._stream_processes(resolved, trace), trace
                 )
             except _PROCESS_FALLBACK_ERRORS as error:
                 self.release_pool()
@@ -692,14 +894,18 @@ class ExplanationSession:
                     len(resolved),
                 )
         return self._synced_stream(
-            self._stream_local(resolved, backend)
+            self._stream_local(resolved, backend, trace), trace
         )
 
-    def _synced_stream(self, iterator: Iterator[BatchResult]):
+    def _synced_stream(
+        self, iterator: Iterator[BatchResult], trace=None
+    ):
         """Fold store counters when a stream drains (or is abandoned)."""
         try:
             yield from iterator
         finally:
+            if trace is not None:
+                trace.finish()
             self._sync_store_stats()
 
     # ------------------------------------------------------------------
@@ -723,6 +929,9 @@ class ExplanationSession:
         rare; the counter is what chaos tests pin to 0.
         """
         self.stats.local_fallbacks += 1
+        get_logger().emit(
+            "local_fallback", reason=reason, tasks=num_tasks
+        )
         warnings.warn(
             f"{reason}; falling back to a local run",
             RuntimeWarning,
@@ -786,16 +995,29 @@ class ExplanationSession:
             for _r, spec, config in resolved
         )
 
-    def _one_result(self, index: int, item: _Resolved) -> BatchResult:
+    def _one_result(
+        self, index: int, item: _Resolved, trace=None
+    ) -> BatchResult:
         request, spec, config = item
         summarizer = self._summarizer_for(spec, config)
         task_start = time.perf_counter()
         explanation = summarizer.summarize(request.task)
+        seconds = time.perf_counter() - task_start
+        if self._metrics_on:
+            self._m_task_seconds.observe(seconds)
+        payload_trace = None
+        if trace is not None:
+            trace.event(
+                "compute", seconds, parent=trace.task_span(index)
+            )
+            trace.end_task(index)
+            payload_trace = trace.task_payload(index)
         return BatchResult(
             index=index,
             task=request.task,
             explanation=explanation,
-            seconds=time.perf_counter() - task_start,
+            seconds=seconds,
+            trace=payload_trace,
         )
 
     def _local_pool_size(self) -> int:
@@ -803,12 +1025,17 @@ class ExplanationSession:
             return self.parallel_config.workers
         return os.cpu_count() or 1
 
-    def _chunk_results(self, chunk: list) -> list[BatchResult]:
+    def _chunk_results(
+        self, chunk: list, trace=None
+    ) -> list[BatchResult]:
         """One static chunk, computed inline (thread chunked mode)."""
-        return [self._one_result(index, item) for index, item in chunk]
+        return [
+            self._one_result(index, item, trace)
+            for index, item in chunk
+        ]
 
     def _run_local(
-        self, resolved: list[_Resolved], backend: str
+        self, resolved: list[_Resolved], backend: str, trace=None
     ) -> BatchReport:
         start = time.perf_counter()
         freeze_seconds = 0.0
@@ -816,6 +1043,8 @@ class ExplanationSession:
             freeze_start = time.perf_counter()
             self._frozen_view()
             freeze_seconds = time.perf_counter() - freeze_start
+        if trace is not None and freeze_seconds > 0:
+            trace.event("session.freeze_export", freeze_seconds)
         # Pre-build every distinct summarizer serially so the thread
         # path never races two builds of the same config (results would
         # still be right, but counters could split across caches).
@@ -832,7 +1061,7 @@ class ExplanationSession:
                     # Static chunks as indivisible futures; flattening
                     # in submission order restores input order.
                     futures = [
-                        pool.submit(self._chunk_results, chunk)
+                        pool.submit(self._chunk_results, chunk, trace)
                         for chunk in static_chunks(
                             list(enumerate(resolved)),
                             pool_size,
@@ -847,7 +1076,7 @@ class ExplanationSession:
                 else:
                     results = list(
                         pool.map(
-                            lambda pair: self._one_result(*pair),
+                            lambda pair: self._one_result(*pair, trace),
                             enumerate(resolved),
                         )
                     )
@@ -855,7 +1084,7 @@ class ExplanationSession:
         else:
             backend = "serial"
             results = [
-                self._one_result(index, item)
+                self._one_result(index, item, trace)
                 for index, item in enumerate(resolved)
             ]
             workers = self.parallel_config.workers
@@ -879,7 +1108,7 @@ class ExplanationSession:
         )
 
     def _stream_local(
-        self, resolved: list[_Resolved], backend: str
+        self, resolved: list[_Resolved], backend: str, trace=None
     ) -> Iterator[BatchResult]:
         if self._needs_frozen(resolved):
             self._frozen_view()
@@ -892,7 +1121,9 @@ class ExplanationSession:
                 def chunked() -> Iterator[BatchResult]:
                     with ThreadPoolExecutor(max_workers=pool_size) as pool:
                         futures = [
-                            pool.submit(self._chunk_results, chunk)
+                            pool.submit(
+                                self._chunk_results, chunk, trace
+                            )
                             for chunk in static_chunks(
                                 list(enumerate(resolved)),
                                 pool_size,
@@ -907,7 +1138,9 @@ class ExplanationSession:
             def threaded() -> Iterator[BatchResult]:
                 with ThreadPoolExecutor(max_workers=pool_size) as pool:
                     futures = [
-                        pool.submit(self._one_result, index, item)
+                        pool.submit(
+                            self._one_result, index, item, trace
+                        )
                         for index, item in enumerate(resolved)
                     ]
                     for future in as_completed(futures):
@@ -917,7 +1150,7 @@ class ExplanationSession:
 
         def serial() -> Iterator[BatchResult]:
             for index, item in enumerate(resolved):
-                yield self._one_result(index, item)
+                yield self._one_result(index, item, trace)
 
         return serial()
 
@@ -1039,6 +1272,7 @@ class ExplanationSession:
         payload,
         seconds: float,
         failure: TaskFailure | None,
+        trace=None,
     ) -> BatchResult:
         """One drain yield → one BatchResult, demoting bad payloads.
 
@@ -1048,6 +1282,9 @@ class ExplanationSession:
         batch — the same isolation contract worker crashes get.
         """
         task = resolved[index][0].task
+        payload_trace = (
+            trace.task_payload(index) if trace is not None else None
+        )
         if failure is None:
             try:
                 explanation = decode_explanation(payload, frozen, task)
@@ -1065,6 +1302,7 @@ class ExplanationSession:
                     task=task,
                     explanation=explanation,
                     seconds=seconds,
+                    trace=payload_trace,
                 )
         return BatchResult(
             index=index,
@@ -1072,23 +1310,39 @@ class ExplanationSession:
             explanation=None,
             seconds=seconds,
             failure=failure,
+            trace=payload_trace,
         )
 
-    def _run_processes(self, resolved: list[_Resolved]) -> BatchReport:
+    def _run_processes(
+        self, resolved: list[_Resolved], trace=None
+    ) -> BatchReport:
         if self.scheduler_config.mode == "work-stealing":
-            return self._run_stealing(resolved)
-        return self._run_chunked(resolved)
+            return self._run_stealing(resolved, trace)
+        return self._run_chunked(resolved, trace)
 
-    def _run_stealing(self, resolved: list[_Resolved]) -> BatchReport:
+    def _run_stealing(
+        self, resolved: list[_Resolved], trace=None
+    ) -> BatchReport:
         start = time.perf_counter()
         freeze_seconds = self._ensure_export()
         # Dispatch start under the pool gate: the idle ticker never
         # interleaves its shrink with submission (and the open dispatch
         # it registers keeps the ticker away until the drain is done).
         with self._pool_gate:
+            pool_start = time.perf_counter()
             pool = self._ensure_steal_pool()
+            pool_seconds = time.perf_counter() - pool_start
             before = self._steal_counters(pool)
-            drain = pool.dispatch(self._jobs(resolved))
+            dispatch_start = time.perf_counter()
+            drain = pool.dispatch(self._jobs(resolved), trace=trace)
+            dispatch_seconds = time.perf_counter() - dispatch_start
+        if trace is not None:
+            if freeze_seconds > 0:
+                trace.event("session.freeze_export", freeze_seconds)
+            trace.event("session.pool", pool_seconds, workers=pool.size)
+            trace.event(
+                "session.dispatch", dispatch_seconds, tasks=len(resolved)
+            )
         stats = dict.fromkeys(_STAT_KEYS, 0)
         merged: list[tuple] = []
         try:
@@ -1096,6 +1350,11 @@ class ExplanationSession:
                 merged.append((index, payload, latency, failure))
                 for key in _STAT_KEYS:
                     stats[key] += delta[key]
+                if trace is not None:
+                    trace.merge_worker(delta.get("_spans"))
+                    trace.end_task(index)
+                if self._metrics_on:
+                    self._m_task_seconds.observe(latency)
         finally:
             workers = max(pool.size, 1)
             retried = pool.task_retries - before[4]
@@ -1104,7 +1363,7 @@ class ExplanationSession:
         frozen = self._frozen_view()
         results = tuple(
             self._steal_result(
-                resolved, frozen, index, payload, seconds, failure
+                resolved, frozen, index, payload, seconds, failure, trace
             )
             for index, payload, seconds, failure in merged
         )
@@ -1228,10 +1487,21 @@ class ExplanationSession:
                 self._pool.shutdown(wait=True, cancel_futures=True)
                 self._pool = None
 
-    def _run_chunked(self, resolved: list[_Resolved]) -> BatchReport:
+    def _run_chunked(
+        self, resolved: list[_Resolved], trace=None
+    ) -> BatchReport:
         start = time.perf_counter()
         freeze_seconds = self._ensure_export()
+        pool_start = time.perf_counter()
         self._ensure_chunked_pool()
+        if trace is not None:
+            if freeze_seconds > 0:
+                trace.event("session.freeze_export", freeze_seconds)
+            trace.event(
+                "session.pool",
+                time.perf_counter() - pool_start,
+                workers=self._pool_workers,
+            )
         chunks = static_chunks(
             self._jobs(resolved),
             self._pool_workers,
@@ -1245,11 +1515,19 @@ class ExplanationSession:
             merged.extend(entries)
             for key in _STAT_KEYS:
                 stats[key] += delta[key]
+            if trace is not None:
+                trace.merge_worker(delta.get("_spans"))
+                for index, _payload, _seconds, _failure in entries:
+                    trace.end_task(index)
+            if self._metrics_on:
+                for _index, _payload, seconds, failure in entries:
+                    if failure is None:
+                        self._m_task_seconds.observe(seconds)
         merged.sort(key=lambda entry: entry[0])
         frozen = self._frozen_view()
         results = tuple(
             self._steal_result(
-                resolved, frozen, index, payload, seconds, failure
+                resolved, frozen, index, payload, seconds, failure, trace
             )
             for index, payload, seconds, failure in merged
         )
@@ -1272,11 +1550,11 @@ class ExplanationSession:
         )
 
     def _stream_processes(
-        self, resolved: list[_Resolved]
+        self, resolved: list[_Resolved], trace=None
     ) -> Iterator[BatchResult]:
         """Eagerly set up + submit; return the completion-order iterator."""
         if self.scheduler_config.mode == "work-stealing":
-            return self._stream_stealing(resolved)
+            return self._stream_stealing(resolved, trace)
         self._ensure_export()
         self._ensure_chunked_pool()
         frozen = self._frozen_view()
@@ -1288,29 +1566,52 @@ class ExplanationSession:
         supervised = self._supervised_chunk_results(chunks)
 
         def results() -> Iterator[BatchResult]:
-            for entries, _delta in supervised:
+            for entries, delta in supervised:
+                if trace is not None:
+                    trace.merge_worker(delta.get("_spans"))
                 for index, payload, seconds, failure in entries:
+                    if trace is not None:
+                        trace.end_task(index)
+                    if self._metrics_on and failure is None:
+                        self._m_task_seconds.observe(seconds)
                     yield self._steal_result(
-                        resolved, frozen, index, payload, seconds, failure
+                        resolved,
+                        frozen,
+                        index,
+                        payload,
+                        seconds,
+                        failure,
+                        trace,
                     )
 
         return results()
 
     def _stream_stealing(
-        self, resolved: list[_Resolved]
+        self, resolved: list[_Resolved], trace=None
     ) -> Iterator[BatchResult]:
         self._ensure_export()
         frozen = self._frozen_view()
         with self._pool_gate:
             pool = self._ensure_steal_pool()
             before = self._steal_counters(pool)
-            drain = pool.dispatch(self._jobs(resolved))
+            drain = pool.dispatch(self._jobs(resolved), trace=trace)
 
         def results() -> Iterator[BatchResult]:
             try:
-                for index, payload, latency, _delta, failure in drain:
+                for index, payload, latency, delta, failure in drain:
+                    if trace is not None:
+                        trace.merge_worker(delta.get("_spans"))
+                        trace.end_task(index)
+                    if self._metrics_on:
+                        self._m_task_seconds.observe(latency)
                     yield self._steal_result(
-                        resolved, frozen, index, payload, latency, failure
+                        resolved,
+                        frozen,
+                        index,
+                        payload,
+                        latency,
+                        failure,
+                        trace,
                     )
             finally:
                 # close() runs the drain's cleanup deterministically; an

@@ -22,6 +22,8 @@ degrade to a local compute, never to an error.
 
 from __future__ import annotations
 
+import time
+
 from repro.cache.codec import (
     decode_base,
     decode_closure,
@@ -35,6 +37,7 @@ from repro.cache.store import (
     store_digest,
 )
 from repro.core.batch import TerminalClosureCache
+from repro.obs import trace as obs_trace
 
 
 class StoreBackedClosureCache(TerminalClosureCache):
@@ -59,16 +62,41 @@ class StoreBackedClosureCache(TerminalClosureCache):
 
     def _store_get(self, digest):
         """One store lookup; a store closed under us is a miss."""
+        if not obs_trace.ambient_enabled():
+            try:
+                return self._store.get(digest)
+            except (ValueError, OSError):
+                return None
+        start = time.perf_counter()
         try:
-            return self._store.get(digest)
+            payload = self._store.get(digest)
         except (ValueError, OSError):
-            return None
+            payload = None
+        obs_trace.record_event(
+            "store.fetch",
+            time.perf_counter() - start,
+            outcome="hit" if payload is not None else "miss",
+        )
+        return payload
 
     def _store_put(self, digest, payload, ndist) -> None:
+        if not obs_trace.ambient_enabled():
+            try:
+                self._store.put(digest, payload, ndist)
+            except (ValueError, OSError):
+                pass
+            return
+        start = time.perf_counter()
         try:
-            self._store.put(digest, payload, ndist)
+            stored = self._store.put(digest, payload, ndist)
         except (ValueError, OSError):
-            pass
+            stored = False
+        obs_trace.record_event(
+            "store.publish",
+            time.perf_counter() - start,
+            stored=bool(stored),
+            bytes=len(payload),
+        )
 
     # -- closure entries ----------------------------------------------
     def _tier_fetch(self, frozen, source, signature, rest):

@@ -61,6 +61,7 @@ from multiprocessing import shared_memory
 from repro.cache.config import ClosureStoreConfig
 from repro.cache.sketch import FrequencySketch, region_size
 from repro.cache.slab import ALIGN, SlabAllocator
+from repro.obs.trace import record_event
 
 #: Entry record: (state: u8, segment: u8, digest: 16s, offset: i64,
 #: length: i64, tick: i64, ndist: i64), padded to 64 bytes.
@@ -486,6 +487,7 @@ class SharedClosureStore:
                     slot, _TOMBSTONE, 0, b"\x00" * 16, 0, 0, 0, 0
                 )
                 self._bump_counter(stripe, "evictions")
+                record_event("store.evict", 0.0, bytes=length)
                 if self._acquire(self.handle.alloc_lock):
                     try:
                         self._slab.free(offset, length)
@@ -603,6 +605,7 @@ class SharedClosureStore:
                 target = best[0]
                 self._free(best[2], best[3])
                 self._bump_counter(stripe, "evictions")
+                record_event("store.evict", 0.0, bytes=best[3])
             self._write(
                 target,
                 _READY,

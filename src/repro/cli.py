@@ -13,8 +13,11 @@ Usage::
     repro-xsum batch --demo 100 --parallel processes --scheduler chunked
     repro-xsum batch --demo 100 --parallel processes --min-workers 1 --max-workers 8
     repro-xsum batch --demo 100 --parallel processes --closure-store --store-mb 128
+    repro-xsum batch --demo 100 --trace --slow-ms 50
     repro-xsum serve --port 7737 --max-pending 64 --idle-ttl 30
     repro-xsum serve --state-dir ./state --drain-timeout 15
+    repro-xsum serve --trace --log-json
+    repro-xsum metrics --port 7737
     repro-xsum list
 
 The ``batch`` subcommand serves a batch through the service API
@@ -38,6 +41,14 @@ per graph; ``--idle-ttl`` releases pooled resources of idle sessions;
 ``--state-dir`` makes mutations crash-safe (journaled before acked,
 replayed on restart); SIGTERM/ctrl-c drains gracefully under
 ``--drain-timeout``.
+
+Observability (batch and serve): ``--trace`` records a span tree per
+request (printed after a traced batch; served via the ``trace`` op),
+``--slow-ms`` logs any slower request with its span breakdown,
+``--no-metrics`` disables the default-on Prometheus registry, and
+``--log-json`` switches structured logs to JSON lines. The
+``metrics`` subcommand probes a running server and prints its
+Prometheus text exposition.
 """
 
 from __future__ import annotations
@@ -86,6 +97,7 @@ def _run_batch(parser: argparse.ArgumentParser, args) -> int:
         SchedulerConfig,
     )
     from repro.core.batch import load_tasks_jsonl
+    from repro.obs import ObservabilityConfig, format_trace
     from repro.serving.config import ResilienceConfig
     from repro.core.scenarios import Scenario
 
@@ -128,6 +140,12 @@ def _run_batch(parser: argparse.ArgumentParser, args) -> int:
             enabled=args.closure_store,
             capacity_bytes=max(4096, int(args.store_mb * 2**20)),
         ),
+        obs=ObservabilityConfig(
+            metrics=args.metrics,
+            trace=args.trace,
+            slow_ms=args.slow_ms,
+            log_json=args.log_json,
+        ),
     )
     with session:
         if args.stream:
@@ -155,6 +173,8 @@ def _run_batch(parser: argparse.ArgumentParser, args) -> int:
         ):
             if line:
                 print(line)
+        if args.trace:
+            print(format_trace(session.last_trace()))
     return 0
 
 
@@ -171,6 +191,7 @@ def _run_serve(parser: argparse.ArgumentParser, args) -> int:
     import signal
 
     from repro.api import ClosureStoreConfig, ParallelConfig, SchedulerConfig
+    from repro.obs import ObservabilityConfig
     from repro.serving.config import ResilienceConfig
     from repro.serving.server import ExplanationServer, ServerConfig
 
@@ -207,6 +228,12 @@ def _run_serve(parser: argparse.ArgumentParser, args) -> int:
             enabled=args.closure_store,
             capacity_bytes=max(4096, int(args.store_mb * 2**20)),
         ),
+        obs=ObservabilityConfig(
+            metrics=args.metrics,
+            trace=args.trace,
+            slow_ms=args.slow_ms,
+            log_json=args.log_json,
+        ),
     )
 
     async def serve() -> int:
@@ -235,6 +262,34 @@ def _run_serve(parser: argparse.ArgumentParser, args) -> int:
         return 1
 
 
+def _run_metrics(parser: argparse.ArgumentParser, args) -> int:
+    """The ``metrics`` subcommand: scrape a running server's exposition.
+
+    Connects to ``--host``/``--port``, fetches the Prometheus text via
+    the ``metrics`` op, validates it parses, and prints it — the same
+    text a scrape endpoint would serve, usable with
+    ``curl``-less monitoring and the CI liveness check.
+    """
+    from repro.obs import parse_prometheus
+    from repro.serving.client import ExplanationClient
+
+    try:
+        with ExplanationClient(args.host, args.port) as client:
+            text = client.metrics()
+    except OSError as error:
+        parser.error(
+            f"cannot reach server at {args.host}:{args.port} ({error})"
+        )
+    try:
+        parse_prometheus(text)
+    except ValueError as error:
+        print(f"warning: exposition failed to parse: {error}", file=sys.stderr)
+        print(text, end="")
+        return 1
+    print(text, end="")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and regenerate the requested experiment."""
     parser = argparse.ArgumentParser(
@@ -244,7 +299,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="table1|table2|table3|fig2..fig17|userstudy|batch|serve|list",
+        help="table1|table2|table3|fig2..fig17|userstudy|batch|serve|"
+        "metrics|list",
     )
     parser.add_argument(
         "--scale", choices=("test", "ci", "paper"), default="ci"
@@ -356,6 +412,39 @@ def main(argv: list[str] | None = None) -> int:
         "closures bit-identical to cold runs; --no-partial-reuse "
         "restores always-fresh boosted closures",
     )
+    obs_group = parser.add_argument_group("observability")
+    obs_group.add_argument(
+        "--trace",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="record a span tree per request (batch: printed after the "
+        "run; serve: retrievable via the 'trace' op / "
+        "client.trace()); default off — the disabled cost is one "
+        "attribute check per request",
+    )
+    obs_group.add_argument(
+        "--slow-ms",
+        type=float,
+        default=0.0,
+        help="log any request slower than this many milliseconds as "
+        "one structured slow_request line with its span breakdown "
+        "(0 = off)",
+    )
+    obs_group.add_argument(
+        "--metrics",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="process-wide Prometheus metrics registry (task/batch "
+        "latency histograms, journal + queue-wait counters); default "
+        "on — --no-metrics turns every observe into a no-op",
+    )
+    obs_group.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured log events (worker_respawn, task_timeout, "
+        "local_fallback, slow_request, ...) as JSON lines on stderr "
+        "instead of key=value text",
+    )
     serve_group = parser.add_argument_group("serve")
     serve_group.add_argument(
         "--host", default="127.0.0.1", help="serve: bind address"
@@ -407,6 +496,7 @@ def main(argv: list[str] | None = None) -> int:
             "userstudy",
             "batch",
             "serve",
+            "metrics",
         ]
         print("\n".join(names))
         return 0
@@ -416,6 +506,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment == "serve":
         return _run_serve(parser, args)
+
+    if args.experiment == "metrics":
+        return _run_metrics(parser, args)
 
     if args.experiment == "table1":
         result = table1_example()

@@ -608,6 +608,13 @@ class BatchResult:
     undecodable result) carries a typed :class:`TaskFailure` instead
     of an explanation, so streamed batches still yield one result per
     task and end-count verification holds over the wire.
+
+    ``trace`` is only populated when the session runs with
+    ``ObservabilityConfig(trace=True)``: a plain-JSON dict holding the
+    request's ``trace_id`` and this task's span list (queue wait,
+    worker compute/encode, store fetches — see :mod:`repro.obs.trace`).
+    It travels as an optional protocol field, still
+    ``protocol_version: 1``.
     """
 
     index: int
@@ -615,6 +622,7 @@ class BatchResult:
     explanation: SubgraphExplanation | None
     seconds: float
     failure: TaskFailure | None = None
+    trace: dict | None = None
 
     def __post_init__(self) -> None:
         if (self.explanation is None) == (self.failure is None):

@@ -1,0 +1,74 @@
+"""Structured event logging for operational telemetry.
+
+The resilience layer reports through two channels today: counters
+(``SessionStats.worker_deaths`` et al.) and free-text
+``RuntimeWarning``s (the ``_demote_to_local`` funnel). Neither is
+machine-parseable in a chaos job's output. :class:`StructuredLogger`
+adds the missing channel: one line per event, either ``key=value``
+text or JSON-lines (``--log-json``), written to stderr so it never
+interleaves with result output on stdout.
+
+The module-level logger starts **disabled** — emitting costs one
+attribute check — and is switched on by
+``ObservabilityConfig(log_json=...)`` / the CLI flags. Warnings keep
+flowing regardless; the logger is an additional funnel, not a
+replacement, so ``-W error::RuntimeWarning`` jobs still catch demotion
+regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+__all__ = ["StructuredLogger", "configure_logging", "get_logger"]
+
+
+class StructuredLogger:
+    """One-line-per-event emitter with a no-op fast path."""
+
+    def __init__(
+        self,
+        stream=None,
+        *,
+        json_lines: bool = False,
+        enabled: bool = False,
+    ) -> None:
+        self.stream = stream
+        self.json_lines = json_lines
+        self.enabled = enabled
+
+    def emit(self, event: str, **fields) -> None:
+        if not self.enabled:
+            return
+        record = {"ts": round(time.time(), 6), "event": event, **fields}
+        if self.json_lines:
+            line = json.dumps(record, default=str, separators=(",", ":"))
+        else:
+            line = " ".join(
+                f"{key}={value}" for key, value in record.items()
+            )
+        stream = self.stream if self.stream is not None else sys.stderr
+        print(line, file=stream, flush=True)
+
+
+_LOGGER = StructuredLogger()
+
+
+def get_logger() -> StructuredLogger:
+    """The process-wide event logger (disabled until configured)."""
+    return _LOGGER
+
+
+def configure_logging(
+    *,
+    enabled: bool = True,
+    json_lines: bool = False,
+    stream=None,
+) -> StructuredLogger:
+    """Reconfigure the process-wide logger in place and return it."""
+    _LOGGER.enabled = enabled
+    _LOGGER.json_lines = json_lines
+    _LOGGER.stream = stream
+    return _LOGGER

@@ -56,6 +56,7 @@ from repro.api.requests import SummaryRequest, as_request
 from repro.core.batch import BatchReport, BatchResult
 from repro.core.explanation import SubgraphExplanation
 from repro.core.scenarios import SummaryTask
+from repro.obs.trace import new_trace_id
 from repro.serving.frames import (
     MAX_FRAME_BYTES,
     FrameError,
@@ -158,6 +159,10 @@ class ExplanationClient:
         self._backoff_rng = random.Random(backoff_seed)
         self._codec = get_codec(codec)
         self._sock: socket.socket | None = None
+        #: Trace id stamped into the most recent workload request —
+        #: the handle for ``client.trace()`` / the server ``trace`` op
+        #: when the server runs with ``ObservabilityConfig(trace=True)``.
+        self.last_trace_id: str | None = None
 
     # ------------------------------------------------------------------
     # Connection plumbing
@@ -338,6 +343,18 @@ class ExplanationClient:
         kind, frame = self._call("health", {})
         return self._expect_kind(kind, frame, "health")
 
+    def _stamp_trace(self, body: dict) -> dict:
+        """Mint + attach this request's trace id (optional field).
+
+        Always stamped — one ``os.urandom`` call — so a server running
+        with tracing enabled correlates the request without any client
+        reconfiguration; servers with tracing off ignore the field.
+        The id is kept on :attr:`last_trace_id` for a follow-up
+        :meth:`trace` fetch.
+        """
+        self.last_trace_id = new_trace_id()
+        return {**body, "trace_id": self.last_trace_id}
+
     def explain(
         self,
         item: SummaryRequest | SummaryTask,
@@ -348,7 +365,9 @@ class ExplanationClient:
         request = as_request(item)
         kind, frame = self._call(
             "explain",
-            {"request": protocol.request_to_json(request)},
+            self._stamp_trace(
+                {"request": protocol.request_to_json(request)}
+            ),
             expires=self._expires(deadline),
         )
         body = self._expect_kind(kind, frame, "explanation")
@@ -365,7 +384,7 @@ class ExplanationClient:
         """Serve a batch; the full report decodes losslessly."""
         kind, frame = self._call(
             "run",
-            {"requests": self._encode(items)},
+            self._stamp_trace({"requests": self._encode(items)}),
             expires=self._expires(deadline),
         )
         body = self._expect_kind(kind, frame, "report")
@@ -385,7 +404,9 @@ class ExplanationClient:
         propagates: silently re-running a half-consumed stream could
         double-serve side-effect-sensitive callers.
         """
-        request_body = {"requests": self._encode(items)}
+        request_body = self._stamp_trace(
+            {"requests": self._encode(items)}
+        )
         expires = self._expires(deadline)
         attempt = 0
         while True:
@@ -431,6 +452,30 @@ class ExplanationClient:
             count += 1
             yield protocol.result_from_json(body["result"])
             kind, frame = self._read_response()
+
+    # ------------------------------------------------------------------
+    # Observability RPCs
+    # ------------------------------------------------------------------
+    def trace(self, trace_id: str | None = None) -> dict | None:
+        """Fetch one finished request trace from the server.
+
+        ``trace_id=None`` asks for this client's most recent workload
+        request (``last_trace_id``) when one exists, else the server's
+        latest trace. Returns the span tree dict, or None when the
+        server traces nothing (``ObservabilityConfig(trace=False)``,
+        the default) or the id was evicted from the ring buffer.
+        """
+        body: dict = {}
+        wanted = trace_id or self.last_trace_id
+        if wanted is not None:
+            body["trace_id"] = wanted
+        kind, frame = self._call("trace", body)
+        return self._expect_kind(kind, frame, "trace").get("trace")
+
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition (all graphs)."""
+        kind, frame = self._call("metrics", {})
+        return self._expect_kind(kind, frame, "metrics")["text"]
 
     # ------------------------------------------------------------------
     # Graph mutation + resource RPCs

@@ -73,8 +73,21 @@ from pathlib import Path
 
 from repro.api import protocol
 from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.obs.registry import exponential_buckets, get_registry
 from repro.serving.config import JournalConfig
 from repro.serving.faults import FaultPlan, SimulatedCrash
+
+#: Durability instruments (process-wide; cheap enough to record
+#: unconditionally — one histogram observe per actual fsync).
+_JOURNAL_FSYNC_SECONDS = get_registry().histogram(
+    "repro_journal_fsync_seconds",
+    "Wall-clock cost of each journal fsync",
+    buckets=exponential_buckets(start=0.0001, count=14),
+)
+_JOURNAL_APPENDS = get_registry().counter(
+    "repro_journal_appends_total",
+    "Mutation records durably appended to the journal",
+)
 
 #: Graph mutation RPC ops -> KnowledgeGraph method names. Every one
 #: bumps the graph version. (Defined here — the journal replays them —
@@ -295,18 +308,24 @@ class MutationJournal:
             )
         self._sync()
         self.records += 1
+        _JOURNAL_APPENDS.inc()
         return ordinal
 
     def _sync(self) -> None:
         self._fh.flush()
         if self.fsync_policy == "always":
-            os.fsync(self._fh.fileno())
+            self._timed_fsync()
             self._last_sync = time.monotonic()
         elif self.fsync_policy == "interval":
             now = time.monotonic()
             if now - self._last_sync >= self.fsync_interval_seconds:
-                os.fsync(self._fh.fileno())
+                self._timed_fsync()
                 self._last_sync = now
+
+    def _timed_fsync(self) -> None:
+        start = time.perf_counter()
+        os.fsync(self._fh.fileno())
+        _JOURNAL_FSYNC_SECONDS.observe(time.perf_counter() - start)
 
     def flush(self) -> None:
         """Force everything appended so far to stable storage."""

@@ -78,6 +78,7 @@ from collections.abc import Iterator
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.core.batch import _STAT_KEYS, TaskFailure
+from repro.obs.log import get_logger
 from repro.serving.config import ResilienceConfig, SchedulerConfig
 from repro.serving.faults import FaultPlan
 
@@ -98,24 +99,32 @@ def _init_worker_state(handle, cache_config: tuple) -> None:
     """Attach the shared graph (and closure store); import plugins.
 
     ``cache_config`` is the worker-config tuple ``(closure_size,
-    partial_reuse[, store_handle, plugin_modules])`` — the two-element
-    legacy form still works (no store, no plugins). The store handle
-    carries live ``multiprocessing`` locks, which only travel through
-    process inheritance — exactly this init path. Plugin modules are
-    imported *before* any task runs, so runtime-registered methods
-    exist in the registry by the time the first summarizer is built; an
-    import failure propagates, failing worker init loudly (the session
-    then demotes to a local run) instead of silently mis-routing.
+    partial_reuse[, store_handle, plugin_modules, trace])`` — the
+    two-element legacy form still works (no store, no plugins, no
+    tracing). The store handle carries live ``multiprocessing`` locks,
+    which only travel through process inheritance — exactly this init
+    path. Plugin modules are imported *before* any task runs, so
+    runtime-registered methods exist in the registry by the time the
+    first summarizer is built; an import failure propagates, failing
+    worker init loudly (the session then demotes to a local run)
+    instead of silently mis-routing. A truthy ``trace`` tail element
+    flips the worker's ambient span recorder on (see
+    :mod:`repro.obs.trace`), so compute/encode/store spans ride back
+    through the result pipe's stat-delta dict.
     """
     import importlib
 
     from repro.graph.shared import attach_knowledge_graph
 
-    size, partial_reuse, store_handle, plugin_modules = (
-        tuple(cache_config) + (None, ())
-    )[:4]
+    size, partial_reuse, store_handle, plugin_modules, trace_on = (
+        tuple(cache_config) + (None, (), False)
+    )[:5]
     for module in plugin_modules:
         importlib.import_module(module)
+    if trace_on:
+        from repro.obs import trace as obs_trace
+
+        obs_trace.enable_ambient()
     graph = attach_knowledge_graph(handle)
     _WORKER["graph"] = graph
     _WORKER["frozen"] = graph.freeze()
@@ -179,9 +188,11 @@ def _steal_worker_main(
     crash/hang traceably.
     """
     from repro.core.batch import _cache_counters
+    from repro.obs import trace as obs_trace
     from repro.serving.wire import encode_explanation
 
     _init_worker_state(handle, cache_config)
+    tracing = obs_trace.ambient_enabled()
     while True:
         try:
             job = task_queue.get()
@@ -190,15 +201,19 @@ def _steal_worker_main(
         if job is None:
             result_queue.put(("exit", worker_id))
             return
-        dispatch_id, index, _attempt, fault, name, config, task = job
+        dispatch_id, index, attempt, fault, name, config, task = job
         result_queue.put(("lease", worker_id, dispatch_id, index))
         if fault is not None:
             fault.apply_in_worker()  # crash never returns; hang sleeps
+        if tracing:
+            obs_trace.set_ambient_task(index)
         before = _cache_counters(_WORKER["cache"])
         start = time.perf_counter()
         try:
             explanation = _worker_summarizer(name, config).summarize(task)
         except Exception as error:
+            if tracing:
+                obs_trace.drain_ambient()  # discard the failed task's spans
             result_queue.put(
                 ("error", worker_id, dispatch_id, index, error)
             )
@@ -206,7 +221,21 @@ def _steal_worker_main(
         latency = time.perf_counter() - start
         after = _cache_counters(_WORKER["cache"])
         delta = {key: after[key] - before[key] for key in _STAT_KEYS}
+        encode_start = time.perf_counter()
         payload = encode_explanation(explanation, _WORKER["frozen"])
+        if tracing:
+            obs_trace.record_event(
+                "worker.encode",
+                time.perf_counter() - encode_start,
+                worker=worker_id,
+            )
+            obs_trace.record_event(
+                "worker.compute",
+                latency,
+                worker=worker_id,
+                attempt=attempt,
+            )
+            delta["_spans"] = obs_trace.drain_ambient()
         if fault is not None and fault.kind == "malformed":
             payload = fault.corrupt(payload)
         result_queue.put(
@@ -303,6 +332,12 @@ class ElasticWorkerPool:
         #: are dropped on arrival.
         self._buffers: dict[int, object] = {}
         self._next_dispatch_id = 0
+        #: dispatch id -> TraceBuilder while that dispatch traces, and
+        #: (dispatch_id, index) -> submission monotonic time for its
+        #: queue-wait spans. Both empty whenever tracing is off, so the
+        #: per-message cost is one truthiness check.
+        self._traces: dict[int, object] = {}
+        self._submit_ts: dict[tuple[int, int], float] = {}
         self._idle_since = time.monotonic()
         try:
             for _ in range(initial):
@@ -377,10 +412,20 @@ class ElasticWorkerPool:
         kind = message[0]
         if kind == "lease":
             _kind, worker_id, dispatch_id, index = message
-            self._leases[worker_id] = (
-                (dispatch_id, index),
-                time.monotonic(),
-            )
+            now = time.monotonic()
+            self._leases[worker_id] = ((dispatch_id, index), now)
+            if self._traces:
+                trace = self._traces.get(dispatch_id)
+                submitted = self._submit_ts.get((dispatch_id, index))
+                if trace is not None and submitted is not None:
+                    envelope = self._inflight.get((dispatch_id, index))
+                    trace.event(
+                        "queue_wait",
+                        now - submitted,
+                        parent=trace.task_span(index),
+                        worker=worker_id,
+                        attempt=envelope[2] if envelope else 0,
+                    )
             return None
         if kind in ("result", "error"):
             self._leases.pop(message[1], None)
@@ -420,6 +465,12 @@ class ElasticWorkerPool:
             raise BrokenProcessPool(
                 "cannot spawn a replacement worker"
             ) from error
+        get_logger().emit(
+            "worker_respawn",
+            respawns=self.respawns,
+            budget=self.resilience.max_worker_respawns,
+            pool_size=self.size,
+        )
 
     def _redo_or_fail(self, key: tuple[int, int], cause: str, detail: str) -> None:
         """Re-queue a crashed/timed-out task, or fail it individually.
@@ -440,6 +491,8 @@ class ElasticWorkerPool:
                 dispatch_id, attempt + 1, (index, *envelope[4:])
             )
             self._inflight[key] = requeued
+            if self._traces and key in self._submit_ts:
+                self._submit_ts[key] = time.monotonic()
             self._task_queue.put(requeued)
         else:
             self._inflight.pop(key, None)
@@ -475,6 +528,13 @@ class ElasticWorkerPool:
             if process is not None:
                 process.terminate()
                 process.join(timeout=self.JOIN_SECONDS)
+            self._record_attempt_failure(key, "timeout", since, worker_id)
+            get_logger().emit(
+                "task_timeout",
+                task=key[1],
+                worker=worker_id,
+                timeout_seconds=timeout,
+            )
             self._replace_worker()
             self._redo_or_fail(
                 key,
@@ -482,6 +542,33 @@ class ElasticWorkerPool:
                 f"task {key[1]} exceeded its {timeout:.3g}s deadline "
                 f"on worker {worker_id}",
             )
+
+    def _record_attempt_failure(
+        self, key: tuple[int, int], outcome: str, since: float, worker_id: int
+    ) -> None:
+        """Trace the failed attempt (and the respawn that follows it).
+
+        ``since`` is the failed attempt's lease time, so the span's
+        duration is how long the worker held the task before the crash
+        was detected / the deadline fired. No-op unless this dispatch
+        traces.
+        """
+        if not self._traces:
+            return
+        trace = self._traces.get(key[0])
+        if trace is None:
+            return
+        envelope = self._inflight.get(key)
+        parent = trace.task_span(key[1])
+        trace.event(
+            "task.attempt",
+            time.monotonic() - since,
+            parent=parent,
+            outcome=outcome,
+            worker=worker_id,
+            attempt=envelope[2] if envelope else 0,
+        )
+        trace.event("worker.respawn", 0.0, parent=parent, worker=worker_id)
 
     def maybe_shrink(self, incoming: int = 0) -> int:
         """Retire idle workers the next batch will not need.
@@ -537,7 +624,7 @@ class ElasticWorkerPool:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def dispatch(self, jobs: list[Job]) -> Iterator[TaskResult]:
+    def dispatch(self, jobs: list[Job], trace=None) -> Iterator[TaskResult]:
         """Submit every job now; return the completion-order drain.
 
         Submission is eager (workers start computing immediately); the
@@ -551,6 +638,11 @@ class ElasticWorkerPool:
         an iterator — including via a task error propagating out —
         forfeits only that batch's remaining results (its in-flight
         jobs finish and are dropped); the pool stays warm.
+
+        ``trace`` is an optional :class:`repro.obs.trace.TraceBuilder`;
+        when given, the pool records per-task queue-wait spans (lease
+        time minus submission time), failed-attempt spans, and
+        worker-respawn events into it for this dispatch's lifetime.
         """
         if self.broken:
             raise BrokenProcessPool("work-stealing pool is broken")
@@ -565,9 +657,13 @@ class ElasticWorkerPool:
             for position, job in enumerate(jobs)
         }
         self._buffers[dispatch_id] = deque()
+        if trace is not None:
+            self._traces[dispatch_id] = trace
         for job in jobs:
             envelope = self._envelope(dispatch_id, 0, job)
             self._inflight[(dispatch_id, job[0])] = envelope
+            if trace is not None:
+                self._submit_ts[(dispatch_id, job[0])] = time.monotonic()
             self._task_queue.put(envelope)
         return self._drain(dispatch_id, len(jobs), nominal)
 
@@ -662,6 +758,9 @@ class ElasticWorkerPool:
         finally:
             self._idle_since = time.monotonic()
             self._buffers.pop(dispatch_id, None)
+            self._traces.pop(dispatch_id, None)
+            for key in [k for k in self._submit_ts if k[0] == dispatch_id]:
+                del self._submit_ts[key]
             for key in [k for k in self._inflight if k[0] == dispatch_id]:
                 del self._inflight[key]
 
@@ -695,9 +794,16 @@ class ElasticWorkerPool:
             process.join(timeout=self.JOIN_SECONDS)
             self.worker_deaths += 1
             lease = self._leases.pop(worker_id, None)
+            get_logger().emit(
+                "worker_death",
+                worker=worker_id,
+                exitcode=process.exitcode,
+                leased_task=lease[0][1] if lease else None,
+            )
             self._replace_worker()
             if lease is not None:
-                key, _since = lease
+                key, since = lease
+                self._record_attempt_failure(key, "crash", since, worker_id)
                 self._redo_or_fail(
                     key,
                     "crash",

@@ -82,6 +82,12 @@ from repro.api.registry import available_methods
 from repro.api.session import ExplanationSession
 from repro.cache import ClosureStoreConfig
 from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.obs.config import ObservabilityConfig
+from repro.obs.registry import (
+    exponential_buckets,
+    get_registry,
+    render_simple,
+)
 from repro.serving.config import (
     JournalConfig,
     ResilienceConfig,
@@ -101,6 +107,15 @@ from repro.serving.frames import (
 # The mutation-op table lives with the journal (which replays it);
 # re-exported here because the wire validates against the same table.
 from repro.serving.journal import MUTATION_OPS, GraphJournal  # noqa: F401
+
+#: Admission-queue wait of workload requests (time between admission
+#: and the moment the session thread actually starts the work) — the
+#: front-door latency component invisible to per-task worker spans.
+_QUEUE_WAIT_SECONDS = get_registry().histogram(
+    "repro_queue_wait_seconds",
+    "Wait between request admission and session-thread start (seconds)",
+    buckets=exponential_buckets(start=0.0001, count=14),
+)
 
 
 @dataclass(frozen=True)
@@ -174,6 +189,7 @@ class _SessionHost:
             max_workers=1, thread_name_prefix=f"session-{name}"
         )
         self.pending = 0  # event-loop-thread only; no lock needed
+        self.requests = 0  # admitted workload requests, lifetime
         self.last_active = time.monotonic()
 
     @property
@@ -221,6 +237,7 @@ class ExplanationServer:
         journal: JournalConfig | None = None,
         journal_faults: FaultPlan | None = None,
         store: ClosureStoreConfig | None = None,
+        obs: ObservabilityConfig | None = None,
     ) -> None:
         if isinstance(graphs, KnowledgeGraph):
             graphs = {"default": graphs}
@@ -229,6 +246,7 @@ class ExplanationServer:
             raise ValueError("server needs at least one graph to host")
         self.config = config if config is not None else ServerConfig()
         self._codec = get_codec(self.config.codec)
+        self._obs = obs if obs is not None else ObservabilityConfig()
         # Deterministic chaos: `faults` rides into every hosted
         # session's worker envelopes; `loop_faults` is consulted by the
         # event loop itself, keyed on workload-request arrival ordinal
@@ -263,6 +281,7 @@ class ExplanationServer:
                 resilience=resilience,
                 faults=faults,
                 store=store,
+                obs=obs,
             )
 
         self._hosts = {
@@ -275,6 +294,7 @@ class ExplanationServer:
         self._stop_event: asyncio.Event | None = None
         self._draining = False
         self._stop_requested = threading.Event()
+        self._started_at: float | None = None
         self.port: int | None = None
         #: Served-request counters, for the ``stats`` RPC and tests.
         self.frames_in = 0
@@ -290,6 +310,7 @@ class ExplanationServer:
         """Bind the listening socket and start the idle reaper."""
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
+        self._started_at = time.monotonic()
         self._server = await asyncio.start_server(
             self._handle_client, self.config.host, self.config.port
         )
@@ -551,6 +572,7 @@ class ExplanationServer:
                 retry_after_ms=self.config.retry_after_ms,
             )
         host.pending += 1
+        host.requests += 1
         host.last_active = time.monotonic()
 
     async def _inject_loop_fault(self, host: _SessionHost) -> None:
@@ -612,6 +634,22 @@ class ExplanationServer:
         return time.monotonic() + value / 1000.0
 
     @staticmethod
+    def _trace_id_from(frame: dict) -> str | None:
+        """Optional client-stamped ``trace_id`` — same optional-field
+        contract as ``deadline_ms``, so no protocol-version bump:
+        servers that predate it simply ignore the field, and the
+        session mints its own id when tracing is on."""
+        value = frame.get("trace_id")
+        if value is None:
+            return None
+        if not isinstance(value, str) or not value:
+            raise protocol.ProtocolError(
+                "bad-request",
+                "'trace_id' must be a non-empty string when present",
+            )
+        return value
+
+    @staticmethod
     def _check_deadline(expires: float | None) -> None:
         """Drop expired work; runs where the work *starts* (session
         thread), so requests that aged out while queued behind a busy
@@ -665,10 +703,7 @@ class ExplanationServer:
         stats = {}
         store_stats = None
         if session is not None:
-            stats = {
-                key: getattr(session.stats, key)
-                for key in vars(session.stats)
-            }
+            stats = session.stats.to_dict()
             store_stats = session.store_stats()
         await self._send(
             writer,
@@ -681,10 +716,20 @@ class ExplanationServer:
                     # store is off or not yet created for this version).
                     "store": store_stats,
                     "pending": host.pending,
+                    "requests": host.requests,
+                    "uptime_seconds": (
+                        time.monotonic() - self._started_at
+                        if self._started_at is not None
+                        else 0.0
+                    ),
                     "server": {
                         "frames_in": self.frames_in,
                         "frames_out": self.frames_out,
                         "rejected": self.rejected,
+                        "requests": {
+                            name: h.requests
+                            for name, h in sorted(self._hosts.items())
+                        },
                     },
                 },
             ),
@@ -696,12 +741,19 @@ class ExplanationServer:
             protocol._expect(frame, "request", dict, "explain")
         )
         expires = self._deadline_from(frame)
+        trace_id = self._trace_id_from(frame)
         await self._inject_loop_fault(host)
         self._admit(host)
+        admitted = time.monotonic()
 
         def work():
             self._check_deadline(expires)
-            return host.session.explain(request)
+            wait = time.monotonic() - admitted
+            if self._obs.metrics:
+                _QUEUE_WAIT_SECONDS.observe(wait)
+            return host.session.explain(
+                request, trace_id=trace_id, queue_wait_seconds=wait
+            )
 
         # Release only after the response frame is written: draining
         # waits on pending==0, which must cover the write, so a drain
@@ -726,12 +778,19 @@ class ExplanationServer:
         host = self._host_for(frame)
         requests = self._decode_requests(frame, "run")
         expires = self._deadline_from(frame)
+        trace_id = self._trace_id_from(frame)
         await self._inject_loop_fault(host)
         self._admit(host)
+        admitted = time.monotonic()
 
         def work():
             self._check_deadline(expires)
-            return host.session.run(requests)
+            wait = time.monotonic() - admitted
+            if self._obs.metrics:
+                _QUEUE_WAIT_SECONDS.observe(wait)
+            return host.session.run(
+                requests, trace_id=trace_id, queue_wait_seconds=wait
+            )
 
         try:
             report = await self._run_on_session(host, work)
@@ -749,8 +808,10 @@ class ExplanationServer:
         host = self._host_for(frame)
         requests = self._decode_requests(frame, "stream")
         expires = self._deadline_from(frame)
+        trace_id = self._trace_id_from(frame)
         await self._inject_loop_fault(host)
         self._admit(host)
+        admitted = time.monotonic()
         loop = asyncio.get_running_loop()
         queue: asyncio.Queue = asyncio.Queue()
         done = object()
@@ -760,7 +821,12 @@ class ExplanationServer:
             # event loop as soon as the scheduler yields it.
             try:
                 self._check_deadline(expires)
-                for result in host.session.stream(requests):
+                wait = time.monotonic() - admitted
+                if self._obs.metrics:
+                    _QUEUE_WAIT_SECONDS.observe(wait)
+                for result in host.session.stream(
+                    requests, trace_id=trace_id, queue_wait_seconds=wait
+                ):
                     loop.call_soon_threadsafe(queue.put_nowait, result)
                 loop.call_soon_threadsafe(queue.put_nowait, done)
             except BaseException as error:  # delivered, not swallowed
@@ -930,9 +996,88 @@ class ExplanationServer:
                     "draining": self._draining,
                     "durable": bool(self._journals),
                     "connections": self.connections_now,
+                    # Registry liveness only — family count and config
+                    # bits, never a render or graph-lock acquisition, so
+                    # health stays cheap under load.
+                    "metrics": {
+                        "enabled": self._obs.metrics,
+                        "tracing": self._obs.trace,
+                        "families": get_registry().family_count(),
+                    },
                     "graphs": graphs,
                 },
             ),
+        )
+
+    async def _op_trace(self, writer, frame) -> None:
+        """Fetch one finished request trace (by id, or the latest).
+
+        Never admission-gated: the collector is a small ring buffer
+        behind its own lock, so reading it does not contend with the
+        session thread. ``trace`` is None when tracing is off, the
+        session has served nothing yet, or the id has been evicted.
+        """
+        host = self._host_for(frame)
+        trace_id = self._trace_id_from(frame)
+        session = host.session_if_created()
+        trace = None
+        if session is not None:
+            trace = (
+                session.get_trace(trace_id)
+                if trace_id is not None
+                else session.last_trace()
+            )
+        await self._send(
+            writer,
+            protocol.envelope(
+                "trace", {"graph": host.name, "trace": trace}
+            ),
+        )
+
+    async def _op_metrics(self, writer, frame) -> None:
+        """Prometheus text exposition of every process-wide family.
+
+        The process-wide registry renders first (task/batch latency
+        histograms, journal counters, queue-wait); per-session lifetime
+        counters follow as render-time views built from
+        ``SessionStats.to_dict()`` — views, not registered families, so
+        session counters are never double-counted and sessions that die
+        leave no stale registrations behind.
+        """
+        parts = [get_registry().render()]
+        samples = []
+        for name, host in sorted(self._hosts.items()):
+            session = host.session_if_created()
+            if session is None:
+                continue
+            for counter, value in session.stats.to_dict().items():
+                samples.append(
+                    ({"graph": name, "counter": counter}, value)
+                )
+        if samples:
+            parts.append(
+                render_simple(
+                    "repro_session_counter",
+                    "gauge",
+                    "Lifetime session counters "
+                    "(SessionStats.to_dict view)",
+                    samples,
+                )
+            )
+        parts.append(
+            render_simple(
+                "repro_server_requests_total",
+                "counter",
+                "Workload requests admitted per hosted graph",
+                [
+                    ({"graph": name}, host.requests)
+                    for name, host in sorted(self._hosts.items())
+                ],
+            )
+        )
+        await self._send(
+            writer,
+            protocol.envelope("metrics", {"text": "".join(parts)}),
         )
 
     @staticmethod

@@ -1,0 +1,176 @@
+"""Metrics registry semantics: counters, gauges, histograms, exposition.
+
+The contract: get-or-create families keyed by name (kind/label
+mismatches fail loudly), exponential histogram buckets, and a text
+exposition that round-trips through :func:`parse_prometheus` — the
+same parser the CI scrape check and the ``metrics`` CLI probe use.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    MetricsRegistry,
+    exponential_buckets,
+    parse_prometheus,
+    render_simple,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_total", "help text")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value() == 4.0
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_total")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_labelled_samples_are_distinct(self):
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "repro_requests_total", labels=("graph",)
+        )
+        counter.inc(graph="a")
+        counter.inc(2, graph="b")
+        assert counter.value(graph="a") == 1.0
+        assert counter.value(graph="b") == 2.0
+
+
+class TestGauge:
+    def test_set(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_depth")
+        gauge.set(7)
+        gauge.set(3)
+        assert gauge.value() == 3.0
+
+    def test_callback_sampled_at_render(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_live")
+        box = {"value": 1}
+        gauge.set_fn(lambda: box["value"])
+        assert "repro_live 1" in gauge.render()
+        box["value"] = 5
+        assert "repro_live 5" in gauge.render()
+
+
+class TestHistogram:
+    def test_exponential_buckets(self):
+        buckets = exponential_buckets(start=1.0, factor=2.0, count=4)
+        assert buckets == (1.0, 2.0, 4.0, 8.0)
+
+    def test_observe_counts_and_sum(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "repro_seconds", buckets=(1.0, 2.0, 4.0)
+        )
+        for value in (0.5, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        assert hist.sample_count() == 4
+        assert hist.sample_sum() == pytest.approx(105.0)
+
+    def test_cumulative_bucket_exposition(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "repro_seconds", buckets=(1.0, 2.0)
+        )
+        for value in (0.5, 1.5, 9.0):
+            hist.observe(value)
+        text = hist.render()
+        assert 'repro_seconds_bucket{le="1"} 1' in text
+        assert 'repro_seconds_bucket{le="2"} 2' in text
+        assert 'repro_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_seconds_count 3" in text
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_x_total")
+        again = registry.counter("repro_x_total")
+        assert first is again
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_x_total")
+
+    def test_label_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", labels=("graph",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("repro_x_total", labels=("other",))
+
+    def test_render_parse_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "a").inc(2)
+        registry.gauge("repro_b", "b", labels=("graph",)).set(
+            1.5, graph="g/1"
+        )
+        hist = registry.histogram("repro_c_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        parsed = parse_prometheus(registry.render())
+        assert parsed["repro_a_total"] == [({}, 2.0)]
+        assert parsed["repro_b"] == [({"graph": "g/1"}, 1.5)]
+        buckets = dict(
+            (labels["le"], value)
+            for labels, value in parsed["repro_c_seconds_bucket"]
+        )
+        assert buckets["0.1"] == 1.0
+        assert buckets["+Inf"] == 1.0
+        assert parsed["repro_c_seconds_count"] == [({}, 1.0)]
+
+    def test_zero_sample_families_still_render(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_quiet_total", "never incremented")
+        parsed = parse_prometheus(registry.render())
+        assert parsed["repro_quiet_total"] == [({}, 0.0)]
+
+
+class TestRenderSimple:
+    def test_view_block_parses(self):
+        text = render_simple(
+            "repro_session_counter",
+            "gauge",
+            "view",
+            [
+                ({"graph": "default", "counter": "runs"}, 3),
+                ({"graph": "default", "counter": "tasks"}, 64),
+            ],
+        )
+        parsed = parse_prometheus(text)
+        assert (
+            {"graph": "default", "counter": "tasks"},
+            64.0,
+        ) in parsed["repro_session_counter"]
+
+    def test_histogram_kind_rejected(self):
+        with pytest.raises(ValueError, match="counters and gauges"):
+            render_simple("repro_x", "histogram", "", [])
+
+
+class TestParser:
+    def test_malformed_sample_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("repro_ok 1\nthis is not a sample\n")
+
+    def test_inf_values(self):
+        parsed = parse_prometheus("repro_x +Inf\nrepro_y -Inf\n")
+        assert parsed["repro_x"] == [({}, math.inf)]
+        assert parsed["repro_y"] == [({}, -math.inf)]
+
+    def test_label_escapes(self):
+        parsed = parse_prometheus(
+            'repro_x{path="a\\\\b\\"c\\nd"} 1\n'
+        )
+        ((labels, value),) = parsed["repro_x"]
+        assert labels["path"] == 'a\\b"c\nd'
+        assert value == 1.0

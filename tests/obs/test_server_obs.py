@@ -1,0 +1,133 @@
+"""Observability over the wire: trace ids, trace/metrics/stats ops.
+
+The acceptance contract (ISSUE 10): a served 64-task ``run`` over the
+process backend yields a complete trace tree per request — the
+client's minted ``trace_id``, the server's admission-wait span, the
+scheduler's per-task queue-wait spans and the workers' compute spans,
+all under one id, fetched via the server ``trace`` op. The ``metrics``
+op parses as Prometheus text; ``stats`` reports uptime and per-graph
+request counts; ``health`` reports metrics liveness without touching
+graph state.
+"""
+
+import pytest
+
+from repro.api import ObservabilityConfig, ParallelConfig
+from repro.core.scenarios import Scenario
+from repro.obs.registry import parse_prometheus
+from repro.serving.client import ExplanationClient
+from repro.serving.server import (
+    ExplanationServer,
+    ServerConfig,
+    ServerThread,
+)
+
+NUM_TASKS = 64
+
+
+def walk(span):
+    yield span
+    for child in span["children"]:
+        yield from walk(child)
+
+
+@pytest.fixture(scope="module")
+def traced_server(test_bench):
+    server = ExplanationServer(
+        test_bench.graph,
+        ServerConfig(),
+        parallel=ParallelConfig(backend="processes", workers=2),
+        obs=ObservabilityConfig(trace=True),
+    )
+    with ServerThread(server) as thread:
+        yield thread
+
+
+@pytest.fixture()
+def client(traced_server):
+    with ExplanationClient("127.0.0.1", traced_server.port) as c:
+        yield c
+
+
+@pytest.fixture(scope="module")
+def batch_tasks(test_bench):
+    singles = list(
+        test_bench.tasks(Scenario.USER_CENTRIC, "PGPR", 2).values()
+    )
+    return [singles[i % len(singles)] for i in range(NUM_TASKS)]
+
+
+class TestTraceOp:
+    def test_served_run_yields_complete_trace_tree(
+        self, client, batch_tasks
+    ):
+        report = client.run(batch_tasks)
+        assert report.failed == 0
+        assert client.last_trace_id is not None
+
+        trace = client.trace()
+        assert trace is not None
+        # the client's minted id names the server-side trace
+        assert trace["trace_id"] == client.last_trace_id
+        assert trace["name"] == "run"
+
+        names = {span["name"] for span in walk(trace["root"])}
+        assert "server.queue_wait" in names  # admission wait
+        assert "queue_wait" in names  # scheduler per-task wait
+        assert "worker.compute" in names  # worker span, post-merge
+        assert "task" in names
+
+        task_indexes = {
+            span["attrs"]["index"]
+            for span in trace["root"]["children"]
+            if span["name"] == "task"
+        }
+        assert task_indexes == set(range(NUM_TASKS))
+
+    def test_explain_traced_too(self, client, batch_tasks):
+        client.explain(batch_tasks[0])
+        trace = client.trace()
+        assert trace["trace_id"] == client.last_trace_id
+        assert trace["name"] == "explain"
+
+    def test_explicit_and_unknown_ids(self, client, batch_tasks):
+        client.run(batch_tasks[:4])
+        wanted = client.last_trace_id
+        client.run(batch_tasks[4:8])  # newer trace displaces "last"
+        fetched = client.trace(wanted)
+        assert fetched["trace_id"] == wanted
+        assert client.trace("0" * 16) is None
+
+
+class TestMetricsOp:
+    def test_exposition_parses(self, client, batch_tasks):
+        client.run(batch_tasks[:8])
+        families = parse_prometheus(client.metrics())
+        assert "repro_queue_wait_seconds_count" in families
+        assert "repro_session_counter" in families
+        assert "repro_server_requests_total" in families
+        counters = {
+            labels["counter"]: value
+            for labels, value in families["repro_session_counter"]
+            if labels["graph"] == "default"
+        }
+        assert counters["runs"] >= 1
+        assert counters["tasks"] >= 8
+
+
+class TestStatsOp:
+    def test_uptime_and_request_counts(self, client, batch_tasks):
+        client.run(batch_tasks[:4])
+        stats = client.stats()
+        assert stats["uptime_seconds"] > 0.0
+        assert stats["requests"] >= 1
+        assert stats["server"]["requests"]["default"] >= 1
+        assert "runs" in stats["session"]
+
+
+class TestHealthOp:
+    def test_metrics_liveness_reported(self, client):
+        health = client.health()
+        assert health["metrics"]["enabled"] is True
+        assert health["metrics"]["tracing"] is True
+        assert health["metrics"]["families"] >= 1

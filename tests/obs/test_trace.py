@@ -1,0 +1,168 @@
+"""Trace plumbing in isolation: builder, collector, tracer, logger.
+
+Worker-merge and cross-process behavior are covered by
+``test_trace_faults.py`` / ``test_server_obs.py``; this module pins
+the single-process contracts those tests build on.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.log import StructuredLogger
+from repro.obs.trace import (
+    TraceBuilder,
+    TraceCollector,
+    Tracer,
+    format_trace,
+)
+
+
+class TestTracer:
+    def test_disabled_begin_returns_none(self):
+        assert Tracer(enabled=False).begin("run") is None
+
+    def test_enabled_begin_builds(self):
+        trace = Tracer(enabled=True).begin("run", tasks=3)
+        assert trace is not None
+        assert trace.root.attrs == {"tasks": 3}
+
+    def test_adopts_caller_trace_id(self):
+        trace = Tracer(enabled=True).begin("run", trace_id="cafe01")
+        assert trace.trace_id == "cafe01"
+
+
+class TestTraceBuilder:
+    def test_tree_nests_children_under_parents(self):
+        trace = TraceBuilder("run")
+        task = trace.task_span(0)
+        trace.event("compute", 0.01, parent=task)
+        trace.event("session.pool", 0.02)
+        tree = trace.finish()
+        assert tree["name"] == "run"
+        assert tree["span_count"] == 4
+        children = {
+            span["name"]: span for span in tree["root"]["children"]
+        }
+        assert children["task"]["attrs"] == {"index": 0}
+        assert [
+            span["name"] for span in children["task"]["children"]
+        ] == ["compute"]
+        assert children["session.pool"]["duration_ms"] == (
+            pytest.approx(20.0, rel=0.01)
+        )
+
+    def test_merge_worker_reparents_by_index(self):
+        trace = TraceBuilder("run")
+        trace.task_span(4)
+        trace.merge_worker(
+            [
+                (4, "worker.compute", 0.05, {"worker": 7}),
+                (None, "store.evict", 0.0, {"bytes": 10}),
+            ]
+        )
+        tree = trace.finish()
+        by_name = {
+            span["name"]: span for span in tree["root"]["children"]
+        }
+        task_children = by_name["task"]["children"]
+        assert [span["name"] for span in task_children] == [
+            "worker.compute"
+        ]
+        assert task_children[0]["attrs"] == {"worker": 7}
+        assert by_name["store.evict"]["attrs"] == {"bytes": 10}
+
+    def test_task_payload_is_the_task_subtree(self):
+        trace = TraceBuilder("run")
+        trace.event("compute", 0.01, parent=trace.task_span(0))
+        trace.event("compute", 0.01, parent=trace.task_span(1))
+        payload = trace.task_payload(0)
+        assert payload["trace_id"] == trace.trace_id
+        assert [span["name"] for span in payload["spans"]] == [
+            "task",
+            "compute",
+        ]
+        assert payload["spans"][0]["attrs"] == {"index": 0}
+        assert trace.task_payload(99) is None
+
+    def test_finish_closes_open_spans(self):
+        trace = TraceBuilder("run")
+        trace.span("open-ended")
+        tree = trace.finish()
+        (child,) = tree["root"]["children"]
+        assert child["duration_ms"] is not None
+
+    def test_finish_publishes_to_collector(self):
+        collector = TraceCollector(capacity=2)
+        for name in ("a", "b", "c"):
+            TraceBuilder(name, collector=collector).finish()
+        assert len(collector) == 2
+        assert collector.last()["name"] == "c"
+
+    def test_collector_get_by_id(self):
+        collector = TraceCollector()
+        trace = TraceBuilder("run", collector=collector)
+        trace.finish()
+        assert collector.get(trace.trace_id)["name"] == "run"
+        assert collector.get("missing") is None
+
+    def test_slow_request_logged_with_breakdown(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(
+            stream, json_lines=True, enabled=True
+        )
+        trace = TraceBuilder(
+            "run", slow_ms=0.0001, logger=logger
+        )
+        trace.event("compute", 0.01)
+        trace.finish()
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "slow_request"
+        assert record["trace_id"] == trace.trace_id
+        assert record["spans"]["compute"]["count"] == 1
+
+    def test_fast_request_not_logged(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(stream, enabled=True)
+        TraceBuilder("run", slow_ms=60_000.0, logger=logger).finish()
+        assert stream.getvalue() == ""
+
+
+class TestFormatTrace:
+    def test_renders_every_span_indented(self):
+        trace = TraceBuilder("run")
+        trace.event("compute", 0.01, parent=trace.task_span(0))
+        text = format_trace(trace.finish())
+        lines = text.splitlines()
+        assert lines[0].startswith(f"trace {trace.trace_id}")
+        assert any(line.startswith("    task") for line in lines)
+        assert any(line.startswith("      compute") for line in lines)
+
+    def test_none_is_safe(self):
+        assert format_trace(None) == "(no trace recorded)"
+
+
+class TestStructuredLogger:
+    def test_disabled_is_silent(self):
+        stream = io.StringIO()
+        StructuredLogger(stream).emit("event", a=1)
+        assert stream.getvalue() == ""
+
+    def test_text_lines(self):
+        stream = io.StringIO()
+        StructuredLogger(stream, enabled=True).emit(
+            "worker_respawn", respawns=2
+        )
+        line = stream.getvalue().strip()
+        assert "event=worker_respawn" in line
+        assert "respawns=2" in line
+
+    def test_json_lines(self):
+        stream = io.StringIO()
+        StructuredLogger(stream, json_lines=True, enabled=True).emit(
+            "task_timeout", task=3, timeout_seconds=0.5
+        )
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "task_timeout"
+        assert record["task"] == 3

@@ -1,0 +1,153 @@
+"""Trace propagation under faults: one trace tells the whole story.
+
+The acceptance contract (ISSUE 10, satellite d): a seeded worker crash
+plus retry produces ONE trace containing the failed attempt
+(``task.attempt`` with ``outcome="crash"``), the supervisor's
+``worker.respawn``, and the successful retry's ``worker.compute`` span
+with ``attempt=1`` — and the worker-side spans survive the result-pipe
+merge even though the crashed attempt's ambient buffer died with its
+worker.
+"""
+
+import warnings
+
+import pytest
+
+from repro.api import (
+    ExplanationSession,
+    ObservabilityConfig,
+    ParallelConfig,
+    ResilienceConfig,
+)
+from repro.core.scenarios import Scenario
+from repro.serving.faults import Fault, FaultPlan
+
+NUM_TASKS = 64
+CRASH_AT = 5
+
+
+def walk(span):
+    yield span
+    for child in span["children"]:
+        yield from walk(child)
+
+
+def task_groups(trace):
+    """Map task index -> list of child span dicts of that task span."""
+    groups = {}
+    for span in trace["root"]["children"]:
+        if span["name"] == "task":
+            groups[span["attrs"]["index"]] = span["children"]
+    return groups
+
+
+@pytest.fixture(scope="module")
+def chaos_tasks(test_bench):
+    singles = list(
+        test_bench.tasks(Scenario.USER_CENTRIC, "PGPR", 2).values()
+    )
+    return [singles[i % len(singles)] for i in range(NUM_TASKS)]
+
+
+@pytest.fixture(scope="module")
+def traced_run(test_bench, chaos_tasks):
+    """One traced 64-task run with a seeded crash at task 5."""
+    plan = FaultPlan(
+        faults=(Fault(kind="crash", at=CRASH_AT, attempts=1),)
+    )
+    with warnings.catch_warnings():
+        # A silent local fallback would bypass both the scheduler and
+        # the trace plumbing under test; make it a hard failure.
+        warnings.simplefilter("error", RuntimeWarning)
+        with ExplanationSession(
+            test_bench.graph,
+            parallel=ParallelConfig(backend="processes", workers=2),
+            resilience=ResilienceConfig(max_task_retries=2),
+            faults=plan,
+            obs=ObservabilityConfig(trace=True),
+        ) as session:
+            report = session.run(chaos_tasks)
+            trace = session.last_trace()
+    return report, trace
+
+
+class TestTraceUnderFaults:
+    def test_run_recovers_completely(self, traced_run):
+        report, _ = traced_run
+        assert len(report.results) == NUM_TASKS
+        assert report.failed == 0
+        assert report.retried == 1
+
+    def test_one_trace_covers_the_batch(self, traced_run):
+        report, trace = traced_run
+        assert trace is not None
+        assert trace["name"] == "run"
+        assert trace["root"]["attrs"]["tasks"] == NUM_TASKS
+        groups = task_groups(trace)
+        assert set(groups) == set(range(NUM_TASKS))
+        # every result cites the same trace
+        for result in report.results:
+            assert result.trace["trace_id"] == trace["trace_id"]
+
+    def test_failed_attempt_respawn_and_retry_in_one_trace(
+        self, traced_run
+    ):
+        _, trace = traced_run
+        spans = task_groups(trace)[CRASH_AT]
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span["name"], []).append(span)
+        (attempt,) = by_name["task.attempt"]
+        assert attempt["attrs"]["outcome"] == "crash"
+        assert attempt["attrs"]["attempt"] == 0
+        assert "worker.respawn" in by_name
+        (compute,) = by_name["worker.compute"]
+        assert compute["attrs"]["attempt"] == 1  # the retry succeeded
+
+    def test_worker_spans_survive_pipe_merge(self, traced_run):
+        _, trace = traced_run
+        groups = task_groups(trace)
+        for index in range(NUM_TASKS):
+            names = {span["name"] for span in groups[index]}
+            assert "queue_wait" in names, index
+            assert "worker.compute" in names, index
+            assert "worker.encode" in names, index
+        # untouched tasks completed on their first attempt
+        other = [s for s in groups[CRASH_AT + 1] if s["name"] == "worker.compute"]
+        assert other[0]["attrs"]["attempt"] == 0
+
+    def test_session_spans_present(self, traced_run):
+        _, trace = traced_run
+        names = {span["name"] for span in walk(trace["root"])}
+        assert {
+            "session.freeze_export",
+            "session.pool",
+            "session.dispatch",
+        } <= names
+
+    def test_result_payload_is_the_task_subtree(self, traced_run):
+        report, trace = traced_run
+        payload = report.results[CRASH_AT].trace
+        names = [span["name"] for span in payload["spans"]]
+        assert names[0] == "task"
+        assert "task.attempt" in names
+        assert "worker.respawn" in names
+        assert "worker.compute" in names
+        # payload spans all belong to this task's subtree
+        ids = {span["span_id"] for span in payload["spans"]}
+        for span in payload["spans"][1:]:
+            assert span["parent_id"] in ids
+
+
+class TestTracingDisabled:
+    def test_no_trace_recorded_and_results_bare(
+        self, test_bench, chaos_tasks
+    ):
+        with ExplanationSession(
+            test_bench.graph,
+            parallel=ParallelConfig(backend="processes", workers=2),
+        ) as session:
+            report = session.run(chaos_tasks[:8])
+        assert session.last_trace() is None
+        assert all(result.trace is None for result in report.results)
+        assert report.failed == 0
